@@ -1,0 +1,29 @@
+"""Ablation A1: the importance of Accumulation (paper Section 6).
+
+"We saw dramatically worse performance in KMC, LR, and especially WO
+before implementing Accumulation; before this addition, all three had
+similar characteristics to SIO (which cannot compact intermediate
+data well)."
+"""
+
+from repro.harness import ablation_accumulation
+
+
+def test_accumulation_ablation(benchmark, save_result):
+    result = benchmark.pedantic(
+        ablation_accumulation, rounds=1, iterations=1
+    )
+    save_result("ablation_accumulation", result.render())
+
+    f = result.findings
+    benchmark.extra_info.update({k: round(v, 2) for k, v in f.items()})
+
+    # Removing accumulation hurts every job substantially.
+    assert f["wo_slowdown"] > 1.5, "WO must degrade without accumulation"
+    assert f["kmc_slowdown"] > 2.0, "KMC must degrade without accumulation"
+    assert f["lr_slowdown"] > 2.0, "LR must degrade without accumulation"
+
+    # KMC's map alone was "almost 8x" slower in the paper; end-to-end
+    # slowdowns of the same order, not orders of magnitude beyond.
+    assert f["kmc_slowdown"] < 40
+    assert f["lr_slowdown"] < 60

@@ -1,0 +1,32 @@
+"""Ablation A3: chunk-size trade-off (paper Sections 3 and 7).
+
+"We can use chunks that are a fraction of the size of available
+memory, allowing us to Map or Reduce a chunk while simultaneously
+streaming another chunk" — but chunks too small drown in per-chunk
+overhead, and chunks too large starve the double buffer and the load
+balancer.  The sweep should show a sweet spot in the middle.
+"""
+
+from repro.harness import ablation_chunk_size
+
+
+def test_chunk_size_ablation(benchmark, save_result):
+    result = benchmark.pedantic(ablation_chunk_size, rounds=1, iterations=1)
+    save_result("ablation_chunksize", result.render())
+
+    f = result.findings
+    benchmark.extra_info.update({k: round(v, 4) for k, v in f.items()})
+
+    times = [f["chunk_1M"], f["chunk_4M"], f["chunk_16M"], f["chunk_64M"]]
+    best = min(times)
+
+    # The paper's claim: chunks must be a small fraction of the per-GPU
+    # share so streaming overlap works.  Whole-share chunks (64M ints =
+    # the full 2-chunk split at 8 GPUs) forfeit the double buffer and
+    # the bin/map overlap:
+    assert f["chunk_64M"] > 2 * best, "whole-share chunks must lose badly"
+    assert f["chunk_16M"] > f["chunk_1M"], "fewer chunks -> less overlap"
+
+    # Small-to-mid chunks are all competitive (per-chunk overheads are
+    # microseconds against megabyte transfers).
+    assert f["chunk_4M"] < 1.5 * best

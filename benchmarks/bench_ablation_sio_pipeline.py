@@ -1,0 +1,25 @@
+"""Ablation A2: SIO pipeline configurations (paper Section 5.3.2).
+
+"We forego Partial Reduction and Accumulation as they yield no speedup
+with our intermediate data, and we skip Combine as it causes slowdown."
+Sparse uniform keys barely repeat inside a chunk, so the combining
+substages add GPU time without removing transfer volume.
+"""
+
+from repro.harness import ablation_sio_pipeline
+
+
+def test_sio_pipeline_ablation(benchmark, save_result):
+    result = benchmark.pedantic(
+        ablation_sio_pipeline, rounds=1, iterations=1
+    )
+    save_result("ablation_sio_pipeline", result.render())
+
+    f = result.findings
+    benchmark.extra_info.update({k: round(v, 4) for k, v in f.items()})
+
+    # The plain pipeline is the right choice (paper's conclusion):
+    # partial reduction yields no speedup...
+    assert f["partial_reduce"] >= f["plain"] * 0.98
+    # ...and combine causes a slowdown.
+    assert f["combine"] > f["plain"] * 1.05

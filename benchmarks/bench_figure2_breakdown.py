@@ -1,0 +1,42 @@
+"""Figure 2: runtime percentage breakdowns at 1, 8, and 64 GPUs.
+
+Paper's qualitative content, asserted here:
+* MM is map-dominated at every scale;
+* SIO is sort-heavy at 1 GPU and communication-heavy at 64;
+* the GPMR-internal/scheduler share grows with GPU count for the
+  communication-light jobs (LR);
+* KMC and LR are map-dominated at 1 GPU.
+"""
+
+from repro.harness import figure2
+
+
+def test_figure2_runtime_breakdowns(benchmark, save_result):
+    result = benchmark.pedantic(figure2, rounds=1, iterations=1)
+    save_result("figure2_breakdown", result.render())
+
+    f = result.fraction
+
+    # MM: compute-bound at every scale.
+    for g in (1, 8, 64):
+        assert f("MM", g, "map") > 0.55, f"MM at {g} GPUs should be map-bound"
+
+    # SIO at 1 GPU: the sort (including out-of-core merge passes)
+    # dominates; at 64 GPUs the bottleneck moves to data movement
+    # (exposed binning + receive waiting), not sort.
+    assert f("SIO", 1, "sort") > 0.3
+    sio_comm_64 = f("SIO", 64, "bin") + f("SIO", 64, "scheduler")
+    assert sio_comm_64 > f("SIO", 64, "sort")
+    assert sio_comm_64 > 0.3
+
+    # KMC and LR: map-dominated on one GPU.
+    assert f("KMC", 1, "map") > 0.8
+    assert f("LR", 1, "map") > 0.8
+
+    # LR: the internal/scheduler share grows as per-GPU work shrinks.
+    assert f("LR", 64, "scheduler") > f("LR", 1, "scheduler")
+    assert f("LR", 64, "scheduler") > 0.1
+
+    # Fractions are proper distributions.
+    for (app, g), frac in result.breakdowns.items():
+        assert abs(sum(frac.values()) - 1.0) < 1e-9, (app, g)

@@ -1,0 +1,35 @@
+"""Table 1: dataset sizes — and generator throughput sanity.
+
+Table 1 is configuration, not measurement; this bench renders it and
+times the workload generators at representative sizes so dataset
+construction cost is tracked over time.
+"""
+
+from repro.harness import dataset_for, sample_factor_for, table1
+
+
+def test_table1_render(benchmark, save_result):
+    result = benchmark.pedantic(table1, rounds=1, iterations=1)
+    save_result("table1_datasets", result.render())
+    assert len(result.rows) == 3
+
+
+def test_table1_generators_materialise(benchmark):
+    """Every app's dataset builds and yields its first chunk."""
+
+    def build_all():
+        sizes = {"MM": 4096, "SIO": 32 << 20, "WO": 64 << 20,
+                 "KMC": 32 << 20, "LR": 64 << 20}
+        out = {}
+        for app, size in sizes.items():
+            ds = dataset_for(app, size, seed=1)
+            chunk = ds.chunk(0)
+            out[app] = (ds.n_chunks, chunk.actual_items)
+        return out
+
+    info = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    for app, (n_chunks, actual) in info.items():
+        assert n_chunks >= 1
+        assert actual >= 1
+        # Sampling keeps the functional payload tractable.
+        assert sample_factor_for(app, 4096 if app == "MM" else 32 << 20) >= 1

@@ -1,0 +1,42 @@
+"""Table 2: GPMR speedup over Phoenix (1 and 4 GPUs, one node).
+
+Paper values: MM 162.7/559.2, KMC 2.99/11.73, LR 1.30/4.09,
+SIO 1.45/2.32, WO 11.08/18.44.
+
+Shape assertions (not absolute parity — see EXPERIMENTS.md):
+* GPMR beats Phoenix on every benchmark at 1 GPU;
+* MM's speedup is orders of magnitude above the others;
+* WO and KMC sit well above SIO and LR;
+* 4-GPU speedups exceed 1-GPU speedups everywhere.
+"""
+
+from repro.harness import PAPER_TABLE2, table2
+
+
+def test_table2_phoenix_speedups(benchmark, save_result):
+    result = benchmark.pedantic(table2, rounds=1, iterations=1)
+    save_result("table2_phoenix", result.render())
+
+    s1 = {app: result.speedups(app)[0] for app in PAPER_TABLE2}
+    s4 = {app: result.speedups(app)[1] for app in PAPER_TABLE2}
+    benchmark.extra_info.update({f"{a}_1gpu": round(v, 2) for a, v in s1.items()})
+
+    # GPMR wins everywhere at a single GPU.
+    for app, speedup in s1.items():
+        assert speedup > 1.0, f"{app}: GPMR should beat Phoenix ({speedup:.2f}x)"
+
+    # MM is in a different class (paper: 162x).
+    assert s1["MM"] > 50
+    assert s1["MM"] > 10 * max(s1["KMC"], s1["WO"], s1["SIO"], s1["LR"])
+
+    # Compute-light jobs barely win (paper: LR 1.30, SIO 1.45).
+    assert s1["LR"] < 3
+    assert s1["SIO"] < 4
+
+    # WO and KMC benefit strongly from accumulation (paper: 11.1, 3.0).
+    assert s1["WO"] > s1["SIO"]
+    assert s1["KMC"] > s1["SIO"]
+
+    # Four GPUs extend the lead on every benchmark.
+    for app in PAPER_TABLE2:
+        assert s4[app] > s1[app], f"{app}: 4-GPU speedup should exceed 1-GPU"

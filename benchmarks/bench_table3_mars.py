@@ -1,0 +1,57 @@
+"""Table 3: GPMR speedup over Mars (largest Mars-in-core problems).
+
+Paper values: MM 2.70/10.76, KMC 37.3/129.4, WO 3.10/11.71.
+
+Shape assertions:
+* GPMR beats Mars on all three benchmarks;
+* KMC shows the largest gap (Mars materialises and bitonic-sorts one
+  pair per point; GPMR accumulates);
+* the ordering KMC > WO and KMC > MM holds;
+* 4 GPUs multiply the lead roughly linearly (Mars cannot scale past 1).
+"""
+
+from repro.harness import PAPER_TABLE3, table3
+
+
+def test_table3_mars_speedups(benchmark, save_result):
+    result = benchmark.pedantic(table3, rounds=1, iterations=1)
+    save_result("table3_mars", result.render())
+
+    s1 = {app: result.speedups(app)[0] for app in PAPER_TABLE3}
+    s4 = {app: result.speedups(app)[1] for app in PAPER_TABLE3}
+    benchmark.extra_info.update({f"{a}_1gpu": round(v, 2) for a, v in s1.items()})
+
+    for app, speedup in s1.items():
+        assert speedup > 1.0, f"{app}: GPMR should beat Mars ({speedup:.2f}x)"
+
+    # KMC dominates (paper 37x): accumulation vs sort-everything.
+    assert s1["KMC"] > 10
+    assert s1["KMC"] > s1["MM"]
+
+    # Multi-GPU multiplies the lead (Mars is single-GPU only).
+    for app in PAPER_TABLE3:
+        assert s4[app] > 2 * s1[app], (
+            f"{app}: 4-GPU advantage should grow (Mars cannot use >1 GPU)"
+        )
+
+
+def test_table3_sizes_are_mars_in_core_limits(benchmark):
+    """The Table-3 inputs must actually satisfy Mars's memory check."""
+    from repro.baselines import MarsModel
+    from repro.harness import TABLE3_SIZES, dataset_for
+    from repro.apps import kmc_mars_workload, mm_mars_workload, wo_mars_workload
+
+    mars = MarsModel()
+    workload_of = {
+        "MM": mm_mars_workload,
+        "KMC": kmc_mars_workload,
+        "WO": wo_mars_workload,
+    }
+
+    def check():
+        for app, size in TABLE3_SIZES.items():
+            ds = dataset_for(app, size, seed=0)
+            mars.check_in_core(workload_of[app](ds))  # must not raise
+        return True
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,26 @@
+"""Table 4: lines of source code per benchmark implementation.
+
+The paper's point: MapReduce abstractions keep application code small
+(a few hundred lines), with GPMR's WO largest "because of the hashing
+required".  We count this repo's app modules the same way (non-blank,
+non-comment, non-docstring lines) and print them beside the paper's
+numbers.
+"""
+
+from repro.harness import PAPER_TABLE4, table4
+
+
+def test_table4_loc(benchmark, save_result):
+    result = benchmark.pedantic(table4, rounds=1, iterations=1)
+    save_result("table4_loc", result.render())
+
+    ours = result.ours
+    benchmark.extra_info.update(ours)
+
+    # Same order of magnitude as the paper's GPMR implementations:
+    # a few hundred lines per benchmark, not thousands.
+    for app in ("MM", "KMC", "WO"):
+        assert 50 <= ours[app] <= 600, f"{app} LoC {ours[app]} out of range"
+
+    # All five apps are counted.
+    assert set(ours) == {"MM", "KMC", "WO", "SIO", "LR"}

@@ -1,0 +1,35 @@
+"""Weak scaling (Table 1's second dataset set; extension experiment).
+
+Per-GPU input held constant across the GPU sweep.  The paper's
+conclusion (§7) predicts: accumulation jobs (WO, KMC) weak-scale well —
+"out-of-core work does not have a strong effect on GPMR jobs" — while
+all-to-all SIO degrades as the shuffled volume grows with the cluster.
+"""
+
+from repro.harness.weak_scaling import weak_scaling
+
+
+def test_weak_scaling(benchmark, save_result):
+    result = benchmark.pedantic(weak_scaling, rounds=1, iterations=1)
+    save_result("weak_scaling", result.render())
+
+    wo = result.curves["WO"]
+    kmc = result.curves["KMC"]
+    sio = result.curves["SIO"]
+    lr = result.curves["LR"]
+
+    benchmark.extra_info.update(
+        {f"{app}_eff32": round(c.efficiency_at(32), 3) for app, c in result.curves.items()}
+    )
+
+    # Accumulation jobs hold weak efficiency at 32 GPUs.
+    assert wo.efficiency_at(32) > 0.7
+    assert kmc.efficiency_at(32) > 0.7
+
+    # SIO's all-to-all shuffle degrades with cluster size.
+    assert sio.efficiency_at(32) < 0.6
+    assert sio.efficiency_at(32) < kmc.efficiency_at(32)
+
+    # LR sits between: h2d streams weak-scale, the single reducer and
+    # fixed overheads erode a little.
+    assert lr.efficiency_at(32) > 0.5

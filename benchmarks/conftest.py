@@ -1,0 +1,33 @@
+"""Shared fixtures for the paper-reproduction benches.
+
+Each bench regenerates one table or figure, asserts the paper's *shape*
+(who wins, by roughly what factor, where crossovers fall), writes the
+rendered rows to ``results/<name>.txt``, and registers wall-time with
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    """Write a rendered harness result to results/<name>.txt (and echo)."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Out-of-core matrix multiplication across a GPU cluster.
+
+Reproduces the paper's flagship scaling result at example scale: a
+4096x4096 single-precision multiply decomposed into panel tasks, run on
+1..16 simulated GPUs, verified against NumPy, with the two-phase
+(multiply, then partial-tile sum) structure of Section 5.3.1.
+
+    python examples/matmul_cluster.py
+"""
+
+import numpy as np
+
+from repro.apps import mm_dataset, mm_validate, run_matmul
+
+
+def main() -> None:
+    # 4096^2 logical multiply; sample_factor=8 keeps the functional
+    # arithmetic laptop-sized while costs stay at full scale.
+    dataset = mm_dataset(m=4096, tile=1024, kspan=4, seed=7, sample_factor=8)
+    print(
+        f"Matrix multiply: {dataset.m}x{dataset.m} float32, "
+        f"{dataset.n_chunks} phase-1 panel tasks "
+        f"({dataset.grid}x{dataset.grid} tile grid, kspan={dataset.kspan})"
+    )
+
+    t1 = None
+    for n_gpus in (1, 2, 4, 8, 16):
+        result = run_matmul(n_gpus, dataset)
+        mm_validate(result, dataset)  # exact vs NumPy on the sample
+        if t1 is None:
+            t1 = result.elapsed
+        eff = t1 / (n_gpus * result.elapsed)
+        frac = result.stats.stage_fractions
+        print(
+            f"  {n_gpus:>2} GPUs: {result.elapsed:7.3f} s simulated, "
+            f"efficiency {eff:5.2f}, map share {frac['map']:5.1%}"
+        )
+
+    print("\nProduct verified against numpy on every run.")
+    print("Phase-1 shuffles one partial tile per task; phase-2 sums per output tile.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""repro — a full reproduction of GPMR (Stuart & Owens, IPDPS 2011).
+
+"Multi-GPU MapReduce on GPU Clusters" on a simulated GPU-cluster
+substrate: a discrete-event engine (:mod:`repro.sim`), calibrated
+GPU/PCI-e/network hardware models (:mod:`repro.hw`, :mod:`repro.net`),
+CUDPP-style primitives (:mod:`repro.primitives`), the GPMR pipeline
+itself (:mod:`repro.core`), the paper's five benchmarks
+(:mod:`repro.apps`), the Phoenix and Mars baselines
+(:mod:`repro.baselines`), and a harness regenerating every table and
+figure (:mod:`repro.harness`).
+
+Quickstart::
+
+    from repro.core import GPMRRuntime
+    from repro.apps import word_occurrence_job
+    from repro.workloads import TextDataset
+
+    ds = TextDataset(n_chars=1 << 20)
+    job = word_occurrence_job(n_gpus=4)
+    result = GPMRRuntime(n_gpus=4).run(job, ds)
+    print(result.stats.describe())
+"""
+
+__version__ = "1.0.0"
+
+from .core import GPMRRuntime, JobResult, KeyValueSet, MapReduceJob, PipelineConfig
+
+__all__ = [
+    "__version__",
+    "GPMRRuntime",
+    "JobResult",
+    "KeyValueSet",
+    "MapReduceJob",
+    "PipelineConfig",
+]

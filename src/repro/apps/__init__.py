@@ -1,0 +1,92 @@
+"""The paper's five benchmark applications (S12), on the GPMR public API.
+
+Each app module provides: the Mapper/Reducer implementations with their
+kernel cost descriptors, a ``*_job`` factory, a ``*_dataset`` factory,
+a ``*_validate`` oracle check, ``run_*`` conveniences, and the Phoenix
+and Mars workload descriptors used by Tables 2 and 3.
+"""
+
+from .kmeans import (
+    CenterPartitioner,
+    KMCMapper,
+    NaiveKMCMapper,
+    KMCReducer,
+    kmc_dataset,
+    kmc_extract_centers,
+    kmc_job,
+    kmc_mars_workload,
+    kmc_phoenix_workload,
+    kmc_validate,
+    run_kmc,
+)
+from .linear_regression import (
+    LR_KEYS,
+    LRMapper,
+    NaiveLRMapper,
+    LRReducer,
+    lr_dataset,
+    lr_extract_sums,
+    lr_fit,
+    lr_job,
+    lr_mars_workload,
+    lr_phoenix_workload,
+    lr_validate,
+    run_lr,
+)
+from .matmul import (
+    MMPhase1Mapper,
+    MMPhase2Mapper,
+    MMResult,
+    mm_dataset,
+    mm_mars_workload,
+    mm_phase1_job,
+    mm_phase2_job,
+    mm_phoenix_workload,
+    mm_validate,
+    run_matmul,
+)
+from .sparse_int_occurrence import (
+    SIOMapper,
+    SIOReducer,
+    run_sio,
+    sio_dataset,
+    sio_job,
+    sio_mars_workload,
+    sio_phoenix_workload,
+    sio_validate,
+)
+from .word_occurrence import (
+    PARTITIONER_THRESHOLD,
+    WOMapper,
+    WOThreadReducer,
+    WOWarpReducer,
+    run_wo,
+    wo_dataset,
+    wo_job,
+    wo_mars_workload,
+    wo_mph,
+    wo_phoenix_workload,
+    wo_validate,
+)
+
+__all__ = [
+    # SIO
+    "SIOMapper", "SIOReducer", "sio_job", "sio_dataset", "sio_validate",
+    "sio_phoenix_workload", "sio_mars_workload", "run_sio",
+    # WO
+    "WOMapper", "WOWarpReducer", "WOThreadReducer", "wo_job", "wo_dataset",
+    "wo_validate", "wo_mph", "wo_phoenix_workload", "wo_mars_workload",
+    "run_wo", "PARTITIONER_THRESHOLD",
+    # KMC
+    "KMCMapper", "NaiveKMCMapper", "KMCReducer", "CenterPartitioner", "kmc_job", "kmc_dataset",
+    "kmc_extract_centers", "kmc_validate", "kmc_phoenix_workload",
+    "kmc_mars_workload", "run_kmc",
+    # LR
+    "LRMapper", "NaiveLRMapper", "LRReducer", "LR_KEYS", "lr_job", "lr_dataset",
+    "lr_extract_sums", "lr_fit", "lr_validate", "lr_phoenix_workload",
+    "lr_mars_workload", "run_lr",
+    # MM
+    "MMPhase1Mapper", "MMPhase2Mapper", "MMResult", "mm_dataset",
+    "mm_phase1_job", "mm_phase2_job", "run_matmul", "mm_validate",
+    "mm_phoenix_workload", "mm_mars_workload",
+]

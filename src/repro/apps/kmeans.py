@@ -1,0 +1,368 @@
+"""K-Means Clustering (KMC) — paper Section 5.3.4.
+
+One Lloyd iteration over random points with a fixed random start-centre
+set.  The paper's optimised GPU pipeline, reproduced here:
+
+* **persistent threads**: the block reads points coalesced, each thread
+  finds the closest centre, and the block performs per-centre
+  reductions — "these optimizations reduced Map times by almost 8x"
+  over the emit-per-point port;
+* **atomic-free Accumulation**: GT200 has no floating-point atomics, so
+  each block accumulates into a per-block global-memory pool and a
+  second kernel folds the pools (``SumAccumulator(use_atomics=False)``
+  prices exactly that);
+* the emitted keys are ``<C, P_dim>`` per dimension **plus one count
+  key per centre** — ``K * (dims + 1)`` keys total, allowing coalesced
+  writes;
+* the **partitioner sends all keys of a centre to one GPU**;
+* reduce is one key per thread (negligible time at these key counts).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..baselines.mars import MarsWorkload
+from ..baselines.phoenix import PhoenixWorkload
+from ..core import (
+    GPMRRuntime,
+    KeyValueSet,
+    MapReduceJob,
+    Mapper,
+    Partitioner,
+    Reducer,
+    SumAccumulator,
+)
+from ..core.chunk import Chunk
+from ..core.runtime import JobResult
+from ..core.sorter import RadixSorter
+from ..hw.kernel import KernelLaunch
+from ..primitives import launch_1d, segmented_reduce
+from ..workloads import KMeansDataset
+
+__all__ = [
+    "KMCMapper",
+    "NaiveKMCMapper",
+    "KMCReducer",
+    "CenterPartitioner",
+    "kmc_job",
+    "kmc_dataset",
+    "kmc_extract_centers",
+    "kmc_validate",
+    "kmc_phoenix_workload",
+    "kmc_mars_workload",
+]
+
+
+def _key_of(center: int, field: int, dims: int) -> int:
+    """Key layout: centre-major, fields = dims coordinates then count."""
+    return center * (dims + 1) + field
+
+
+class KMCMapper(Mapper):
+    """Persistent-thread distance map with block-level accumulation."""
+
+    def __init__(self, centers: np.ndarray) -> None:
+        self.centers = np.asarray(centers, dtype=np.float64)
+        self.k, self.dims = self.centers.shape
+        # Centres live in constant/shared memory; per-block pools in global.
+        self.scratch_bytes = self.centers.nbytes + (1 << 20)
+
+    def map_chunk(self, chunk: Chunk) -> KeyValueSet:
+        pts = chunk.data
+        d2 = ((pts[:, None, :] - self.centers[None, :, :]) ** 2).sum(axis=2)
+        nearest = d2.argmin(axis=1).astype(np.int64)
+
+        dims = self.dims
+        sums = np.zeros((self.k, dims), dtype=np.float64)
+        np.add.at(sums, nearest, pts)
+        counts = np.bincount(nearest, minlength=self.k).astype(np.float64)
+
+        keys = np.empty(self.k * (dims + 1), dtype=np.uint32)
+        values = np.empty(self.k * (dims + 1), dtype=np.float64)
+        for c in range(self.k):
+            for d in range(dims):
+                keys[_key_of(c, d, dims)] = _key_of(c, d, dims)
+                values[_key_of(c, d, dims)] = sums[c, d]
+            keys[_key_of(c, dims, dims)] = _key_of(c, dims, dims)
+            values[_key_of(c, dims, dims)] = counts[c]
+        # Block-reduced emissions are exact per chunk: scale=1 pair-wise
+        # byte accounting happens at the accumulator table level.
+        return KeyValueSet(keys=keys, values=values, scale=1.0)
+
+    def map_cost(self, chunk: Chunk) -> List[KernelLaunch]:
+        n = chunk.logical_items
+        # Distance + argmin per point, plus the paper's "series of
+        # reductions of all points belonging to C": K sequential
+        # block-wide tree reductions (log2(block) steps each) in which
+        # most warps idle — hence the heavy divergence de-rating.  This
+        # matches the paper's observation that even after an ~8x map
+        # optimisation, KMC map time (not transfer) dominates.
+        block = 256
+        flops_per_point = (
+            3.0 * self.k * self.dims            # squared distances
+            + self.k                             # argmin compares
+            + 2.0 * self.k * np.log2(block)      # per-centre block reductions
+        )
+        return [
+            launch_1d(
+                "kmc_map_persistent",
+                n,
+                flops_per_item=flops_per_point,
+                read_bytes_per_item=8.0 * self.dims,
+                write_bytes_per_item=0.02,   # per-block pool writes
+                items_per_thread=8,           # persistent threads
+                coalescing=1.0,               # block-cooperative loads
+                divergence=0.25,              # idle warps in the reduction series
+                syncs=1,
+            ),
+            # Fold the per-block pools into the accumulator table.
+            launch_1d(
+                "kmc_pool_fold",
+                self.k * (self.dims + 1) * 64,
+                flops_per_item=1.0,
+                read_bytes_per_item=8.0,
+                write_bytes_per_item=8.0 / 64,
+            ),
+        ]
+
+    def output_bytes_estimate(self, chunk: Chunk) -> int:
+        return self.k * (self.dims + 1) * 12
+
+
+class NaiveKMCMapper(Mapper):
+    """The paper's *first* KMC port, kept for ablation A1.
+
+    "The typical CPU implementation of the Map kernel reads one point
+    P, finds the index of the closest center C, and emits
+    <index(C), P>.  We implemented this in GPMR and saw poor results":
+    thread-private point loads (uncoalesced), emitted pairs per point
+    (far too much intermediate data), uncoalesced writes.  Emits
+    ``<key(C, field), coordinate-or-count>`` so the same reducer and
+    validation as the optimised pipeline apply.
+    """
+
+    def __init__(self, centers: np.ndarray) -> None:
+        self.centers = np.asarray(centers, dtype=np.float64)
+        self.k, self.dims = self.centers.shape
+        self.scratch_bytes = self.centers.nbytes
+
+    def map_chunk(self, chunk: Chunk) -> KeyValueSet:
+        pts = chunk.data
+        d2 = ((pts[:, None, :] - self.centers[None, :, :]) ** 2).sum(axis=2)
+        nearest = d2.argmin(axis=1).astype(np.int64)
+        dims = self.dims
+        n = len(pts)
+        # (dims + 1) pairs per point: the coordinates and a count of 1.
+        keys = np.empty(n * (dims + 1), dtype=np.uint32)
+        values = np.empty(n * (dims + 1), dtype=np.float64)
+        for f in range(dims + 1):
+            keys[f :: dims + 1] = (nearest * (dims + 1) + f).astype(np.uint32)
+            values[f :: dims + 1] = pts[:, f] if f < dims else 1.0
+        return KeyValueSet(keys=keys, values=values, scale=chunk.scale)
+
+    def map_cost(self, chunk: Chunk) -> List[KernelLaunch]:
+        n = chunk.logical_items
+        return [
+            launch_1d(
+                "kmc_map_naive",
+                n,
+                flops_per_item=3.0 * self.k * self.dims + self.k,
+                read_bytes_per_item=8.0 * self.dims,
+                write_bytes_per_item=12.0 * (self.dims + 1),
+                coalescing=0.25,   # thread-private loads, scattered emits
+            )
+        ]
+
+    def output_bytes_estimate(self, chunk: Chunk) -> int:
+        return chunk.logical_items * 12 * (self.dims + 1)
+
+
+class KMCReducer(Reducer):
+    """Thread-per-key sum of the per-GPU partial values."""
+
+    def reduce_segments(self, keys, values, offsets, counts, scale) -> KeyValueSet:
+        sums = segmented_reduce(values, offsets)
+        return KeyValueSet(keys=keys, values=sums, scale=scale)
+
+    def reduce_cost(self, n_values: int, n_keys: int) -> List[KernelLaunch]:
+        return [
+            launch_1d(
+                "kmc_reduce",
+                n_values,
+                flops_per_item=1.0,
+                read_bytes_per_item=12.0,
+                write_bytes_per_item=12.0 * n_keys / max(n_values, 1),
+                coalescing=0.5,
+            )
+        ]
+
+
+class CenterPartitioner(Partitioner):
+    """All keys of a centre go to one GPU (paper's KMC partitioner)."""
+
+    def __init__(self, dims: int) -> None:
+        self.dims = dims
+
+    def partition(self, kv: KeyValueSet, n_parts: int) -> np.ndarray:
+        centers = kv.keys // np.uint32(self.dims + 1)
+        return (centers % np.uint32(n_parts)).astype(np.int64)
+
+
+def kmc_dataset(
+    n_points: int,
+    n_centers: int = 32,
+    dims: int = 2,
+    chunk_points: int = 4 << 20,
+    seed: int = 0,
+    sample_factor: int = 1,
+) -> KMeansDataset:
+    """The paper's KMC input: 16-byte elements (2-D double points)."""
+    return KMeansDataset(
+        n_points=n_points,
+        n_centers=n_centers,
+        dims=dims,
+        chunk_points=chunk_points,
+        seed=seed,
+        sample_factor=sample_factor,
+    )
+
+
+def kmc_job(
+    dataset: KMeansDataset,
+    centers: np.ndarray = None,
+    use_accumulation: bool = True,
+) -> MapReduceJob:
+    """One KMC MapReduce iteration from ``centers`` (default: the fixed
+    random start centres, as the paper's benchmark does).
+
+    ``use_accumulation=False`` selects the paper's first emit-per-point
+    port (ablation A1: "dramatically worse performance ... before
+    implementing Accumulation; all three had similar characteristics to
+    SIO").
+    """
+    if centers is None:
+        centers = dataset.start_centers()
+    k, dims = centers.shape
+    n_keys = k * (dims + 1)
+    key_bits = max(int(np.ceil(np.log2(n_keys))) + 1, 8)
+    if use_accumulation:
+        mapper = KMCMapper(centers)
+        accumulator = SumAccumulator(
+            n_keys, value_dtype=np.float64, use_atomics=False  # no FP atomics
+        )
+    else:
+        mapper = NaiveKMCMapper(centers)
+        accumulator = None
+    return MapReduceJob(
+        name="k-means" if use_accumulation else "k-means-naive",
+        mapper=mapper,
+        reducer=KMCReducer(),
+        partitioner=CenterPartitioner(dims),
+        accumulator=accumulator,
+        sorter=RadixSorter(key_bits=key_bits),
+        key_bytes=4,
+        value_bytes=8,
+        key_bits=key_bits,
+    )
+
+
+def kmc_extract_centers(
+    result: JobResult, k: int, dims: int, old_centers: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Rebuild the new centres (and member counts) from reduce output."""
+    table = np.zeros(k * (dims + 1), dtype=np.float64)
+    merged = result.merged()
+    np.add.at(table, merged.keys.astype(np.int64), merged.values)
+    sums = table.reshape(k, dims + 1)[:, :dims]
+    counts = table.reshape(k, dims + 1)[:, dims]
+    new_centers = old_centers.copy()
+    nonzero = counts > 0
+    new_centers[nonzero] = sums[nonzero] / counts[nonzero, None]
+    return new_centers, counts.astype(np.int64)
+
+
+def kmc_validate(result: JobResult, dataset: KMeansDataset) -> None:
+    """Check one GPMR iteration against the serial Lloyd step."""
+    from ..baselines.serial import kmeans_step
+
+    start = dataset.start_centers()
+    expected_centers, expected_counts = kmeans_step(dataset, start)
+    got_centers, got_counts = kmc_extract_centers(
+        result, dataset.n_centers, dataset.dims, start
+    )
+    np.testing.assert_allclose(got_centers, expected_centers, rtol=1e-9)
+    np.testing.assert_array_equal(got_counts, expected_counts)
+
+
+# -- baseline descriptors ---------------------------------------------------
+
+def kmc_phoenix_workload(dataset: KMeansDataset) -> PhoenixWorkload:
+    """Phoenix KMC: distance loop per point (SSE-friendly), per-point
+    emit of <centre, point> through the runtime."""
+    k, dims = dataset.n_centers, dataset.dims
+    return PhoenixWorkload(
+        name="kmc",
+        n_items=dataset.n_points,
+        map_flops_per_item=3.0 * k * dims + k,
+        map_bytes_per_item=8.0 * dims,
+        # Phoenix KMC accumulates into thread-local tables and
+        # merges at the end: grouped pair volume is per-worker, tiny.
+        emits_per_item=16.0 * k / dataset.n_points,
+        pair_bytes=4 + 8 * dims,
+        n_unique_keys=k,
+        reduce_flops_per_pair=float(dims),
+        flops_efficiency=0.45,
+        group_cost_per_pair=5e-8,
+    )
+
+
+def kmc_mars_workload(dataset: KMeansDataset) -> MarsWorkload:
+    """Mars KMC: thread-per-point map emitting <centre, point>, then a
+    bitonic sort of every point-sized pair — the design GPMR's
+    accumulation makes unnecessary (hence the ~37x in Table 3)."""
+    n = dataset.n_points
+    k, dims = dataset.n_centers, dataset.dims
+    pair = 4 + 8 * dims + 8  # key + point + Mars directory entry
+    return MarsWorkload(
+        name="kmc",
+        input_bytes=n * 8 * dims,
+        n_items=n,
+        map_launches=[
+            launch_1d(
+                "mars_kmc_map",
+                n,
+                flops_per_item=3.0 * k * dims + k,
+                read_bytes_per_item=8.0 * dims,
+                write_bytes_per_item=float(pair),
+                coalescing=0.3,      # thread-private point loads
+            )
+        ],
+        n_pairs=n,
+        pair_bytes=pair,
+        key_bits=32,
+        reduce_launches=[
+            launch_1d(
+                "mars_kmc_reduce",
+                n,
+                flops_per_item=float(dims),
+                read_bytes_per_item=float(pair - 16),
+                coalescing=0.5,
+            )
+        ],
+        output_bytes=k * (dims + 1) * 12,
+    )
+
+
+def run_kmc(
+    n_gpus: int,
+    dataset: KMeansDataset,
+    use_accumulation: bool = True,
+    **runtime_kwargs,
+) -> JobResult:
+    """Convenience: run one KMC iteration on ``n_gpus`` simulated GPUs."""
+    return GPMRRuntime(n_gpus=n_gpus, **runtime_kwargs).run(
+        kmc_job(dataset, use_accumulation=use_accumulation), dataset
+    )

@@ -1,0 +1,16 @@
+"""Comparison baselines (S7–S9): Phoenix, Mars, and serial oracles."""
+
+from .mars import MarsBreakdown, MarsModel, MarsOutOfCore, MarsWorkload
+from .phoenix import PhoenixBreakdown, PhoenixModel, PhoenixWorkload
+from . import serial
+
+__all__ = [
+    "PhoenixWorkload",
+    "PhoenixBreakdown",
+    "PhoenixModel",
+    "MarsWorkload",
+    "MarsBreakdown",
+    "MarsModel",
+    "MarsOutOfCore",
+    "serial",
+]

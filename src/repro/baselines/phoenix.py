@@ -1,0 +1,98 @@
+"""Phoenix baseline (substrate S7): multicore CPU MapReduce model.
+
+Phoenix [Ranger et al., HPCA 2007] is the optimised shared-memory C++
+MapReduce the paper compares against in Table 2.  We model its
+published execution structure on the Accelerator node's CPUs
+(2 x dual-core Opteron):
+
+* **split + map**: worker threads pull splits; per-item cost is a
+  node-level roofline over scalar FLOP throughput and memory bandwidth,
+  with a per-app ``flops_efficiency`` capturing how cache-friendly the
+  app's inner loop is (Phoenix's naive triple-loop MM achieves ~1% of
+  peak — the paper observes 1024^2 MM takes "almost twenty seconds").
+* **group**: emitted pairs go through per-worker hash tables and a
+  merge; cost is a per-pair constant (hash + pointer chasing is
+  latency-, not bandwidth-, bound).
+* **reduce**: roofline over the grouped pairs.
+
+The model is closed-form (no DES needed: one shared-memory node, no
+overlap tricks in Phoenix's pipeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw.specs import CPUSpec, OPTERON_2216_2P
+from ..util.validation import check_in_range, check_positive
+
+__all__ = ["PhoenixWorkload", "PhoenixBreakdown", "PhoenixModel"]
+
+
+@dataclass(frozen=True)
+class PhoenixWorkload:
+    """Roofline description of one Phoenix MapReduce execution."""
+
+    name: str
+    n_items: int                    #: map input items
+    map_flops_per_item: float
+    map_bytes_per_item: float
+    emits_per_item: float           #: intermediate pairs per input item
+    pair_bytes: int
+    n_unique_keys: int
+    reduce_flops_per_pair: float = 1.0
+    #: fraction of peak scalar FLOP/s the map inner loop achieves
+    flops_efficiency: float = 0.35
+    #: fraction of stream memory bandwidth achieved
+    mem_efficiency: float = 0.7
+    #: per-pair grouping cost (hash insert + merge), seconds
+    group_cost_per_pair: float = 6e-8
+
+    def __post_init__(self) -> None:
+        check_positive(self.n_items, "n_items")
+        check_in_range(self.flops_efficiency, 1e-4, 1.0, "flops_efficiency")
+        check_in_range(self.mem_efficiency, 1e-4, 1.0, "mem_efficiency")
+
+    @property
+    def n_pairs(self) -> float:
+        return self.n_items * self.emits_per_item
+
+
+@dataclass(frozen=True)
+class PhoenixBreakdown:
+    """Per-phase runtime of a Phoenix execution (seconds)."""
+
+    map: float
+    group: float
+    reduce: float
+
+    @property
+    def total(self) -> float:
+        return self.map + self.group + self.reduce
+
+
+class PhoenixModel:
+    """Prices Phoenix workloads on a CPU spec."""
+
+    def __init__(self, cpu: CPUSpec = OPTERON_2216_2P) -> None:
+        self.cpu = cpu
+
+    def runtime(self, w: PhoenixWorkload) -> PhoenixBreakdown:
+        cores = self.cpu.core_count
+
+        flops_rate = self.cpu.peak_flops * w.flops_efficiency
+        mem_rate = self.cpu.mem_bandwidth * w.mem_efficiency
+        t_map = max(
+            w.n_items * w.map_flops_per_item / flops_rate,
+            w.n_items * w.map_bytes_per_item / mem_rate,
+        )
+
+        # Grouping parallelises across workers but contends on the
+        # shared last-level cache; a mild 0.7 scaling factor.
+        t_group = w.n_pairs * w.group_cost_per_pair / (cores * 0.7)
+
+        t_reduce = max(
+            w.n_pairs * w.reduce_flops_per_pair / flops_rate,
+            w.n_pairs * w.pair_bytes / mem_rate,
+        )
+        return PhoenixBreakdown(map=t_map, group=t_group, reduce=t_reduce)

@@ -1,0 +1,105 @@
+"""Serial reference oracles (substrate S9).
+
+Plain, obviously-correct NumPy implementations of each benchmark's
+answer, used by the test suite and the harness to verify every GPMR
+and baseline result bit-for-bit (at ``sample_factor=1``) or
+sample-exactly (otherwise).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..workloads import (
+    IntegerDataset,
+    KMeansDataset,
+    MatrixDataset,
+    RegressionDataset,
+    TextDataset,
+    tokenize,
+)
+from ..hashing import MinimalPerfectHash, segmented_poly_hashes
+
+__all__ = [
+    "integer_counts",
+    "word_counts",
+    "kmeans_step",
+    "regression_sums",
+    "regression_fit",
+    "matrix_product",
+]
+
+
+def integer_counts(dataset: IntegerDataset) -> np.ndarray:
+    """SIO oracle: occurrence count per integer key (dense array)."""
+    counts = np.zeros(dataset.key_space, dtype=np.int64)
+    for chunk in dataset.chunks():
+        counts += np.bincount(chunk.data, minlength=dataset.key_space)
+    return counts
+
+
+def word_counts(dataset: TextDataset, mph: MinimalPerfectHash) -> np.ndarray:
+    """WO oracle: occurrence count per MPH slot over the sampled corpus."""
+    counts = np.zeros(mph.n, dtype=np.int64)
+    for chunk in dataset.chunks():
+        starts, lengths = tokenize(chunk.data)
+        if len(starts) == 0:
+            continue
+        hashes = segmented_poly_hashes(chunk.data, starts, lengths)
+        slots = mph.lookup_hashes(hashes)
+        counts += np.bincount(slots, minlength=mph.n)
+    return counts
+
+
+def kmeans_step(dataset: KMeansDataset, centers: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """KMC oracle: one Lloyd iteration from ``centers``.
+
+    Returns ``(new_centers, member_counts)``; empty clusters keep their
+    old centre (the paper's benchmark runs a single iteration).
+    """
+    k, dims = centers.shape
+    sums = np.zeros((k, dims), dtype=np.float64)
+    counts = np.zeros(k, dtype=np.int64)
+    for chunk in dataset.chunks():
+        pts = chunk.data
+        d2 = ((pts[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        nearest = d2.argmin(axis=1)
+        np.add.at(sums, nearest, pts)
+        counts += np.bincount(nearest, minlength=k)
+    new_centers = centers.copy()
+    nonzero = counts > 0
+    new_centers[nonzero] = sums[nonzero] / counts[nonzero, None]
+    return new_centers, counts
+
+
+def regression_sums(dataset: RegressionDataset) -> Dict[str, float]:
+    """LR oracle: the six aggregate sums the paper's mapper emits."""
+    out = {"n": 0.0, "sx": 0.0, "sy": 0.0, "sxx": 0.0, "syy": 0.0, "sxy": 0.0}
+    for chunk in dataset.chunks():
+        x = chunk.data[:, 0].astype(np.float64)
+        y = chunk.data[:, 1].astype(np.float64)
+        out["n"] += len(x)
+        out["sx"] += float(x.sum())
+        out["sy"] += float(y.sum())
+        out["sxx"] += float((x * x).sum())
+        out["syy"] += float((y * y).sum())
+        out["sxy"] += float((x * y).sum())
+    return out
+
+
+def regression_fit(sums: Dict[str, float]) -> Tuple[float, float]:
+    """Least-squares slope and intercept from the six sums."""
+    n, sx, sy, sxx, sxy = sums["n"], sums["sx"], sums["sy"], sums["sxx"], sums["sxy"]
+    denom = n * sxx - sx * sx
+    if denom == 0:
+        raise ValueError("degenerate regression input")
+    slope = (n * sxy - sx * sy) / denom
+    intercept = (sy - slope * sx) / n
+    return slope, intercept
+
+
+def matrix_product(dataset: MatrixDataset) -> np.ndarray:
+    """MM oracle: exact product of the (sampled) input matrices."""
+    return dataset.reference_product()

@@ -1,0 +1,79 @@
+"""GPMR core (S6): the paper's contribution, reimplemented.
+
+Public API surface::
+
+    from repro.core import (
+        MapReduceJob, GPMRRuntime, PipelineConfig,
+        Mapper, Reducer, Partitioner, RoundRobinPartitioner,
+        Combiner, PartialReducer, Accumulator,
+        SumCombiner, SumPartialReducer, SumAccumulator,
+        KeyValueSet, Chunk,
+    )
+
+A job is a :class:`MapReduceJob` (mapper + optional substages); a
+:class:`GPMRRuntime` runs it on ``n_gpus`` of a simulated cluster and
+returns a :class:`JobResult` with per-rank outputs and per-stage
+timing (`JobStats`).
+"""
+
+from .binner import TAG_DATA, TAG_FLUSH, Binner
+from .chunk import Chunk
+from .combine import (
+    Accumulator,
+    Combiner,
+    PartialReducer,
+    SumAccumulator,
+    SumCombiner,
+    SumPartialReducer,
+    combine_by_key_sum,
+)
+from .config import PipelineConfig
+from .job import MapReduceJob
+from .kvset import KeyValueSet
+from .mapper import Mapper
+from .partitioner import (
+    BlockPartitioner,
+    HashPartitioner,
+    Partitioner,
+    RoundRobinPartitioner,
+)
+from .pipeline import Worker
+from .reducer import Reducer
+from .runtime import GPMRRuntime, JobResult
+from .scheduler import Assignment, ChunkScheduler
+from .sorter import ComparisonSorter, RadixSorter, Sorter
+from .stats import STAGES, JobStats, WorkerStats
+
+__all__ = [
+    "MapReduceJob",
+    "GPMRRuntime",
+    "JobResult",
+    "PipelineConfig",
+    "Mapper",
+    "Reducer",
+    "Partitioner",
+    "RoundRobinPartitioner",
+    "BlockPartitioner",
+    "HashPartitioner",
+    "Combiner",
+    "PartialReducer",
+    "Accumulator",
+    "SumCombiner",
+    "SumPartialReducer",
+    "SumAccumulator",
+    "combine_by_key_sum",
+    "Sorter",
+    "RadixSorter",
+    "ComparisonSorter",
+    "KeyValueSet",
+    "Chunk",
+    "ChunkScheduler",
+    "Assignment",
+    "Worker",
+    "Binner",
+    "TAG_DATA",
+    "TAG_FLUSH",
+    "STAGES",
+    "JobStats",
+    "WorkerStats",
+]

@@ -1,0 +1,105 @@
+"""The Bin substage: CPU-threaded network transmission of pairs.
+
+"Bin is the only stage of the pipeline executed on the CPU ... GPMR
+takes advantage of modern multicore processors by running it in a
+separate thread, yielding a more thorough overlap of communication with
+the mapping computation."  Here each bin is a simulation process: it
+charges buffer packing to a host core, then ships each reducer's bucket
+with one MPI send ("requiring only one network send per Reducer").
+
+Completion protocol: receivers cannot know how many data messages to
+expect, so after its last bin each worker sends a FLUSH message to
+every rank carrying the count of DATA messages it sent there.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from .kvset import KeyValueSet
+from ..hw.cpu import HostCPU
+from ..net.mpi import Communicator
+from ..sim import Environment, Event
+
+__all__ = ["TAG_DATA", "TAG_FLUSH", "Binner"]
+
+TAG_DATA = 10
+TAG_FLUSH = 11
+
+
+class Binner:
+    """Per-worker bin bookkeeping and transmission."""
+
+    def __init__(
+        self,
+        env: Environment,
+        comm: Communicator,
+        cpu: HostCPU,
+        rank: int,
+    ) -> None:
+        self.env = env
+        self.comm = comm
+        self.cpu = cpu
+        self.rank = rank
+        self.sent_counts = [0] * comm.size
+        self.bytes_sent = 0
+        self._inflight: List[Event] = []
+
+    # -- transmission ------------------------------------------------------
+    def _bin_proc(self, parts: List[KeyValueSet]) -> Generator:
+        total_bytes = sum(p.nbytes_logical for p in parts if len(p))
+        if total_bytes:
+            # Host-side packing of the send buffers on one core.
+            yield from self.cpu.process_bytes(total_bytes, tag="bin-pack")
+        sends = []
+        for dest, part in enumerate(parts):
+            if len(part) == 0:
+                continue
+            sends.append(
+                self.comm.isend(
+                    self.rank, dest, part, part.nbytes_logical, tag=TAG_DATA
+                )
+            )
+            self.sent_counts[dest] += 1
+            self.bytes_sent += part.nbytes_logical
+        if sends:
+            yield self.env.all_of(sends)
+
+    def submit(self, parts: List[KeyValueSet]) -> Event:
+        """Launch an asynchronous bin of one chunk's partitioned pairs."""
+        proc = self.env.process(self._bin_proc(parts), name=f"bin:r{self.rank}")
+        self._inflight.append(proc)
+        return proc
+
+    def drain(self) -> Event:
+        """Event firing once every submitted bin has completed."""
+        return self.env.all_of(list(self._inflight))
+
+    def flush(self) -> List[Event]:
+        """Send FLUSH (with DATA-message counts) to every rank."""
+        return [
+            self.comm.isend(self.rank, dest, self.sent_counts[dest], 16, tag=TAG_FLUSH)
+            for dest in range(self.comm.size)
+        ]
+
+    # -- reception ---------------------------------------------------------
+    def receive_all(self) -> Generator:
+        """Process: gather this rank's incoming DATA payloads.
+
+        Completes once a FLUSH has arrived from every rank and every
+        promised DATA message has been received.  Returns the list of
+        received :class:`KeyValueSet` payloads.
+        """
+        flushes_seen = 0
+        promised = 0
+        received: List[KeyValueSet] = []
+        while flushes_seen < self.comm.size or len(received) < promised:
+            msg = yield self.comm.recv(self.rank)
+            if msg.tag == TAG_FLUSH:
+                flushes_seen += 1
+                promised += msg.payload
+            elif msg.tag == TAG_DATA:
+                received.append(msg.payload)
+            else:  # pragma: no cover - protocol violation
+                raise RuntimeError(f"unexpected message tag {msg.tag}")
+        return received

@@ -1,0 +1,102 @@
+"""Chunks: the unit of map work, scheduling, and load balancing.
+
+"GPMR tracks the per-GPU work in a dynamic queue.  If one GPU finishes
+its work ... we shift chunks between the local queues.  Due to this
+requirement, chunks must implement a serialization method."  A
+:class:`Chunk` therefore provides ``to_bytes``/``from_bytes`` (NumPy
+``save``-based, not pickle, so the format is explicit), and the
+scheduler prices a steal as serialise + wire transfer + deserialise.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+import numpy as np
+
+from ..workloads.base import WorkItem
+
+__all__ = ["Chunk"]
+
+
+@dataclass
+class Chunk:
+    """One map-input chunk (wraps a workload :class:`WorkItem`)."""
+
+    index: int
+    data: Any                 #: functional payload (array or tuple of arrays)
+    logical_items: int        #: full-scale element count (cost model)
+    logical_bytes: int        #: full-scale bytes (PCI-e / steal pricing)
+    meta: Any = None          #: app-specific tag (e.g. a TileTask)
+
+    @classmethod
+    def from_work_item(cls, item: WorkItem, meta: Any = None) -> "Chunk":
+        return cls(
+            index=item.index,
+            data=item.data,
+            logical_items=item.logical_items,
+            logical_bytes=item.logical_bytes,
+            meta=meta,
+        )
+
+    @property
+    def scale(self) -> float:
+        """Logical items per functional item."""
+        n = self.actual_items
+        return self.logical_items / n if n else 1.0
+
+    @property
+    def actual_items(self) -> int:
+        if isinstance(self.data, np.ndarray):
+            return len(self.data)
+        if isinstance(self.data, (tuple, list)) and self.data and isinstance(
+            self.data[0], np.ndarray
+        ):
+            return len(self.data[0])
+        return self.logical_items
+
+    # -- serialisation (the load-balancing requirement) --------------------
+    def _arrays(self) -> Tuple[np.ndarray, ...]:
+        if isinstance(self.data, np.ndarray):
+            return (self.data,)
+        if isinstance(self.data, (tuple, list)):
+            return tuple(a for a in self.data if isinstance(a, np.ndarray))
+        return ()
+
+    def to_bytes(self) -> bytes:
+        """Serialise the chunk payload (npz container, explicit format)."""
+        buf = io.BytesIO()
+        arrays = {f"arr{i}": a for i, a in enumerate(self._arrays())}
+        np.savez(
+            buf,
+            __index=np.int64(self.index),
+            __logical_items=np.int64(self.logical_items),
+            __logical_bytes=np.int64(self.logical_bytes),
+            **arrays,
+        )
+        return buf.getvalue()
+
+    @classmethod
+    def from_bytes(cls, blob: bytes, meta: Any = None) -> "Chunk":
+        """Rebuild a chunk serialised by :meth:`to_bytes`.
+
+        Multi-array payloads come back as a tuple of arrays; non-array
+        metadata must be re-attached by the caller via ``meta``.
+        """
+        with np.load(io.BytesIO(blob)) as z:
+            arrays = [z[k] for k in sorted(k for k in z.files if k.startswith("arr"))]
+            data: Any = arrays[0] if len(arrays) == 1 else tuple(arrays)
+            return cls(
+                index=int(z["__index"]),
+                data=data,
+                logical_items=int(z["__logical_items"]),
+                logical_bytes=int(z["__logical_bytes"]),
+                meta=meta,
+            )
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes a steal moves over the network (logical payload)."""
+        return self.logical_bytes

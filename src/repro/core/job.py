@@ -1,0 +1,78 @@
+"""Job specification: mapper + optional substages, validated.
+
+The legal pipeline shapes follow the paper's Section 4.1 "Map
+Pipeline" summary:
+
+* Accumulation excludes Partial Reduce *and* Combine;
+* Partial Reduce and Combine may coexist (partial per chunk, combine
+  at the end), but Combine defers binning until all maps finish;
+* no Partitioner means a single reducer (rank 0) receives everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .combine import Accumulator, Combiner, PartialReducer
+from .config import PipelineConfig
+from .mapper import Mapper
+from .partitioner import Partitioner
+from .reducer import Reducer
+from .sorter import RadixSorter, Sorter
+
+__all__ = ["MapReduceJob"]
+
+
+@dataclass
+class MapReduceJob:
+    """A complete GPMR job description."""
+
+    name: str
+    mapper: Mapper
+    reducer: Optional[Reducer] = None
+    partitioner: Optional[Partitioner] = None
+    combiner: Optional[Combiner] = None
+    partial_reducer: Optional[PartialReducer] = None
+    accumulator: Optional[Accumulator] = None
+    sorter: Sorter = field(default_factory=RadixSorter)
+    config: PipelineConfig = field(default_factory=PipelineConfig)
+    #: key width on the wire (GPMR keys are 4-byte integers by default)
+    key_bytes: int = 4
+    #: value width on the wire per pair
+    value_bytes: int = 4
+    #: maximum significant key bits (drives radix pass count)
+    key_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if self.accumulator is not None and self.partial_reducer is not None:
+            raise ValueError(
+                "Accumulation and Partial Reduction are mutually exclusive "
+                "(paper Section 3)"
+            )
+        if self.accumulator is not None and self.combiner is not None:
+            raise ValueError(
+                "Accumulation eliminates the need for Combine and they cannot "
+                "be used together (paper Section 4.1)"
+            )
+        if self.key_bytes <= 0 or self.value_bytes <= 0:
+            raise ValueError("key/value byte widths must be positive")
+        if not (1 <= self.key_bits <= 64):
+            raise ValueError("key_bits must be in [1, 64]")
+        if self.config.skip_sort_reduce and self.reducer is not None:
+            raise ValueError("skip_sort_reduce jobs must not declare a reducer")
+
+    @property
+    def pair_bytes(self) -> int:
+        return self.key_bytes + self.value_bytes
+
+    @property
+    def bins_during_map(self) -> bool:
+        """Whether Bin overlaps the map loop.
+
+        "Not using Accumulation or Combination allows for Binning to
+        take place concurrently with Maps.  Conversely, using
+        Accumulation or Combination mandates that Binning only happens
+        once all Maps finish."
+        """
+        return self.accumulator is None and self.combiner is None

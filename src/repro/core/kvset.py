@@ -1,0 +1,141 @@
+"""Key-value sets: the currency of the GPMR pipeline.
+
+A :class:`KeyValueSet` is structure-of-arrays — an integer key array
+and a parallel value array (1-D scalars or 2-D fixed-width records) —
+because that is the only layout a GPU emits efficiently (the paper's
+WO/KMC discussions are largely about forcing data into this shape).
+
+Like the workload chunks, a KVSet carries a ``scale``: each stored pair
+stands for ``scale`` logical pairs, so PCI-e and network byte
+accounting stays at paper scale when the functional payload is sampled
+(``scale == 1.0`` in all correctness tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["KeyValueSet"]
+
+
+@dataclass
+class KeyValueSet:
+    """SoA key-value pairs with logical-scale byte accounting."""
+
+    keys: np.ndarray
+    values: np.ndarray
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.keys = np.asarray(self.keys)
+        self.values = np.asarray(self.values)
+        if self.keys.ndim != 1:
+            raise ValueError(f"keys must be 1-D, got shape {self.keys.shape}")
+        if self.keys.dtype.kind not in "iu":
+            raise TypeError(f"keys must be integers, got {self.keys.dtype}")
+        if len(self.values) != len(self.keys):
+            raise ValueError(
+                f"values length {len(self.values)} != keys length {len(self.keys)}"
+            )
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def empty(
+        cls,
+        key_dtype=np.uint32,
+        value_dtype=np.float64,
+        value_width: int = 1,
+        scale: float = 1.0,
+    ) -> "KeyValueSet":
+        shape = (0,) if value_width == 1 else (0, value_width)
+        return cls(
+            keys=np.empty(0, dtype=key_dtype),
+            values=np.empty(shape, dtype=value_dtype),
+            scale=scale,
+        )
+
+    @classmethod
+    def concat(cls, parts: Sequence["KeyValueSet"]) -> "KeyValueSet":
+        """Concatenate KVSets (must agree on value rank and scale)."""
+        parts = [p for p in parts if p is not None]
+        if not parts:
+            raise ValueError("cannot concat zero KeyValueSets")
+        nonempty = [p for p in parts if len(p)] or [parts[0]]
+        scales = {p.scale for p in nonempty}
+        if len(scales) > 1:
+            raise ValueError(f"cannot concat KVSets with mixed scales {scales}")
+        return cls(
+            keys=np.concatenate([p.keys for p in nonempty]),
+            values=np.concatenate([p.values for p in nonempty]),
+            scale=nonempty[0].scale,
+        )
+
+    # -- inspection --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def value_width(self) -> int:
+        """Scalars per value record."""
+        return 1 if self.values.ndim == 1 else int(self.values.shape[1])
+
+    @property
+    def pair_bytes(self) -> int:
+        """Bytes of one (key, value) pair."""
+        return int(self.keys.dtype.itemsize + self.values.dtype.itemsize * self.value_width)
+
+    @property
+    def nbytes_actual(self) -> int:
+        """Bytes physically held in the sample."""
+        return int(self.keys.nbytes + self.values.nbytes)
+
+    @property
+    def nbytes_logical(self) -> int:
+        """Full-scale bytes this set represents (drives the cost model)."""
+        return int(round(self.nbytes_actual * self.scale))
+
+    @property
+    def logical_pairs(self) -> int:
+        return int(round(len(self) * self.scale))
+
+    # -- transforms --------------------------------------------------------
+    def select(self, mask_or_index: np.ndarray) -> "KeyValueSet":
+        """Sub-set by boolean mask or index array (scale preserved)."""
+        return KeyValueSet(
+            keys=self.keys[mask_or_index],
+            values=self.values[mask_or_index],
+            scale=self.scale,
+        )
+
+    def with_scale(self, scale: float) -> "KeyValueSet":
+        return KeyValueSet(keys=self.keys, values=self.values, scale=scale)
+
+    def split_by(self, part_ids: np.ndarray, n_parts: int) -> List["KeyValueSet"]:
+        """Partition into ``n_parts`` KVSets by per-pair part id.
+
+        Pairs for each part stay in their original relative order (the
+        partitioner "arranges all key-value pairs for a specific
+        Reducer consecutively").
+        """
+        part_ids = np.asarray(part_ids)
+        if len(part_ids) != len(self):
+            raise ValueError("need one part id per pair")
+        if len(self) and (part_ids.min() < 0 or part_ids.max() >= n_parts):
+            raise ValueError("part id out of range")
+        order = np.argsort(part_ids, kind="stable")
+        counts = np.bincount(part_ids, minlength=n_parts)
+        bounds = np.concatenate(([0], np.cumsum(counts)))
+        return [
+            self.select(order[bounds[p] : bounds[p + 1]]) for p in range(n_parts)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<KeyValueSet n={len(self)} width={self.value_width} "
+            f"scale={self.scale:g}>"
+        )

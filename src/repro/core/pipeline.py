@@ -1,0 +1,338 @@
+"""The GPMR worker pipeline: one process per GPU.
+
+Executes the paper's Figure-1 work flow:
+
+``[fetch chunk] -> Map (+ Partial Reduce | Accumulate) -> Partition ->
+d2h -> Bin (async, CPU thread) -> ... -> Sort -> Reduce``
+
+with the documented overlap structure: chunk h2d double-buffers against
+the previous map; binning runs on a host core concurrently with
+subsequent maps; Combine/Accumulate defer binning until all maps are
+done.  Every step charges simulated time (kernel costs, PCI-e, network)
+and records it into the Figure-2 stage buckets.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Tuple
+
+import numpy as np
+
+from .binner import TAG_DATA, TAG_FLUSH, Binner
+from .chunk import Chunk
+from .job import MapReduceJob
+from .kvset import KeyValueSet
+from .scheduler import Assignment, ChunkScheduler
+from .stats import WorkerStats
+from ..hw.gpu import GPU
+from ..hw.memory import OutOfDeviceMemory
+from ..hw.node import Node
+from ..net.mpi import Communicator
+from ..primitives import unique_segments, unique_segments_cost
+from ..sim import Environment
+
+__all__ = ["Worker"]
+
+
+class Worker:
+    """One GPMR worker: a GPU, its host resources, and a rank."""
+
+    def __init__(
+        self,
+        env: Environment,
+        rank: int,
+        gpu: GPU,
+        node: Node,
+        comm: Communicator,
+        job: MapReduceJob,
+        scheduler: ChunkScheduler,
+    ) -> None:
+        self.env = env
+        self.rank = rank
+        self.gpu = gpu
+        self.node = node
+        self.comm = comm
+        self.job = job
+        self.scheduler = scheduler
+        self.stats = WorkerStats(rank=rank)
+        self.binner = Binner(env, comm, node.cpu, rank)
+        self.result: Optional[KeyValueSet] = None
+
+    # ------------------------------------------------------------------
+    # Fetch: steal pricing + h2d copy (double-buffered by the caller)
+    # ------------------------------------------------------------------
+    def _fetch_proc(self, assignment: Assignment) -> Generator:
+        chunk = assignment.chunk
+        if assignment.stolen_by(self.rank):
+            self.stats.chunks_stolen += 1
+            if self.job.config.price_steal_serialisation:
+                # Victim serialises, wire moves it, thief deserialises.
+                yield from self.node.cpu.process_bytes(chunk.wire_bytes, tag="steal")
+            victim_node = self.comm.node_of(assignment.victim)
+            my_node = self.comm.node_of(self.rank)
+            if victim_node != my_node:
+                yield from self.comm.fabric.send(victim_node, my_node, chunk.wire_bytes)
+        nbytes = self.job.mapper.input_bytes(chunk)
+        alloc = self.gpu.alloc(nbytes, tag=f"chunk{chunk.index}")
+        elapsed = yield from self.gpu.copy_h2d(nbytes)
+        self.stats.bytes_h2d += nbytes
+        return alloc
+
+    # ------------------------------------------------------------------
+    # Map phase
+    # ------------------------------------------------------------------
+    def _map_one(self, chunk: Chunk, accum_state: Optional[KeyValueSet]) -> Generator:
+        """Map + on-GPU substages for one resident chunk.
+
+        Returns ``(kv_for_transfer, accum_state)``; ``kv_for_transfer``
+        is None on the accumulate path (nothing leaves the GPU yet).
+        """
+        job = self.job
+        out_bytes = job.mapper.output_bytes_estimate(chunk) + job.mapper.scratch_bytes
+        out_alloc = self.gpu.alloc(out_bytes, tag="map-out") if out_bytes else None
+
+        kv = job.mapper.map_chunk(chunk)
+        for launch in job.mapper.map_cost(chunk):
+            yield from self.gpu.run_kernel(launch)
+        self.stats.pairs_emitted_logical += kv.logical_pairs
+        self.stats.chunks_mapped += 1
+
+        if job.accumulator is not None:
+            if accum_state is None:
+                accum_state = job.accumulator.initial_state(kv.scale)
+                self.gpu.alloc(
+                    job.accumulator.state_bytes(job.pair_bytes), tag="accum-state"
+                )
+            n_state = int(round(len(accum_state) * accum_state.scale))
+            for launch in job.accumulator.accumulate_cost(
+                kv.logical_pairs, n_state, job.pair_bytes
+            ):
+                yield from self.gpu.run_kernel(launch)
+            accum_state = job.accumulator.accumulate(accum_state, kv)
+            if out_alloc:
+                self.gpu.free(out_alloc)
+            return None, accum_state
+
+        if job.partial_reducer is not None:
+            reduced = job.partial_reducer.partial_reduce(kv)
+            for launch in job.partial_reducer.partial_reduce_cost(
+                kv.logical_pairs, reduced.logical_pairs, job.pair_bytes
+            ):
+                yield from self.gpu.run_kernel(launch)
+            kv = reduced
+
+        if out_alloc:
+            self.gpu.free(out_alloc)
+        return kv, accum_state
+
+    def _transfer_and_bin(self, kv: KeyValueSet, defer_bin: bool) -> Generator:
+        """Partition on GPU, copy pairs to host, hand to the binner.
+
+        When ``defer_bin`` (combiner path) the pairs stay in host memory
+        and the caller bins later; we only pay the d2h here.
+        Returns the partitioned parts (or the raw kv when deferring).
+        """
+        job = self.job
+        if len(kv) == 0:
+            return [] if not defer_bin else kv
+
+        parts: List[KeyValueSet]
+        if job.partitioner is not None and not defer_bin:
+            for launch in job.partitioner.partition_cost(
+                kv.logical_pairs, kv.nbytes_logical
+            ):
+                yield from self.gpu.run_kernel(launch)
+            dest = job.partitioner.partition(kv, self.comm.size)
+            parts = kv.split_by(dest, self.comm.size)
+        elif not defer_bin:
+            # No partitioner: everything to rank 0 (paper Section 4.1).
+            parts = [kv if d == 0 else KeyValueSet.empty(scale=kv.scale)
+                     for d in range(self.comm.size)]
+        else:
+            parts = [kv]
+
+        nbytes = kv.nbytes_logical
+        yield from self.gpu.copy_d2h(nbytes)
+        self.stats.bytes_d2h += nbytes
+
+        if defer_bin:
+            return kv
+        self.binner.submit(parts)
+        return parts
+
+    def map_phase(self) -> Generator:
+        """Process the worker's entire map workload."""
+        job = self.job
+        accum_state: Optional[KeyValueSet] = None
+        combine_buffer: List[KeyValueSet] = []
+
+        t_phase = self.env.now
+        assignment = self.scheduler.request(self.rank)
+        fetch = (
+            self.env.process(self._fetch_proc(assignment)) if assignment else None
+        )
+        while assignment is not None:
+            in_alloc = yield fetch
+
+            # Prefetch the next chunk while this one maps (double buffer).
+            next_assignment = self.scheduler.request(self.rank)
+            next_fetch = None
+            if next_assignment is not None and job.config.double_buffer:
+                next_fetch = self.env.process(self._fetch_proc(next_assignment))
+
+            kv, accum_state = yield from self._map_one(assignment.chunk, accum_state)
+            if kv is not None:
+                if job.combiner is not None:
+                    buffered = yield from self._transfer_and_bin(kv, defer_bin=True)
+                    if isinstance(buffered, KeyValueSet) and len(buffered):
+                        combine_buffer.append(buffered)
+                else:
+                    yield from self._transfer_and_bin(kv, defer_bin=False)
+
+            self.gpu.free(in_alloc)
+            assignment = next_assignment
+            if assignment is not None and next_fetch is None:
+                next_fetch = self.env.process(self._fetch_proc(assignment))
+            fetch = next_fetch
+        self.stats.add("map", self.env.now - t_phase)
+
+        # -- post-map paths ------------------------------------------------
+        if job.accumulator is not None:
+            t0 = self.env.now
+            state = accum_state if accum_state is not None else (
+                job.accumulator.initial_state(1.0)
+            )
+            yield from self._transfer_and_bin(state, defer_bin=False)
+            self.stats.add("map", self.env.now - t0)
+
+        if job.combiner is not None and combine_buffer:
+            t0 = self.env.now
+            merged = KeyValueSet.concat(combine_buffer)
+            # Stream the buffered pairs back through the GPU to combine.
+            yield from self.gpu.copy_h2d(merged.nbytes_logical)
+            combined = job.combiner.combine(merged)
+            for launch in job.combiner.combine_cost(
+                merged.logical_pairs, combined.logical_pairs, job.pair_bytes
+            ):
+                yield from self.gpu.run_kernel(launch)
+            yield from self._transfer_and_bin(combined, defer_bin=False)
+            self.stats.add("map", self.env.now - t0)
+
+        # "Complete Binning": exposed network time after the maps.
+        t0 = self.env.now
+        yield self.binner.drain()
+        flushes = self.binner.flush()
+        yield self.env.all_of(flushes)
+        self.stats.add("bin", self.env.now - t0)
+
+    # ------------------------------------------------------------------
+    # Sort + Reduce phases
+    # ------------------------------------------------------------------
+    def _sort_phase(self, incoming: List[KeyValueSet]) -> Generator:
+        job = self.job
+        nonempty = [kv for kv in incoming if len(kv)]
+        if not nonempty:
+            return None
+        kv_all = KeyValueSet.concat(nonempty)
+
+        t0 = self.env.now
+        budget = int(self.gpu.spec.mem_capacity * job.config.sort_in_core_fraction)
+        total_bytes = kv_all.nbytes_logical
+        n_pairs_logical = kv_all.logical_pairs
+        passes = max(1, -(-total_bytes // budget))  # ceil division
+
+        per_pass_pairs = -(-n_pairs_logical // passes)
+        per_pass_bytes = -(-total_bytes // passes)
+        for _ in range(passes):
+            alloc = self.gpu.alloc(min(per_pass_bytes, budget), tag="sort")
+            yield from self.gpu.copy_h2d(per_pass_bytes)
+            for launch in job.sorter.sort_cost(
+                per_pass_pairs, job.key_bits, job.pair_bytes
+            ):
+                yield from self.gpu.run_kernel(launch)
+            if passes > 1:
+                yield from self.gpu.copy_d2h(per_pass_bytes)
+            self.gpu.free(alloc)
+        if passes > 1:
+            # Host-side multiway merge of the sorted runs.
+            merge_factor = float(np.ceil(np.log2(passes))) or 1.0
+            yield from self.node.cpu.process_bytes(
+                total_bytes * merge_factor, tag="sort-merge"
+            )
+            # The merged set streams back for the reduce.
+            yield from self.gpu.copy_h2d(min(total_bytes, budget))
+
+        sorted_kv = job.sorter.sort(kv_all)
+        runs = unique_segments(sorted_kv.keys)
+        for launch in unique_segments_cost(
+            n_pairs_logical, int(round(runs.n_keys * sorted_kv.scale)), job.key_bytes
+        ):
+            yield from self.gpu.run_kernel(launch)
+        self.stats.add("sort", self.env.now - t0)
+        return sorted_kv, runs
+
+    def _reduce_phase(self, sorted_kv: KeyValueSet, runs) -> Generator:
+        job = self.job
+        t0 = self.env.now
+        n_keys = runs.n_keys
+        if n_keys == 0 or job.reducer is None:
+            self.stats.add("reduce", self.env.now - t0)
+            return sorted_kv
+
+        # GPMR's reduce-chunking callback: how many value sets per chunk?
+        avg_set_bytes = max(
+            1, int(sorted_kv.nbytes_logical / max(n_keys, 1))
+        )
+        sets_per_chunk = job.reducer.value_sets_per_chunk(
+            self.gpu.allocator.free_bytes, avg_set_bytes
+        )
+        sets_per_chunk = max(1, min(sets_per_chunk, n_keys))
+        n_chunks = -(-n_keys // sets_per_chunk)
+
+        scale = sorted_kv.scale
+        values_per_chunk_logical = int(round(len(sorted_kv) * scale / n_chunks))
+        keys_per_chunk_logical = int(round(n_keys * scale / n_chunks))
+        for _ in range(n_chunks):
+            for launch in job.reducer.reduce_cost(
+                max(values_per_chunk_logical, 1), max(keys_per_chunk_logical, 1)
+            ):
+                yield from self.gpu.run_kernel(launch)
+
+        output = job.reducer.reduce_segments(
+            runs.unique_keys, sorted_kv.values, runs.offsets, runs.counts, scale
+        )
+        yield from self.gpu.copy_d2h(output.nbytes_logical)
+        self.stats.bytes_d2h += output.nbytes_logical
+        self.stats.add("reduce", self.env.now - t0)
+        return output
+
+    # ------------------------------------------------------------------
+    # Whole pipeline
+    # ------------------------------------------------------------------
+    def run(self) -> Generator:
+        """The worker's full MapReduce pipeline (one sim process)."""
+        setup = self.job.config.job_setup_seconds
+        if setup:
+            yield self.env.timeout(setup)
+            self.stats.add("scheduler", setup)
+
+        yield from self.map_phase()
+
+        # Gather this rank's shuffled pairs (wait time = scheduler bucket).
+        t0 = self.env.now
+        incoming = yield from self.binner.receive_all()
+        self.stats.bytes_sent_network += self.binner.bytes_sent
+        self.stats.add("scheduler", self.env.now - t0)
+
+        if self.job.config.skip_sort_reduce:
+            nonempty = [kv for kv in incoming if len(kv)]
+            self.result = KeyValueSet.concat(nonempty) if nonempty else None
+            return self.result
+
+        sorted_and_runs = yield from self._sort_phase(incoming)
+        if sorted_and_runs is None:
+            self.result = None
+            return None
+        sorted_kv, runs = sorted_and_runs
+        self.result = yield from self._reduce_phase(sorted_kv, runs)
+        return self.result

@@ -1,0 +1,54 @@
+"""Reducer interface: consumes grouped values per key.
+
+After the Sort stage each key's values are contiguous; GPMR describes a
+key's run by (first-value index, count) and asks the Reducer, via a
+callback, how many value sets to copy to the GPU per reduction chunk
+(paper Section 4.3).  :meth:`value_sets_per_chunk` is that callback.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List
+
+import numpy as np
+
+from .kvset import KeyValueSet
+from ..hw.kernel import KernelLaunch
+
+__all__ = ["Reducer"]
+
+
+class Reducer(ABC):
+    """Base class for reduce tasks."""
+
+    @abstractmethod
+    def reduce_segments(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        offsets: np.ndarray,
+        counts: np.ndarray,
+        scale: float,
+    ) -> KeyValueSet:
+        """Reduce each key's contiguous value run to output pairs.
+
+        ``keys[i]``'s values are ``values[offsets[i] : offsets[i] +
+        counts[i]]``; ``scale`` is the logical pairs per stored pair
+        (needed e.g. by counting reducers to report logical counts).
+        """
+
+    @abstractmethod
+    def reduce_cost(self, n_values: int, n_keys: int) -> List[KernelLaunch]:
+        """Kernel launches for reducing ``n_values`` over ``n_keys`` keys
+        (both logical counts)."""
+
+    def value_sets_per_chunk(self, free_device_bytes: int, value_bytes: int) -> int:
+        """GPMR's reduce-chunking callback: value sets per GPU chunk.
+
+        Default: fill half the free device memory, assuming the average
+        run length the sort observed; reducers with big per-key state
+        should override.
+        """
+        per_set = max(value_bytes, 1)
+        return max(1, int(free_device_bytes // (2 * per_set)))

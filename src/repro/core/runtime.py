@@ -1,0 +1,156 @@
+"""GPMR runtime: build the simulated cluster, run a job, collect stats.
+
+"Each GPU is controlled by a separate process and each process executes
+the MapReduce pipeline."  :class:`GPMRRuntime` instantiates the nodes,
+the network fabric, the MPI communicator (one rank per GPU, packed onto
+nodes fill-first like the paper's launcher), distributes the dataset's
+chunks round-robin, runs every :class:`~repro.core.pipeline.Worker` to
+completion on the discrete-event engine, and returns a
+:class:`JobResult` holding per-rank outputs and the Figure-2 stats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from .chunk import Chunk
+from .job import MapReduceJob
+from .kvset import KeyValueSet
+from .pipeline import Worker
+from .scheduler import ChunkScheduler
+from .stats import JobStats
+from ..hw.node import Node, build_nodes
+from ..hw.specs import ACCELERATOR, ClusterSpec
+from ..net.fabric import Fabric
+from ..net.mpi import Communicator
+from ..net.topology import FatTreeTopology, StarTopology
+from ..sim import Environment
+from ..workloads.base import Dataset
+
+__all__ = ["JobResult", "GPMRRuntime"]
+
+
+@dataclass
+class JobResult:
+    """Outcome of one GPMR job execution."""
+
+    stats: JobStats
+    outputs: List[Optional[KeyValueSet]]   #: per-rank reduce output
+
+    @property
+    def elapsed(self) -> float:
+        return self.stats.elapsed
+
+    def merged(self) -> Optional[KeyValueSet]:
+        """All ranks' outputs concatenated (None if nothing was produced)."""
+        parts = [kv for kv in self.outputs if kv is not None and len(kv)]
+        return KeyValueSet.concat(parts) if parts else None
+
+
+class GPMRRuntime:
+    """Configured entry point for running GPMR jobs."""
+
+    def __init__(
+        self,
+        n_gpus: int,
+        cluster: ClusterSpec = ACCELERATOR,
+        initial_distribution: str = "round_robin",
+        network: str = "star",
+        oversubscription: float = 1.0,
+        fat_tree_radix: int = 2,
+    ) -> None:
+        if n_gpus < 1:
+            raise ValueError("n_gpus must be >= 1")
+        if n_gpus > cluster.total_gpus:
+            raise ValueError(
+                f"cluster {cluster.name!r} has {cluster.total_gpus} GPUs, "
+                f"requested {n_gpus}"
+            )
+        if initial_distribution not in ("round_robin", "blocks", "single"):
+            raise ValueError(
+                "initial_distribution must be 'round_robin', 'blocks', or "
+                "'single' (all chunks start on rank 0, as when one node "
+                "ingested the data)"
+            )
+        if network not in ("star", "fat-tree"):
+            raise ValueError("network must be 'star' or 'fat-tree'")
+        self.n_gpus = n_gpus
+        self.cluster = cluster
+        self.initial_distribution = initial_distribution
+        self.network = network
+        self.oversubscription = float(oversubscription)
+        self.fat_tree_radix = int(fat_tree_radix)
+
+    # -- assembly ----------------------------------------------------------
+    def _build(self):
+        env = Environment()
+        n_nodes = self.cluster.nodes_used(self.n_gpus)
+        nodes = build_nodes(env, self.cluster, n_nodes)
+        if self.network == "star":
+            topo = StarTopology(n_nodes, self.cluster.node.nic)
+        else:
+            topo = FatTreeTopology(
+                n_nodes,
+                self.cluster.node.nic,
+                radix=self.fat_tree_radix,
+                oversubscription=self.oversubscription,
+            )
+        fabric = Fabric(env, topo, self.cluster.node.cpu)
+        placement = self.cluster.placement(self.n_gpus)
+        rank_to_node = [node_i for node_i, _ in placement]
+        comm = Communicator(
+            env, fabric, rank_to_node,
+            message_overhead=self.cluster.node.nic.message_overhead,
+        )
+        gpus = [nodes[n_i].gpus[g_i] for n_i, g_i in placement]
+        return env, nodes, fabric, comm, gpus, rank_to_node
+
+    # -- execution -----------------------------------------------------------
+    def run(
+        self,
+        job: MapReduceJob,
+        dataset: Optional[Dataset] = None,
+        chunks: Optional[Sequence[Chunk]] = None,
+    ) -> JobResult:
+        """Execute ``job`` over ``dataset`` (or explicit ``chunks``)."""
+        if (dataset is None) == (chunks is None):
+            raise ValueError("provide exactly one of dataset or chunks")
+        if chunks is None:
+            chunks = [Chunk.from_work_item(item) for item in dataset.chunks()]
+
+        env, nodes, fabric, comm, gpus, rank_to_node = self._build()
+        scheduler = ChunkScheduler(
+            self.n_gpus, enable_stealing=job.config.enable_stealing
+        )
+        if self.initial_distribution == "round_robin":
+            scheduler.assign_round_robin(list(chunks))
+        elif self.initial_distribution == "blocks":
+            scheduler.assign_blocks(list(chunks))
+        else:  # "single": everything starts on rank 0
+            for chunk in chunks:
+                scheduler.push(0, chunk)
+
+        workers = [
+            Worker(
+                env=env,
+                rank=r,
+                gpu=gpus[r],
+                node=nodes[rank_to_node[r]],
+                comm=comm,
+                job=job,
+                scheduler=scheduler,
+            )
+            for r in range(self.n_gpus)
+        ]
+        procs = [env.process(w.run(), name=f"worker{w.rank}") for w in workers]
+        done = env.all_of(procs)
+        env.run(until=done)
+
+        stats = JobStats(
+            job_name=job.name,
+            n_gpus=self.n_gpus,
+            elapsed=env.now,
+            workers=[w.stats for w in workers],
+        )
+        return JobResult(stats=stats, outputs=[w.result for w in workers])

@@ -1,0 +1,91 @@
+"""Dynamic chunk scheduler with work stealing.
+
+"GPMR tracks the per-GPU work in a dynamic queue.  If one GPU finishes
+its work in its local queue and other GPUs have much more work to do,
+we shift chunks between the local queues."  The scheduler keeps one
+deque per worker, hands out local work first, and otherwise steals from
+the *longest* queue.  The caller (pipeline) prices the steal: chunk
+serialisation on the victim's CPU plus the wire transfer when victim
+and thief live on different nodes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, NamedTuple, Optional, Sequence
+
+from .chunk import Chunk
+
+__all__ = ["Assignment", "ChunkScheduler"]
+
+
+class Assignment(NamedTuple):
+    """A unit of work handed to a worker."""
+
+    chunk: Chunk
+    #: rank the chunk was queued on (== thief's rank when local)
+    victim: int
+
+    def stolen_by(self, worker: int) -> bool:
+        """Whether this assignment was robbed from another worker."""
+        return self.victim != worker
+
+
+class ChunkScheduler:
+    """Per-worker chunk queues with longest-queue-first stealing."""
+
+    #: a victim must have at least this many chunks queued to be robbed
+    #: ("other GPUs have much more work to do").
+    MIN_VICTIM_QUEUE = 2
+
+    def __init__(self, n_workers: int, enable_stealing: bool = True) -> None:
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        self.n_workers = n_workers
+        self.enable_stealing = enable_stealing
+        self._queues: List[Deque[Chunk]] = [deque() for _ in range(n_workers)]
+        self.steals = 0
+
+    # -- loading ---------------------------------------------------------
+    def assign_round_robin(self, chunks: Sequence[Chunk]) -> None:
+        """Initial distribution: chunk i goes to worker i mod n."""
+        for i, chunk in enumerate(chunks):
+            self._queues[i % self.n_workers].append(chunk)
+
+    def assign_blocks(self, chunks: Sequence[Chunk]) -> None:
+        """Initial distribution: contiguous blocks of chunks per worker."""
+        n = len(chunks)
+        per = (n + self.n_workers - 1) // self.n_workers
+        for w in range(self.n_workers):
+            for chunk in chunks[w * per : (w + 1) * per]:
+                self._queues[w].append(chunk)
+
+    def push(self, worker: int, chunk: Chunk) -> None:
+        self._queues[worker].append(chunk)
+
+    # -- inspection ------------------------------------------------------
+    def queue_len(self, worker: int) -> int:
+        return len(self._queues[worker])
+
+    @property
+    def remaining(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+    # -- dispatch -----------------------------------------------------------
+    def request(self, worker: int) -> Optional[Assignment]:
+        """Next chunk for ``worker``: local first, else steal, else None."""
+        if not (0 <= worker < self.n_workers):
+            raise ValueError(f"worker {worker} out of range")
+        q = self._queues[worker]
+        if q:
+            return Assignment(chunk=q.popleft(), victim=worker)
+        if not self.enable_stealing:
+            return None
+        victim = max(
+            range(self.n_workers), key=lambda w: len(self._queues[w])
+        )
+        if len(self._queues[victim]) >= self.MIN_VICTIM_QUEUE:
+            self.steals += 1
+            # Steal from the tail: the victim is about to work the head.
+            return Assignment(chunk=self._queues[victim].pop(), victim=victim)
+        return None

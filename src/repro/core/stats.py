@@ -1,0 +1,100 @@
+"""Per-stage time accounting: the data behind the paper's Figure 2.
+
+Figure 2 decomposes runtime into **Map**, **Complete Binning** (network
+transmission exposed after the maps finish), **Sort**, **Reduce**, and
+**GPMR Internal / Scheduler**.  Each worker records wall-time intervals
+into those buckets; the job aggregates them into fractions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["STAGES", "WorkerStats", "JobStats"]
+
+#: Figure-2 stage buckets, in display order.
+STAGES = ("map", "bin", "sort", "reduce", "scheduler")
+
+
+@dataclass
+class WorkerStats:
+    """One worker's (one GPU's) accounting."""
+
+    rank: int
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    chunks_mapped: int = 0
+    chunks_stolen: int = 0
+    pairs_emitted_logical: int = 0
+    bytes_h2d: int = 0
+    bytes_d2h: int = 0
+    bytes_sent_network: int = 0
+
+    def add(self, stage: str, seconds: float) -> None:
+        if stage not in STAGES:
+            raise ValueError(f"unknown stage {stage!r}; expected one of {STAGES}")
+        if seconds < 0:
+            raise ValueError(f"negative stage time {seconds} for {stage!r}")
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    def fraction(self, stage: str) -> float:
+        total = self.total
+        return self.stage_seconds.get(stage, 0.0) / total if total else 0.0
+
+
+@dataclass
+class JobStats:
+    """Aggregated statistics of one GPMR job execution."""
+
+    job_name: str
+    n_gpus: int
+    elapsed: float                       #: simulated wall time of the job
+    workers: List[WorkerStats]
+
+    @property
+    def stage_totals(self) -> Dict[str, float]:
+        out = {s: 0.0 for s in STAGES}
+        for w in self.workers:
+            for s, v in w.stage_seconds.items():
+                out[s] += v
+        return out
+
+    @property
+    def stage_fractions(self) -> Dict[str, float]:
+        """Cluster-wide share of each Figure-2 bucket."""
+        totals = self.stage_totals
+        denom = sum(totals.values())
+        if denom == 0:
+            return {s: 0.0 for s in STAGES}
+        return {s: v / denom for s, v in totals.items()}
+
+    @property
+    def total_pairs_logical(self) -> int:
+        return sum(w.pairs_emitted_logical for w in self.workers)
+
+    @property
+    def total_network_bytes(self) -> int:
+        return sum(w.bytes_sent_network for w in self.workers)
+
+    @property
+    def total_chunks(self) -> int:
+        return sum(w.chunks_mapped for w in self.workers)
+
+    @property
+    def total_steals(self) -> int:
+        return sum(w.chunks_stolen for w in self.workers)
+
+    def describe(self) -> str:
+        """One-paragraph human summary."""
+        fr = self.stage_fractions
+        pieces = ", ".join(f"{s}={fr[s]:.1%}" for s in STAGES)
+        return (
+            f"{self.job_name}: {self.n_gpus} GPU(s), {self.elapsed:.4f}s "
+            f"simulated; breakdown {pieces}; {self.total_chunks} chunks "
+            f"({self.total_steals} stolen), "
+            f"{self.total_network_bytes / 1e6:.1f} MB shuffled"
+        )

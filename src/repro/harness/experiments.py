@@ -1,0 +1,139 @@
+"""Experiment configurations: the paper's dataset matrix, scaled.
+
+Sizes come from Table 1 (strong-scaling "first set" and weak-scaling
+per-GPU "second set").  Every configuration is priced at *logical*
+(paper) scale; ``sample_factor`` only shrinks the functional payload so
+the sweep fits a single machine (see DESIGN.md and
+:mod:`repro.workloads.base`).
+
+``quick=True`` variants cut the largest sizes for CI-speed runs; the
+default regenerates the full figure/table grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..apps import (
+    kmc_dataset,
+    lr_dataset,
+    mm_dataset,
+    sio_dataset,
+    wo_dataset,
+)
+
+__all__ = [
+    "GPU_COUNTS",
+    "APP_NAMES",
+    "strong_scaling_sizes",
+    "dataset_for",
+    "sample_factor_for",
+    "TABLE2_SIZES",
+    "TABLE3_SIZES",
+    "FIGURE2_GPUS",
+]
+
+#: The paper's GPU-count sweep.
+GPU_COUNTS: Tuple[int, ...] = (1, 4, 8, 16, 32, 64)
+
+#: Figure 2's cluster configurations.
+FIGURE2_GPUS: Tuple[int, ...] = (1, 8, 64)
+
+APP_NAMES = ("MM", "SIO", "WO", "KMC", "LR")
+
+M = 1 << 20
+
+#: Strong-scaling input sizes per app (Table 1 first set; element
+#: counts except MM, which is the matrix dimension).
+_STRONG: Dict[str, Tuple[int, ...]] = {
+    "MM": (1024, 2048, 4096, 16384),
+    "SIO": (1 * M, 8 * M, 32 * M, 128 * M),
+    "WO": (1 * M, 16 * M, 64 * M, 512 * M),
+    "KMC": (1 * M, 8 * M, 32 * M, 512 * M),
+    "LR": (1 * M, 16 * M, 64 * M, 512 * M),
+}
+
+#: Functional elements kept per dataset (sampling target).
+_SAMPLE_TARGET = 2 * M
+
+
+def strong_scaling_sizes(app: str, quick: bool = False) -> Tuple[int, ...]:
+    sizes = _STRONG[app]
+    return sizes[1:3] if quick else sizes
+
+
+def _clamp(value: int, lo: int, hi: int) -> int:
+    return max(lo, min(hi, value))
+
+
+def mm_tile_for(size: int) -> int:
+    """Tile edge: 1024 for big matrices ("at least 1024^2"), smaller for
+    small inputs so even 1024^2 decomposes into a schedulable grid."""
+    return min(1024, max(size // 4, 64))
+
+
+def sample_factor_for(app: str, size: int) -> int:
+    """Power-of-two sampling factor keeping ~2M functional elements."""
+    if app == "MM":
+        # MM samples tile edges; the factor divides the tile.
+        return max(1, mm_tile_for(size) // 64)
+    sf = 1
+    while size // sf > _SAMPLE_TARGET:
+        sf *= 2
+    return sf
+
+
+def chunk_elements_for(app: str, size: int) -> int:
+    """Chunk sizing: "a fraction of the size of available memory",
+    scaled down for small inputs so every sweep point has schedulable
+    parallelism (the paper's small inputs still scaled to 4 GPUs)."""
+    m = 1 << 20
+    if app == "SIO":
+        return _clamp(size // 16, m, 16 * m)
+    if app == "WO":
+        return _clamp(size // 16, m, 8 * m)
+    if app == "KMC":
+        return _clamp(size // 64, m, 4 * m)
+    if app == "LR":
+        return _clamp(size // 64, m, 8 * m)
+    raise ValueError(f"no chunk policy for {app!r}")
+
+
+def dataset_for(app: str, size: int, seed: int = 0):
+    """Build the app's dataset at ``size`` with standard sampling."""
+    sf = sample_factor_for(app, size)
+    if app == "MM":
+        tile = mm_tile_for(size)
+        kspan = min(8, size // tile)
+        return mm_dataset(size, tile=tile, kspan=kspan, seed=seed, sample_factor=sf)
+    chunk = chunk_elements_for(app, size)
+    if app == "SIO":
+        return sio_dataset(size, chunk_elements=chunk, seed=seed, sample_factor=sf)
+    if app == "WO":
+        return wo_dataset(size, chunk_chars=chunk, seed=seed, sample_factor=sf)
+    if app == "KMC":
+        return kmc_dataset(size, chunk_points=chunk, seed=seed, sample_factor=sf)
+    if app == "LR":
+        return lr_dataset(size, chunk_points=chunk, seed=seed, sample_factor=sf)
+    raise ValueError(f"unknown app {app!r}")
+
+
+#: Table 2 input sizes: "our large (second-biggest) input data from our
+#: first set.  The exception is MM, for which we use our small input
+#: set" (1024^2).
+TABLE2_SIZES: Dict[str, int] = {
+    "MM": 1024,
+    "SIO": 32 * M,
+    "WO": 64 * M,
+    "KMC": 32 * M,
+    "LR": 64 * M,
+}
+
+#: Table 3 input sizes: "the largest problems that can meet the in-core
+#: memory requirements of Mars" — 4096^2 MM, 8M-point KMC, 512 MB WO.
+TABLE3_SIZES: Dict[str, int] = {
+    "MM": 4096,
+    "KMC": 8 * M,
+    "WO": 512 * M,
+}

@@ -1,0 +1,46 @@
+"""Uniform run-and-measure helpers over the five apps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..apps import run_kmc, run_lr, run_matmul, run_sio, run_wo
+from ..core.stats import JobStats
+
+__all__ = ["AppRun", "run_app"]
+
+
+@dataclass
+class AppRun:
+    """One measured execution of an app on the simulated cluster."""
+
+    app: str
+    size: int
+    n_gpus: int
+    elapsed: float
+    stats: JobStats
+
+
+def run_app(app: str, dataset, n_gpus: int) -> AppRun:
+    """Run ``app`` over ``dataset`` on ``n_gpus`` and collect stats."""
+    if app == "MM":
+        result = run_matmul(n_gpus, dataset)
+        stats = result.stats
+        elapsed = result.elapsed
+        size = dataset.m
+    elif app == "SIO":
+        r = run_sio(n_gpus, dataset)
+        stats, elapsed, size = r.stats, r.elapsed, dataset.n_elements
+    elif app == "WO":
+        r = run_wo(n_gpus, dataset)
+        stats, elapsed, size = r.stats, r.elapsed, dataset.n_chars
+    elif app == "KMC":
+        r = run_kmc(n_gpus, dataset)
+        stats, elapsed, size = r.stats, r.elapsed, dataset.n_points
+    elif app == "LR":
+        r = run_lr(n_gpus, dataset)
+        stats, elapsed, size = r.stats, r.elapsed, dataset.n_points
+    else:
+        raise ValueError(f"unknown app {app!r}")
+    return AppRun(app=app, size=size, n_gpus=n_gpus, elapsed=elapsed, stats=stats)

@@ -1,0 +1,17 @@
+"""Minimal perfect hashing (substrate S10) for Word Occurrence keys."""
+
+from .mph import (
+    MinimalPerfectHash,
+    MPHBuildError,
+    PolyHashes,
+    poly_hashes_bytes,
+    segmented_poly_hashes,
+)
+
+__all__ = [
+    "MinimalPerfectHash",
+    "MPHBuildError",
+    "PolyHashes",
+    "poly_hashes_bytes",
+    "segmented_poly_hashes",
+]

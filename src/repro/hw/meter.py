@@ -1,0 +1,50 @@
+"""Busy-time metering for simulated devices.
+
+A :class:`Meter` accumulates how much simulated time a component spent
+in each tagged activity ("kernel", "h2d", "network", ...).  The GPMR
+runtime aggregates worker meters into the per-stage runtime breakdowns
+of the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Tuple
+
+__all__ = ["Meter"]
+
+
+class Meter:
+    """Accumulates busy seconds per tag."""
+
+    def __init__(self) -> None:
+        self._busy: Dict[str, float] = defaultdict(float)
+
+    def add(self, tag: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative duration for {tag!r}: {seconds}")
+        self._busy[tag] += seconds
+
+    def get(self, tag: str) -> float:
+        return self._busy.get(tag, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self._busy.values())
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self._busy.items()))
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._busy)
+
+    def merge(self, other: "Meter") -> None:
+        for tag, seconds in other._busy.items():
+            self._busy[tag] += seconds
+
+    def clear(self) -> None:
+        self._busy.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        inner = ", ".join(f"{k}={v:.3g}s" for k, v in self.items())
+        return f"<Meter {inner}>"

@@ -1,0 +1,52 @@
+"""Node assembly: CPUs + GPUs + PCI-e links, instantiated from specs.
+
+A :class:`Node` builds the simulation-side objects for one cluster
+node.  GPUs are attached to PCI-e links in pairs (S1070 topology: two
+GPUs per cable), so siblings contend for host transfer bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .cpu import HostCPU
+from .gpu import GPU
+from .pcie import PCIeLink
+from .specs import ClusterSpec, NodeSpec
+from ..sim import Environment
+
+__all__ = ["Node", "build_nodes"]
+
+
+class Node:
+    """One simulated cluster node."""
+
+    def __init__(self, env: Environment, spec: NodeSpec, index: int = 0) -> None:
+        self.env = env
+        self.spec = spec
+        self.index = index
+        self.name = f"node{index}"
+        self.cpu = HostCPU(env, spec.cpu, name=f"{self.name}:cpu")
+
+        self.links: List[PCIeLink] = [
+            PCIeLink(env, spec.pcie, name=f"{self.name}:pcie{i}")
+            for i in range(spec.pcie_links)
+        ]
+        self.gpus: List[GPU] = []
+        for g in range(spec.gpus_per_node):
+            link = self.links[g // spec.pcie.gpus_per_link]
+            self.gpus.append(
+                GPU(env, spec.gpu, link, device_index=g, name=f"{self.name}:gpu{g}")
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Node {self.name} gpus={len(self.gpus)}>"
+
+
+def build_nodes(env: Environment, cluster: ClusterSpec, n_nodes: int) -> List[Node]:
+    """Instantiate the first ``n_nodes`` nodes of ``cluster``."""
+    if n_nodes < 1 or n_nodes > cluster.node_count:
+        raise ValueError(
+            f"n_nodes must be in [1, {cluster.node_count}], got {n_nodes}"
+        )
+    return [Node(env, cluster.node, index=i) for i in range(n_nodes)]

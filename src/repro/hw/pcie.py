@@ -1,0 +1,61 @@
+"""PCI-e link model: bandwidth, latency, per-direction contention.
+
+Each physical link carries independent half-duplex engines per
+direction (h2d, d2h), modelled as capacity-1 resources.  On the Tesla
+S1070, two GPUs share one PCI-e cable to the host — exactly the
+contention that makes GPMR's communication-avoiding substages matter —
+so a :class:`PCIeLink` is typically shared by two :class:`~repro.hw.gpu.GPU`
+instances.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from .specs import PCIeSpec
+from ..sim import Environment, Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.events import Event
+
+__all__ = ["PCIeLink", "H2D", "D2H"]
+
+H2D = "h2d"
+D2H = "d2h"
+
+
+class PCIeLink:
+    """One PCI-e cable between host memory and (up to two) GPUs."""
+
+    def __init__(self, env: Environment, spec: PCIeSpec, name: str = "pcie") -> None:
+        self.env = env
+        self.spec = spec
+        self.name = name
+        self._engines = {
+            H2D: Resource(env, capacity=1, name=f"{name}:{H2D}"),
+            D2H: Resource(env, capacity=1, name=f"{name}:{D2H}"),
+        }
+        self.bytes_moved = {H2D: 0, D2H: 0}
+
+    def duration(self, nbytes: int, direction: str) -> float:
+        """Unloaded transfer time for ``nbytes`` in ``direction``."""
+        bw = self.spec.bandwidth_h2d if direction == H2D else self.spec.bandwidth_d2h
+        return self.spec.latency + nbytes / bw
+
+    def transfer(self, nbytes: int, direction: str) -> Generator["Event", None, float]:
+        """Process: move ``nbytes``; returns the time spent (incl. queueing)."""
+        if direction not in self._engines:
+            raise ValueError(f"unknown PCI-e direction {direction!r}")
+        if nbytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        start = self.env.now
+        engine = self._engines[direction]
+        with engine.request() as req:
+            yield req
+            if nbytes:
+                yield self.env.timeout(self.duration(nbytes, direction))
+        self.bytes_moved[direction] += int(nbytes)
+        return self.env.now - start
+
+    def queue_len(self, direction: str) -> int:
+        return self._engines[direction].queue_len

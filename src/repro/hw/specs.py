@@ -1,0 +1,259 @@
+"""Hardware specification records and the paper's cluster preset.
+
+All the temporal behaviour of the reproduction derives from the numbers
+in this module.  The :data:`ACCELERATOR` preset models the NCSA
+*Accelerator* cluster used in the paper's evaluation (Section 5.1):
+
+* 32 nodes, each with an NVIDIA Tesla S1070 (4 × GT200 GPUs, RAM use
+  capped at 1 GB per GPU for the tests),
+* 2 × dual-core 2.4 GHz AMD Opterons and 8 GB of host RAM per node,
+* QDR InfiniBand through generation-1 PCI-e,
+* benchmarks run on up to 64 GPUs.
+
+The GT200 figures are the public Tesla T10 numbers (30 SMs x 8 SPs at
+1.296 GHz, 102 GB/s GDDR3).  Efficiency de-ratings (achievable fraction
+of peak) live in :mod:`repro.hw.kernel`, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from ..util.units import GB, GIB, MIB, US
+from ..util.validation import check_positive
+
+__all__ = [
+    "GPUSpec",
+    "CPUSpec",
+    "PCIeSpec",
+    "NICSpec",
+    "NodeSpec",
+    "ClusterSpec",
+    "GT200",
+    "OPTERON_2216_2P",
+    "PCIE_GEN1_X16",
+    "PCIE_GEN2_X16",
+    "QDR_INFINIBAND",
+    "ACCELERATOR_NODE",
+    "ACCELERATOR",
+]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one GPU."""
+
+    name: str
+    sm_count: int
+    cores_per_sm: int
+    clock_hz: float
+    mem_capacity: int          #: usable device memory in bytes
+    mem_bandwidth: float       #: device-memory bandwidth, bytes/s
+    warp_size: int = 32
+    max_threads_per_block: int = 512
+    shared_mem_per_sm: int = 16 * 1024
+    registers_per_sm: int = 16384
+    copy_engines: int = 1
+    kernel_launch_overhead: float = 8 * US
+    #: amortised cost of one fire-and-forget global atomic (conflict-free
+    #: throughput ~250 M/s on GT200), seconds; conflicts multiply it.
+    atomic_cost: float = 4e-9
+    #: GT200 has no floating-point atomics (paper Section 5.3.4).
+    has_float_atomics: bool = False
+    #: flops per core per cycle (MAD = 2).
+    flops_per_core_cycle: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.sm_count, "sm_count")
+        check_positive(self.clock_hz, "clock_hz")
+        check_positive(self.mem_capacity, "mem_capacity")
+        check_positive(self.mem_bandwidth, "mem_bandwidth")
+
+    @property
+    def core_count(self) -> int:
+        return self.sm_count * self.cores_per_sm
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak single-precision FLOP/s (MAD-issue)."""
+        return self.core_count * self.clock_hz * self.flops_per_core_cycle
+
+    @property
+    def max_resident_threads(self) -> int:
+        """Threads needed to fully occupy the device (1024/SM on GT200)."""
+        return self.sm_count * 1024
+
+    def with_memory(self, mem_capacity: int) -> "GPUSpec":
+        """A copy of this spec with a different usable-memory cap."""
+        return replace(self, mem_capacity=int(mem_capacity))
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Static description of a node's host CPUs (all sockets combined)."""
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    clock_hz: float
+    mem_bandwidth: float            #: host memory bandwidth, bytes/s
+    flops_per_core_cycle: float = 2.0  #: sustained scalar/SSE mix
+    #: throughput of memcpy-like byte handling per core, bytes/s
+    byte_throughput_per_core: float = 1.2e9
+
+    @property
+    def core_count(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def peak_flops(self) -> float:
+        return self.core_count * self.clock_hz * self.flops_per_core_cycle
+
+
+@dataclass(frozen=True)
+class PCIeSpec:
+    """A PCI-e link between host memory and one or more GPUs."""
+
+    name: str
+    bandwidth_h2d: float   #: bytes/s host-to-device (effective)
+    bandwidth_d2h: float   #: bytes/s device-to-host (effective)
+    latency: float         #: per-transfer setup latency, seconds
+    #: GPUs sharing this link (Tesla S1070: 2 GPUs per PCI-e cable)
+    gpus_per_link: int = 2
+
+
+@dataclass(frozen=True)
+class NICSpec:
+    """The node's network interface."""
+
+    name: str
+    bandwidth: float       #: bytes/s per direction (effective)
+    latency: float         #: one-way message latency, seconds
+    #: MPI per-message software overhead on the host, seconds
+    message_overhead: float = 2 * US
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One cluster node: CPUs + GPUs + links + host memory."""
+
+    name: str
+    cpu: CPUSpec
+    gpu: GPUSpec
+    gpus_per_node: int
+    pcie: PCIeSpec
+    nic: NICSpec
+    host_memory: int
+
+    @property
+    def pcie_links(self) -> int:
+        """Number of independent PCI-e links on the node."""
+        links, rem = divmod(self.gpus_per_node, self.pcie.gpus_per_link)
+        return links + (1 if rem else 0)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of :class:`NodeSpec` nodes."""
+
+    name: str
+    node: NodeSpec
+    node_count: int
+
+    @property
+    def total_gpus(self) -> int:
+        return self.node_count * self.node.gpus_per_node
+
+    def placement(self, n_gpus: int) -> Tuple[Tuple[int, int], ...]:
+        """Map ``n_gpus`` workers onto nodes, packing nodes full first.
+
+        Returns a tuple of ``(node_index, local_gpu_index)`` pairs — the
+        same fill-first placement the paper's job launcher used (their
+        LR result dips when a job first becomes multi-node with an
+        imbalanced GPU count per node).
+        """
+        check_positive(n_gpus, "n_gpus")
+        if n_gpus > self.total_gpus:
+            raise ValueError(
+                f"requested {n_gpus} GPUs but {self.name!r} has {self.total_gpus}"
+            )
+        per = self.node.gpus_per_node
+        return tuple((i // per, i % per) for i in range(n_gpus))
+
+    def nodes_used(self, n_gpus: int) -> int:
+        per = self.node.gpus_per_node
+        return (n_gpus + per - 1) // per
+
+
+# ---------------------------------------------------------------------------
+# Presets: the paper's evaluation platform
+# ---------------------------------------------------------------------------
+
+#: Tesla T10 (GT200) as found in the S1070, memory capped at 1 GB as in the
+#: paper's methodology ("for testing purposes, we limit RAM usage to 1 GB").
+GT200 = GPUSpec(
+    name="NVIDIA GT200 (Tesla S1070, 1 GB cap)",
+    sm_count=30,
+    cores_per_sm=8,
+    clock_hz=1.296e9,
+    mem_capacity=1 * GIB,
+    mem_bandwidth=102 * GB,
+    copy_engines=1,
+)
+
+#: Two dual-core 2.4 GHz AMD Opterons (4 cores/node).
+OPTERON_2216_2P = CPUSpec(
+    name="2x AMD Opteron 2216 (dual-core, 2.4 GHz)",
+    sockets=2,
+    cores_per_socket=2,
+    clock_hz=2.4e9,
+    mem_bandwidth=10.6 * GB,
+)
+
+#: Generation-1 PCI-e x16: ~4 GB/s raw, ~3 GB/s effective with pinned
+#: memory; two GPUs of the S1070 share each cable.
+PCIE_GEN1_X16 = PCIeSpec(
+    name="PCI-e gen1 x16",
+    bandwidth_h2d=3.0 * GB,
+    bandwidth_d2h=2.7 * GB,
+    latency=12 * US,
+    gpus_per_link=2,
+)
+
+#: Generation-2 PCI-e x16: the Tesla S1070's host interface cards are
+#: PCI-e 2.0 (~5.5 GB/s effective pinned); the paper's "generation-1
+#: PCI-e" remark describes the InfiniBand HCA attachment, which limits
+#: the NIC (see QDR_INFINIBAND), not the GPU cables.
+PCIE_GEN2_X16 = PCIeSpec(
+    name="PCI-e gen2 x16 (S1070 host interface card)",
+    bandwidth_h2d=5.5 * GB,
+    bandwidth_d2h=5.2 * GB,
+    latency=10 * US,
+    gpus_per_link=2,
+)
+
+#: QDR InfiniBand behind gen1 PCI-e: link limited to ~2.8 GB/s effective.
+QDR_INFINIBAND = NICSpec(
+    name="QDR InfiniBand (gen1 PCI-e limited)",
+    bandwidth=2.8 * GB,
+    latency=2 * US,
+)
+
+ACCELERATOR_NODE = NodeSpec(
+    name="NCSA Accelerator node",
+    cpu=OPTERON_2216_2P,
+    gpu=GT200,
+    gpus_per_node=4,
+    pcie=PCIE_GEN2_X16,
+    nic=QDR_INFINIBAND,
+    host_memory=8 * GIB,
+)
+
+#: The paper's evaluation cluster: 32 nodes x Tesla S1070 (= 128 GPUs
+#: installed; at most 64 used due to sharing with other users).
+ACCELERATOR = ClusterSpec(
+    name="NCSA Accelerator",
+    node=ACCELERATOR_NODE,
+    node_count=32,
+)

@@ -1,0 +1,16 @@
+"""Cluster network substrate (S3 + S4): topology, fabric, MPI layer."""
+
+from .fabric import Fabric
+from .mpi import ANY, Communicator, Message
+from .topology import FatTreeTopology, LinkAttrs, StarTopology, Topology
+
+__all__ = [
+    "Topology",
+    "StarTopology",
+    "FatTreeTopology",
+    "LinkAttrs",
+    "Fabric",
+    "Communicator",
+    "Message",
+    "ANY",
+]

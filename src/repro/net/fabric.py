@@ -1,0 +1,99 @@
+"""The network fabric: moves bytes between nodes with contention.
+
+Every directed edge of the topology gets a capacity-1 transmission
+resource; a message holds every edge of its route for
+``latency + bytes/bottleneck_bw`` (store-and-forward is negligible for
+the multi-megabyte shuffles MapReduce generates, so we model cut-through
+with route-wide occupancy).
+
+Intra-node traffic (between two GPU workers on one node) never touches
+the NIC: it is a host-memory copy priced at the node's memcpy
+bandwidth, matching how MVAPICH2 ships same-node messages through
+shared memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Hashable, Tuple
+
+from .topology import Topology
+from ..hw.specs import CPUSpec
+from ..sim import Environment, Resource
+
+__all__ = ["Fabric"]
+
+
+class Fabric:
+    """Contention-aware byte mover over a :class:`Topology`."""
+
+    def __init__(
+        self,
+        env: Environment,
+        topology: Topology,
+        cpu: CPUSpec,
+        loopback_latency: float = 1e-6,
+    ) -> None:
+        self.env = env
+        self.topology = topology
+        self.cpu = cpu
+        self.loopback_latency = loopback_latency
+        #: shared-memory copy bandwidth for same-node messages
+        self.loopback_bandwidth = cpu.mem_bandwidth / 2  # read + write
+        self._channels: Dict[Tuple[Hashable, Hashable], Resource] = {}
+        # Fat links (fat-tree uplinks) carry several concurrent
+        # NIC-rate transfers: channel capacity scales with the ratio of
+        # the link's bandwidth to the thinnest edge's.
+        edge_bws = [
+            topology.link_attrs(u, v).bandwidth for u, v in topology.graph.edges
+        ]
+        self._base_bw = min(edge_bws) if edge_bws else 1.0
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+    def _channel(self, u: Hashable, v: Hashable) -> Resource:
+        key = (u, v)
+        if key not in self._channels:
+            bw = self.topology.link_attrs(u, v).bandwidth
+            capacity = max(1, int(round(bw / self._base_bw)))
+            self._channels[key] = Resource(
+                self.env, capacity=capacity, name=f"ch:{u}->{v}"
+            )
+        return self._channels[key]
+
+    def duration(self, src: int, dst: int, nbytes: int) -> float:
+        """Unloaded transfer time for ``nbytes`` from ``src`` to ``dst``."""
+        if src == dst:
+            return self.loopback_latency + nbytes / self.loopback_bandwidth
+        lat = self.topology.path_latency(src, dst)
+        bw = self.topology.path_bandwidth(src, dst)
+        return lat + nbytes / bw
+
+    def send(self, src: int, dst: int, nbytes: int) -> Generator:
+        """Process: move ``nbytes`` from node ``src`` to node ``dst``.
+
+        Returns the elapsed time including queueing on busy links.
+        """
+        if nbytes < 0:
+            raise ValueError("message size must be non-negative")
+        start = self.env.now
+
+        if src == dst:
+            yield self.env.timeout(self.duration(src, dst, nbytes))
+        else:
+            route = self.topology.route(src, dst)
+            requests = [self._channel(u, v).request() for u, v in route]
+            for req in requests:
+                yield req
+            try:
+                yield self.env.timeout(self.duration(src, dst, nbytes))
+            finally:
+                for (u, v), req in zip(route, requests):
+                    self._channel(u, v).release(req)
+
+        self.bytes_sent += int(nbytes)
+        self.messages_sent += 1
+        return self.env.now - start
+
+    def channel_queue_len(self, u: Hashable, v: Hashable) -> int:
+        chan = self._channels.get((u, v))
+        return chan.queue_len if chan else 0

@@ -1,0 +1,203 @@
+"""MPI-like message passing over the simulated fabric (substrate S4).
+
+GPMR's Bin substage and shuffle use MPI point-to-point plus a barrier;
+the harness additionally uses collectives for iterative jobs (KMC).
+This module provides an mpi4py-flavoured API on the DES:
+
+* :meth:`Communicator.isend` — non-blocking send, returns a process
+  event that fires on delivery
+* :meth:`Communicator.recv` — blocking receive with ``(source, tag)``
+  matching (``ANY`` wildcards)
+* :meth:`Communicator.barrier` — generation-counted barrier
+* :meth:`Communicator.alltoallv`, :meth:`allgather`, :meth:`allreduce`,
+  :meth:`bcast` — collectives built from point-to-point
+
+Because workers are plain generator processes (not OS processes), the
+caller passes its rank explicitly.  Payloads are real Python/NumPy
+objects — the functional half — while the temporal half is priced from
+the message's ``nbytes`` through the fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
+
+from .fabric import Fabric
+from ..sim import Environment, Event, FilterStore
+
+__all__ = ["ANY", "Message", "Communicator"]
+
+#: Wildcard for ``recv`` source/tag matching.
+ANY = -1
+
+
+@dataclass(frozen=True)
+class Message:
+    """One delivered point-to-point message."""
+
+    source: int
+    dest: int
+    tag: int
+    payload: Any
+    nbytes: int
+
+
+class Communicator:
+    """A group of ranks mapped onto cluster nodes."""
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: Fabric,
+        rank_to_node: Sequence[int],
+        message_overhead: float = 2e-6,
+    ) -> None:
+        if not rank_to_node:
+            raise ValueError("communicator needs at least one rank")
+        self.env = env
+        self.fabric = fabric
+        self.rank_to_node = list(rank_to_node)
+        self.message_overhead = message_overhead
+        self._mailboxes = [
+            FilterStore(env, name=f"mbox{r}") for r in range(self.size)
+        ]
+        self._barrier_gen = 0
+        self._barrier_count = 0
+        self._barrier_event = env.event(name="barrier0")
+        self.bytes_by_rank = [0] * self.size
+
+    @property
+    def size(self) -> int:
+        return len(self.rank_to_node)
+
+    def node_of(self, rank: int) -> int:
+        return self.rank_to_node[rank]
+
+    # -- point to point ------------------------------------------------------
+    def _check_rank(self, rank: int, what: str) -> None:
+        if not (0 <= rank < self.size):
+            raise ValueError(f"{what} rank {rank} out of range [0, {self.size})")
+
+    def _send_proc(
+        self, source: int, dest: int, payload: Any, nbytes: int, tag: int
+    ) -> Generator:
+        # Host-side software overhead, then the wire.
+        if self.message_overhead:
+            yield self.env.timeout(self.message_overhead)
+        yield from self.fabric.send(self.node_of(source), self.node_of(dest), nbytes)
+        msg = Message(source=source, dest=dest, tag=tag, payload=payload, nbytes=nbytes)
+        yield self._mailboxes[dest].put(msg)
+        self.bytes_by_rank[source] += int(nbytes)
+        return msg
+
+    def isend(
+        self, source: int, dest: int, payload: Any, nbytes: int, tag: int = 0
+    ) -> Event:
+        """Non-blocking send; the returned event fires on delivery."""
+        self._check_rank(source, "source")
+        self._check_rank(dest, "dest")
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.env.process(
+            self._send_proc(source, dest, payload, nbytes, tag),
+            name=f"isend {source}->{dest} tag={tag}",
+        )
+
+    def send(
+        self, source: int, dest: int, payload: Any, nbytes: int, tag: int = 0
+    ) -> Generator:
+        """Process: blocking send (completes on delivery)."""
+        msg = yield self.isend(source, dest, payload, nbytes, tag)
+        return msg
+
+    def recv(self, rank: int, source: int = ANY, tag: int = ANY) -> Event:
+        """Event firing with the first :class:`Message` matching the filter."""
+        self._check_rank(rank, "receiver")
+
+        def match(msg: Message) -> bool:
+            return (source == ANY or msg.source == source) and (
+                tag == ANY or msg.tag == tag
+            )
+
+        return self._mailboxes[rank].get(filter=match)
+
+    def pending(self, rank: int) -> int:
+        """Messages waiting in ``rank``'s mailbox."""
+        return len(self._mailboxes[rank])
+
+    # -- barrier ---------------------------------------------------------
+    def barrier(self, rank: int) -> Event:
+        """Event that fires once every rank has entered this barrier round."""
+        self._check_rank(rank, "barrier")
+        evt = self._barrier_event
+        self._barrier_count += 1
+        if self._barrier_count == self.size:
+            self._barrier_count = 0
+            self._barrier_gen += 1
+            self._barrier_event = self.env.event(name=f"barrier{self._barrier_gen}")
+            evt.succeed(self._barrier_gen)
+        return evt
+
+    # -- collectives -----------------------------------------------------
+    def alltoallv(
+        self,
+        rank: int,
+        payloads: Sequence[Any],
+        sizes: Sequence[int],
+        tag: int = 0,
+    ) -> Generator:
+        """Process: exchange one payload with every rank (incl. self).
+
+        ``payloads[d]``/``sizes[d]`` go to rank ``d``; returns a list
+        indexed by source rank of the payloads received.
+        """
+        if len(payloads) != self.size or len(sizes) != self.size:
+            raise ValueError("alltoallv needs one payload and size per rank")
+        sends = [
+            self.isend(rank, dest, payloads[dest], sizes[dest], tag=tag)
+            for dest in range(self.size)
+        ]
+        received: List[Any] = [None] * self.size
+        for _ in range(self.size):
+            msg = yield self.recv(rank, tag=tag)
+            received[msg.source] = msg.payload
+        yield self.env.all_of(sends)
+        return received
+
+    def allgather(self, rank: int, payload: Any, nbytes: int, tag: int = 1) -> Generator:
+        """Process: every rank contributes one payload, all get the list."""
+        result = yield from self.alltoallv(
+            rank, [payload] * self.size, [nbytes] * self.size, tag=tag
+        )
+        return result
+
+    def allreduce(
+        self,
+        rank: int,
+        payload: Any,
+        nbytes: int,
+        op: Callable[[Any, Any], Any],
+        tag: int = 2,
+    ) -> Generator:
+        """Process: reduce payloads over ``op``; every rank gets the result.
+
+        Implemented as allgather + local fold (deterministic rank order),
+        which is what small-communicator MPI implementations do anyway.
+        """
+        values = yield from self.allgather(rank, payload, nbytes, tag=tag)
+        acc = values[0]
+        for v in values[1:]:
+            acc = op(acc, v)
+        return acc
+
+    def bcast(self, rank: int, root: int, payload: Any, nbytes: int, tag: int = 3) -> Generator:
+        """Process: root's payload is delivered to every rank."""
+        self._check_rank(root, "root")
+        if rank == root:
+            for dest in range(self.size):
+                if dest != root:
+                    self.isend(rank, dest, payload, nbytes, tag=tag)
+            return payload
+        msg = yield self.recv(rank, source=root, tag=tag)
+        return msg.payload

@@ -1,0 +1,56 @@
+"""Histogramming: per-bin counts with an atomics-based cost model.
+
+GPMR's default partitioner sizes its buckets with a histogram over
+destination reducer indices; WO's accumulated map is effectively a
+histogram with atomic increments.  The functional result comes from
+``np.bincount``; the cost model prices per-item atomics with a conflict
+factor that grows as bins get fewer (more same-address contention).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import as_1d_array, launch_1d
+from ..hw.kernel import KernelLaunch
+
+__all__ = ["histogram", "histogram_cost"]
+
+
+def histogram(keys: np.ndarray, n_bins: int) -> np.ndarray:
+    """Counts per bin for integer ``keys`` in ``[0, n_bins)``."""
+    k = as_1d_array(keys)
+    if n_bins <= 0:
+        raise ValueError("n_bins must be positive")
+    if len(k):
+        if k.dtype.kind not in "iu":
+            raise TypeError("histogram requires integer keys")
+        if int(k.min(initial=0)) < 0 or int(k.max(initial=0)) >= n_bins:
+            raise ValueError("keys out of range for histogram bins")
+    return np.bincount(k, minlength=n_bins).astype(np.int64)
+
+
+def atomic_conflict_factor(n_items: int, n_bins: int) -> float:
+    """Expected same-address serialisation for random keys.
+
+    With many more items than bins, warps repeatedly hit the same bin:
+    conflict grows toward warp width; with ample bins it stays ~1.
+    """
+    if n_items <= 0 or n_bins <= 0:
+        return 1.0
+    per_warp = 32.0
+    expected_collisions = per_warp / max(n_bins, 1)
+    return float(min(per_warp, max(1.0, expected_collisions)))
+
+
+def histogram_cost(n: int, n_bins: int, itemsize: int = 4) -> KernelLaunch:
+    """Cost of an atomics-based histogram over ``n`` keys."""
+    return launch_1d(
+        "histogram",
+        n,
+        flops_per_item=1.0,
+        read_bytes_per_item=float(itemsize),
+        write_bytes_per_item=0.0,
+        atomics_per_item=1.0,
+        atomic_conflict=atomic_conflict_factor(n, n_bins),
+    )

@@ -1,0 +1,117 @@
+"""Reduction primitives: full and segmented reduces.
+
+Segmented reduce is the workhorse of the GPMR Reduce stage: after the
+sort, each key's values are contiguous, and a segmented reduction
+produces one output per key.  The cost model is a single streaming pass
+(tree reduction in shared memory is bandwidth-bound at these sizes)
+plus a short second pass over per-block partials.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from .common import as_1d_array, launch_1d
+from ..hw.kernel import KernelLaunch
+
+__all__ = ["reduce_array", "segmented_reduce", "reduce_cost", "segmented_reduce_cost"]
+
+_UFUNCS = {
+    "sum": np.add,
+    "min": np.minimum,
+    "max": np.maximum,
+    "prod": np.multiply,
+}
+
+
+def reduce_array(values: np.ndarray, op: str = "sum"):
+    """Full reduction of ``values`` with a named associative operator."""
+    v = as_1d_array(values)
+    if op not in _UFUNCS:
+        raise ValueError(f"unknown reduction op {op!r}; choose from {sorted(_UFUNCS)}")
+    if len(v) == 0:
+        raise ValueError("cannot reduce an empty array")
+    return _UFUNCS[op].reduce(v)
+
+
+def segmented_reduce(
+    values: np.ndarray,
+    segment_offsets: np.ndarray,
+    op: str = "sum",
+) -> np.ndarray:
+    """Reduce each contiguous segment of ``values``.
+
+    ``segment_offsets`` holds each segment's start index (monotonically
+    non-decreasing, first element 0); segment ``i`` spans
+    ``values[offsets[i]:offsets[i+1]]`` (last runs to the end).
+    Zero-length segments reduce to the operator's identity (0 for sum).
+    """
+    v = as_1d_array(values)
+    offsets = as_1d_array(segment_offsets, dtype=np.int64)
+    if op not in _UFUNCS:
+        raise ValueError(f"unknown reduction op {op!r}")
+    if len(offsets) == 0:
+        return np.empty(0, dtype=v.dtype)
+    if offsets[0] != 0:
+        raise ValueError("segment_offsets[0] must be 0")
+    if np.any(np.diff(offsets) < 0):
+        raise ValueError("segment_offsets must be non-decreasing")
+    if len(v) and offsets[-1] > len(v):
+        raise ValueError("segment offset beyond end of values")
+
+    if op == "sum":
+        # reduceat mishandles empty segments (it repeats the next value),
+        # so run it over the non-empty offsets only: consecutive non-empty
+        # offsets span exactly one real segment (empties contribute no
+        # elements).  This keeps summation *within* each segment — a
+        # cumsum-difference formulation would leak floating-point error
+        # across segment boundaries.
+        ends = np.concatenate((offsets[1:], [len(v)]))
+        lengths = ends - offsets
+        out = np.zeros(len(offsets), dtype=v.dtype)
+        nonempty = lengths > 0
+        if np.any(nonempty):
+            out[nonempty] = np.add.reduceat(v, offsets[nonempty])
+        return out
+
+    ufunc = _UFUNCS[op]
+    ends = np.concatenate((offsets[1:], [len(v)]))
+    lengths = ends - offsets
+    if np.any(lengths == 0):
+        raise ValueError(f"zero-length segment not supported for op {op!r}")
+    return ufunc.reduceat(v, offsets)
+
+
+def reduce_cost(n: int, itemsize: int = 4) -> KernelLaunch:
+    """Cost of one full reduction pass over ``n`` items."""
+    return launch_1d(
+        "reduce",
+        n,
+        flops_per_item=1.0,
+        read_bytes_per_item=float(itemsize),
+        write_bytes_per_item=0.01 * itemsize,  # per-block partials
+        items_per_thread=4,
+        syncs=1,
+    )
+
+
+def segmented_reduce_cost(
+    n_values: int,
+    n_segments: int,
+    itemsize: int = 4,
+    coalescing: float = 1.0,
+) -> KernelLaunch:
+    """Cost of a segmented reduction (one streaming pass + outputs)."""
+    n_segments = max(int(n_segments), 1)
+    return launch_1d(
+        "segmented_reduce",
+        max(n_values, 1),
+        flops_per_item=1.0,
+        read_bytes_per_item=float(itemsize),
+        write_bytes_per_item=itemsize * n_segments / max(n_values, 1),
+        coalescing=coalescing,
+        items_per_thread=4,
+        syncs=1,
+    )

@@ -1,0 +1,39 @@
+"""Discrete-event simulation engine (substrate S1).
+
+A compact, deterministic, generator-based DES in the style of SimPy:
+
+* :class:`Environment` — virtual clock + event calendar
+* :class:`Event`, :class:`Timeout`, :class:`AllOf`, :class:`AnyOf`
+* :class:`Process` — generators that yield events
+* :class:`Resource`, :class:`Container` — contention primitives
+* :class:`Store`, :class:`FilterStore` — message queues
+
+Everything temporal in the reproduction (GPU kernels, PCI-e copies,
+network sends, CPU binning threads) executes on this engine, so
+communication/computation overlap — the paper's central concern — is
+modelled end to end.
+"""
+
+from .engine import EmptySchedule, Environment
+from .events import AllOf, AnyOf, Condition, Event, Interrupt, Timeout
+from .process import Process
+from .resources import Container, PriorityResource, Request, Resource
+from .store import FilterStore, Store
+
+__all__ = [
+    "Environment",
+    "EmptySchedule",
+    "Event",
+    "Timeout",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "PriorityResource",
+    "Request",
+    "Container",
+    "Store",
+    "FilterStore",
+]

@@ -1,0 +1,24 @@
+"""Shared utilities: units, deterministic RNG, validation."""
+
+from .rng import DEFAULT_SEED, child_generators, generator
+from .units import GB, GIB, KB, KIB, MB, MIB, fmt_bytes, fmt_rate, fmt_time
+from .validation import check_in_range, check_non_negative, check_positive, require
+
+__all__ = [
+    "DEFAULT_SEED",
+    "generator",
+    "child_generators",
+    "KB",
+    "MB",
+    "GB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "fmt_bytes",
+    "fmt_time",
+    "fmt_rate",
+    "require",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+]

@@ -1,0 +1,65 @@
+"""Sparse Integer Occurrence workload (SIO).
+
+"SIO counts the number of occurrences of each integer in a sequence
+with a random distribution" (paper Section 5.3.2).  Keys are sparse:
+drawn uniformly from a key space much larger than the element count,
+so most keys occur a handful of times — the property that defeats
+compaction (no Partial Reduce / Accumulate gains) and stresses the
+sort and the network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Dataset, WorkItem
+from ..util.rng import generator
+from ..util.validation import check_positive
+
+__all__ = ["IntegerDataset"]
+
+#: 4-byte elements, as in the paper's Table 1.
+ELEMENT_BYTES = 4
+
+
+class IntegerDataset(Dataset):
+    """Uniform random uint32 keys in ``[0, key_space)``, chunked."""
+
+    def __init__(
+        self,
+        n_elements: int,
+        chunk_elements: int = 16 << 20,
+        key_space: int = 1 << 28,
+        seed: int = 0,
+        sample_factor: int = 1,
+    ) -> None:
+        super().__init__(seed, sample_factor)
+        check_positive(n_elements, "n_elements")
+        check_positive(chunk_elements, "chunk_elements")
+        check_positive(key_space, "key_space")
+        if key_space > 1 << 31:
+            raise ValueError("key_space must fit in a signed 32-bit key")
+        self.n_elements = int(n_elements)
+        self.chunk_elements = int(chunk_elements)
+        self.key_space = int(key_space)
+
+    @property
+    def n_chunks(self) -> int:
+        return (self.n_elements + self.chunk_elements - 1) // self.chunk_elements
+
+    def _logical_items(self, index: int) -> int:
+        lo = index * self.chunk_elements
+        return min(self.chunk_elements, self.n_elements - lo)
+
+    def chunk(self, index: int) -> WorkItem:
+        self._check_index(index)
+        logical = self._logical_items(index)
+        actual = max(1, logical // self.sample_factor)
+        rng = generator(self.seed, stream=(index,))
+        data = rng.integers(0, self.key_space, size=actual, dtype=np.uint32)
+        return WorkItem(
+            index=index,
+            data=data,
+            logical_items=logical,
+            logical_bytes=logical * ELEMENT_BYTES,
+        )

@@ -1,0 +1,158 @@
+"""Matrix Multiplication workload: square matrices + tile-panel task plan.
+
+The paper's MM is a hierarchical tiled multiply (Section 5.3.1): the
+matrices are tiled cache-obliviously until a GPU block's share fits in
+shared memory; each GPMR map chunk multiplies an A panel (one tile row
+over a k-range) with a B panel (the k-range over one tile column),
+producing one *partial* output tile; a second MapReduce ("we bypass
+Sort and Reduce and implement another Map in a separate MapReduce")
+sums the partial tiles per output position — needed because "a
+single-key reduction must be entirely in-core" and large matrices
+exceed that.
+
+:class:`MatrixDataset` owns the input matrices at the *sampled*
+dimension and enumerates the *logical* panel tasks, so scheduling and
+communication keep full-size shape while the arithmetic runs on the
+sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .base import Dataset, WorkItem
+from ..util.rng import generator
+from ..util.validation import check_positive
+
+__all__ = ["PanelTask", "MatrixDataset"]
+
+
+@dataclass(frozen=True)
+class PanelTask:
+    """One A-panel x B-panel partial-tile multiplication."""
+
+    i: int        #: output tile row
+    j: int        #: output tile column
+    k0: int       #: first k tile of the panel
+    kspan: int    #: number of k tiles in the panel
+
+    @property
+    def out_key(self) -> int:
+        """Will be combined with grid at the app level."""
+        return -1  # computed by the dataset, which knows the grid
+
+
+class MatrixDataset(Dataset):
+    """Two dense square float32 matrices and their panel decomposition.
+
+    Parameters
+    ----------
+    m:
+        Logical matrix dimension (e.g. 16384).
+    tile:
+        Logical tile edge (the paper uses >= 1024^2 tiles).
+    kspan:
+        Tiles of the k dimension each map chunk covers.  Each output
+        tile (i, j) receives ``ceil(grid / kspan)`` partial tiles that
+        phase 2 sums.
+    """
+
+    def __init__(
+        self,
+        m: int,
+        tile: int = 1024,
+        kspan: int = 8,
+        seed: int = 0,
+        sample_factor: int = 1,
+    ) -> None:
+        super().__init__(seed, sample_factor)
+        check_positive(m, "m")
+        check_positive(tile, "tile")
+        check_positive(kspan, "kspan")
+        if m % tile:
+            raise ValueError(f"matrix dim {m} must be a multiple of tile {tile}")
+        if sample_factor > 1 and tile % sample_factor:
+            raise ValueError("tile must be divisible by sample_factor")
+        self.m = int(m)
+        self.tile = int(tile)
+        self.grid = self.m // self.tile                       # tiles per side
+        self.kspan = min(int(kspan), self.grid)
+        self.k_groups = -(-self.grid // self.kspan)           # ceil
+        self.tile_actual = max(1, self.tile // self.sample_factor)
+        self.m_actual = self.grid * self.tile_actual
+        rng = generator(self.seed, stream=(1,))
+        self.a = rng.random((self.m_actual, self.m_actual), dtype=np.float32)
+        self.b = rng.random((self.m_actual, self.m_actual), dtype=np.float32)
+
+    # -- task plan -------------------------------------------------------
+    @property
+    def n_chunks(self) -> int:
+        """Phase-1 map tasks: (i, j) output tiles x k groups."""
+        return self.grid * self.grid * self.k_groups
+
+    def task(self, index: int) -> PanelTask:
+        self._check_index(index)
+        per_out = self.k_groups
+        out_idx, kg = divmod(index, per_out)
+        i, j = divmod(out_idx, self.grid)
+        k0 = kg * self.kspan
+        kspan = min(self.kspan, self.grid - k0)
+        return PanelTask(i=i, j=j, k0=k0, kspan=kspan)
+
+    def out_key(self, task: PanelTask) -> int:
+        """Phase-2 key of a task's output tile."""
+        return task.i * self.grid + task.j
+
+    def a_panel(self, task: PanelTask) -> np.ndarray:
+        """A[i, k0:k0+kspan] as one (t x t*kspan) sampled block."""
+        t = self.tile_actual
+        return self.a[
+            task.i * t : (task.i + 1) * t,
+            task.k0 * t : (task.k0 + task.kspan) * t,
+        ]
+
+    def b_panel(self, task: PanelTask) -> np.ndarray:
+        """B[k0:k0+kspan, j] as one (t*kspan x t) sampled block."""
+        t = self.tile_actual
+        return self.b[
+            task.k0 * t : (task.k0 + task.kspan) * t,
+            task.j * t : (task.j + 1) * t,
+        ]
+
+    # -- logical sizes ------------------------------------------------------
+    @property
+    def tile_elems(self) -> int:
+        return self.tile * self.tile
+
+    @property
+    def tile_bytes(self) -> int:
+        """Logical bytes of one float32 tile."""
+        return self.tile_elems * 4
+
+    def panel_bytes(self, task: PanelTask) -> int:
+        """Logical input bytes of a task (A panel + B panel)."""
+        return 2 * task.kspan * self.tile_bytes
+
+    def panel_flops(self, task: PanelTask) -> float:
+        """Logical FLOPs of a task (2 m n k for the panel product)."""
+        return 2.0 * self.tile * self.tile * (task.kspan * self.tile)
+
+    # -- Dataset interface -------------------------------------------------
+    def chunk(self, index: int) -> WorkItem:
+        task = self.task(index)
+        data = (self.a_panel(task), self.b_panel(task))
+        return WorkItem(
+            index=index,
+            data=data,
+            logical_items=self.tile_elems,       # one output tile's elements
+            logical_bytes=self.panel_bytes(task),
+        )
+
+    def reference_product(self) -> np.ndarray:
+        """Oracle: the sampled matrices' exact product."""
+        return (self.a.astype(np.float64) @ self.b.astype(np.float64)).astype(
+            np.float32
+        )

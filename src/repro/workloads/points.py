@@ -1,0 +1,133 @@
+"""Point-cloud workloads for K-Means Clustering and Linear Regression.
+
+KMC (Table 1: 16-byte elements => 2-D double points, plus the fixed
+random cluster centres chosen at job startup) and LR (8-byte elements
+=> (x, y) float pairs from a noisy linear model).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .base import Dataset, WorkItem
+from ..util.rng import generator
+from ..util.validation import check_positive
+
+__all__ = ["KMeansDataset", "RegressionDataset"]
+
+
+class KMeansDataset(Dataset):
+    """Random points around ``n_centers`` true cluster centres.
+
+    Elements are 2-D float64 points (16 bytes, per Table 1).  The job's
+    *starting* centres are a separate fixed random draw, exactly as the
+    paper does ("a fixed-size random set of cluster centers at job
+    startup").
+    """
+
+    def __init__(
+        self,
+        n_points: int,
+        n_centers: int = 32,
+        dims: int = 2,
+        chunk_points: int = 4 << 20,
+        spread: float = 0.05,
+        seed: int = 0,
+        sample_factor: int = 1,
+    ) -> None:
+        super().__init__(seed, sample_factor)
+        check_positive(n_points, "n_points")
+        check_positive(n_centers, "n_centers")
+        check_positive(dims, "dims")
+        check_positive(chunk_points, "chunk_points")
+        self.n_points = int(n_points)
+        self.n_centers = int(n_centers)
+        self.dims = int(dims)
+        self.chunk_points = int(chunk_points)
+        self.spread = float(spread)
+        rng = generator(self.seed, stream=(0xC0,))
+        #: ground-truth generating centres (not the job's start centres)
+        self.true_centers = rng.random((self.n_centers, self.dims))
+
+    @property
+    def element_bytes(self) -> int:
+        return 8 * self.dims
+
+    @property
+    def n_chunks(self) -> int:
+        return (self.n_points + self.chunk_points - 1) // self.chunk_points
+
+    def start_centers(self) -> np.ndarray:
+        """The fixed random centres the job starts from."""
+        rng = generator(self.seed, stream=(0xC1,))
+        return rng.random((self.n_centers, self.dims))
+
+    def chunk(self, index: int) -> WorkItem:
+        self._check_index(index)
+        lo = index * self.chunk_points
+        logical = min(self.chunk_points, self.n_points - lo)
+        actual = max(1, logical // self.sample_factor)
+        rng = generator(self.seed, stream=(index,))
+        which = rng.integers(0, self.n_centers, size=actual)
+        pts = self.true_centers[which] + rng.normal(
+            0.0, self.spread, size=(actual, self.dims)
+        )
+        return WorkItem(
+            index=index,
+            data=pts,
+            logical_items=logical,
+            logical_bytes=logical * self.element_bytes,
+        )
+
+
+class RegressionDataset(Dataset):
+    """(x, y) float32 pairs from ``y = slope * x + intercept + noise``.
+
+    8-byte elements per Table 1 (two float32 values).
+    """
+
+    ELEMENT_BYTES = 8
+
+    def __init__(
+        self,
+        n_points: int,
+        slope: float = 2.5,
+        intercept: float = -1.0,
+        noise: float = 0.1,
+        chunk_points: int = 8 << 20,
+        seed: int = 0,
+        sample_factor: int = 1,
+    ) -> None:
+        super().__init__(seed, sample_factor)
+        check_positive(n_points, "n_points")
+        check_positive(chunk_points, "chunk_points")
+        self.n_points = int(n_points)
+        self.slope = float(slope)
+        self.intercept = float(intercept)
+        self.noise = float(noise)
+        self.chunk_points = int(chunk_points)
+
+    @property
+    def n_chunks(self) -> int:
+        return (self.n_points + self.chunk_points - 1) // self.chunk_points
+
+    def chunk(self, index: int) -> WorkItem:
+        self._check_index(index)
+        lo = index * self.chunk_points
+        logical = min(self.chunk_points, self.n_points - lo)
+        actual = max(1, logical // self.sample_factor)
+        rng = generator(self.seed, stream=(index,))
+        x = rng.random(actual, dtype=np.float32)
+        y = (
+            self.slope * x
+            + self.intercept
+            + rng.normal(0.0, self.noise, size=actual).astype(np.float32)
+        )
+        return WorkItem(
+            index=index,
+            data=np.column_stack((x, y)).astype(np.float32),
+            logical_items=logical,
+            logical_bytes=logical * self.ELEMENT_BYTES,
+        )

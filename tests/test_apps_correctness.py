@@ -1,0 +1,166 @@
+"""Functional correctness of all five benchmark apps vs serial oracles.
+
+Every app runs at sample_factor=1 (bit-exact datasets) over several GPU
+counts and must reproduce the reference answer exactly (integer counts)
+or to floating-point round-off (sums, products).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    kmc_dataset,
+    kmc_validate,
+    lr_dataset,
+    lr_fit,
+    lr_validate,
+    mm_dataset,
+    mm_validate,
+    run_kmc,
+    run_lr,
+    run_matmul,
+    run_sio,
+    run_wo,
+    sio_dataset,
+    sio_validate,
+    wo_dataset,
+    wo_validate,
+)
+
+
+# -- SIO --------------------------------------------------------------------
+
+@pytest.mark.parametrize("n_gpus", [1, 3, 4])
+def test_sio_counts_exact(n_gpus):
+    ds = sio_dataset(
+        n_elements=60_000, chunk_elements=10_000, key_space=1 << 12, seed=3
+    )
+    result = run_sio(n_gpus, ds)
+    sio_validate(result, ds)
+
+
+def test_sio_no_compaction_traffic():
+    # Sparse keys: network traffic ~ pair_bytes * n (nothing compacts).
+    ds = sio_dataset(
+        n_elements=40_000, chunk_elements=10_000, key_space=1 << 24, seed=4
+    )
+    result = run_sio(2, ds)
+    assert result.stats.total_network_bytes >= 40_000 * 8 * 0.9
+
+
+# -- WO --------------------------------------------------------------------
+
+@pytest.mark.parametrize("n_gpus", [1, 2, 4])
+def test_wo_counts_exact(n_gpus):
+    ds = wo_dataset(n_chars=200_000, chunk_chars=40_000, seed=5, n_words=2_000)
+    result = run_wo(n_gpus, ds)
+    wo_validate(result, ds)
+
+
+def test_wo_counts_exact_above_partitioner_threshold(monkeypatch):
+    ds = wo_dataset(n_chars=120_000, chunk_chars=20_000, seed=6, n_words=1_000)
+    result = run_wo(12, ds)  # > PARTITIONER_THRESHOLD: partitioner active
+    wo_validate(result, ds)
+
+
+def test_wo_accumulation_shrinks_traffic():
+    ds = wo_dataset(n_chars=400_000, chunk_chars=50_000, seed=7, n_words=1_000)
+    with_acc = run_wo(2, ds, use_accumulation=True)
+    without = run_wo(2, ds, use_accumulation=False)
+    wo_validate(with_acc, ds)
+    wo_validate(without, ds)
+    assert (
+        with_acc.stats.total_network_bytes < without.stats.total_network_bytes / 3
+    )
+
+
+def test_wo_thread_reducer_same_answer():
+    ds = wo_dataset(n_chars=100_000, chunk_chars=25_000, seed=8, n_words=1_000)
+    result = run_wo(2, ds, warp_reducer=False)
+    wo_validate(result, ds)
+
+
+# -- KMC --------------------------------------------------------------------
+
+@pytest.mark.parametrize("n_gpus", [1, 2, 5])
+def test_kmc_step_matches_lloyd(n_gpus):
+    ds = kmc_dataset(
+        n_points=30_000, n_centers=8, chunk_points=6_000, seed=9
+    )
+    result = run_kmc(n_gpus, ds)
+    kmc_validate(result, ds)
+
+
+def test_kmc_traffic_is_tiny():
+    ds = kmc_dataset(n_points=50_000, n_centers=16, chunk_points=10_000, seed=10)
+    result = run_kmc(4, ds)
+    # Each rank ships a K*(dims+1)-entry table, nothing point-sized.
+    assert result.stats.total_network_bytes < 16 * 3 * 12 * 4 * 4
+
+
+# -- LR --------------------------------------------------------------------
+
+@pytest.mark.parametrize("n_gpus", [1, 2, 6])
+def test_lr_sums_match_serial(n_gpus):
+    ds = lr_dataset(n_points=80_000, chunk_points=16_000, seed=11)
+    result = run_lr(n_gpus, ds)
+    lr_validate(result, ds)
+
+
+def test_lr_recovers_generating_model():
+    ds = lr_dataset(
+        n_points=200_000, chunk_points=50_000, seed=12, slope=3.5, intercept=0.25
+    )
+    result = run_lr(2, ds)
+    slope, intercept = lr_fit(result)
+    assert slope == pytest.approx(3.5, abs=0.02)
+    assert intercept == pytest.approx(0.25, abs=0.02)
+
+
+def test_lr_outputs_only_on_rank0():
+    ds = lr_dataset(n_points=20_000, chunk_points=5_000, seed=13)
+    result = run_lr(3, ds)
+    assert result.outputs[0] is not None and len(result.outputs[0]) == 6
+    for kv in result.outputs[1:]:
+        assert kv is None or len(kv) == 0
+
+
+# -- MM --------------------------------------------------------------------
+
+@pytest.mark.parametrize("n_gpus", [1, 2, 4])
+def test_mm_product_matches_numpy(n_gpus):
+    ds = mm_dataset(m=64, tile=16, kspan=2, seed=14)
+    result = run_matmul(n_gpus, ds)
+    mm_validate(result, ds)
+
+
+def test_mm_phase2_sums_multiple_partials():
+    ds = mm_dataset(m=64, tile=16, kspan=1, seed=15)  # 4 partials per tile
+    assert ds.k_groups == 4
+    result = run_matmul(2, ds)
+    mm_validate(result, ds)
+
+
+def test_mm_single_tile_degenerate():
+    ds = mm_dataset(m=8, tile=8, kspan=1, seed=16)
+    result = run_matmul(1, ds)
+    mm_validate(result, ds)
+
+
+def test_mm_sampled_run_matches_sampled_oracle():
+    ds = mm_dataset(m=64, tile=16, kspan=2, seed=17, sample_factor=4)
+    result = run_matmul(2, ds)
+    mm_validate(result, ds)  # oracle is the sampled matrices' product
+    assert result.product.shape == (16, 16)
+
+
+def test_mm_stats_merge_phases():
+    ds = mm_dataset(m=32, tile=8, kspan=2, seed=18)
+    result = run_matmul(2, ds)
+    merged = result.stats
+    assert merged.elapsed == pytest.approx(
+        result.phase1.elapsed + result.phase2.elapsed
+    )
+    assert merged.total_chunks == (
+        result.phase1.stats.total_chunks + result.phase2.stats.total_chunks
+    )

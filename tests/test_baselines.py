@@ -1,0 +1,237 @@
+"""Tests for the Phoenix and Mars baseline models and serial oracles."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    kmc_dataset,
+    kmc_mars_workload,
+    kmc_phoenix_workload,
+    lr_dataset,
+    lr_phoenix_workload,
+    mm_dataset,
+    mm_mars_workload,
+    mm_phoenix_workload,
+    sio_dataset,
+    sio_mars_workload,
+    sio_phoenix_workload,
+    wo_dataset,
+    wo_mars_workload,
+)
+from repro.baselines import (
+    MarsModel,
+    MarsOutOfCore,
+    MarsWorkload,
+    PhoenixModel,
+    PhoenixWorkload,
+    serial,
+)
+from repro.hw import GT200
+from repro.primitives import launch_1d
+from repro.util.units import GIB
+
+
+# ---------------------------------------------------------------------------
+# Phoenix model
+# ---------------------------------------------------------------------------
+
+def simple_phoenix(n=1 << 20, **kwargs):
+    defaults = dict(
+        name="t",
+        n_items=n,
+        map_flops_per_item=10.0,
+        map_bytes_per_item=8.0,
+        emits_per_item=1.0,
+        pair_bytes=8,
+        n_unique_keys=1000,
+    )
+    defaults.update(kwargs)
+    return PhoenixWorkload(**defaults)
+
+
+def test_phoenix_breakdown_sums_to_total():
+    b = PhoenixModel().runtime(simple_phoenix())
+    assert b.total == pytest.approx(b.map + b.group + b.reduce)
+
+
+def test_phoenix_map_scales_with_items():
+    m = PhoenixModel()
+    t1 = m.runtime(simple_phoenix(n=1 << 20)).map
+    t2 = m.runtime(simple_phoenix(n=1 << 21)).map
+    assert t2 == pytest.approx(2 * t1)
+
+
+def test_phoenix_map_is_roofline():
+    m = PhoenixModel()
+    # Compute-heavy: doubling flops doubles map time.
+    heavy = simple_phoenix(map_flops_per_item=1000.0)
+    heavier = simple_phoenix(map_flops_per_item=2000.0)
+    assert m.runtime(heavier).map == pytest.approx(2 * m.runtime(heavy).map)
+    # Memory-heavy: flops no longer matter.
+    memory = simple_phoenix(map_flops_per_item=0.001, map_bytes_per_item=800.0)
+    assert m.runtime(memory).map == pytest.approx(
+        (1 << 20) * 800 / (m.cpu.mem_bandwidth * memory.mem_efficiency)
+    )
+
+
+def test_phoenix_group_scales_with_emits():
+    m = PhoenixModel()
+    few = simple_phoenix(emits_per_item=0.1)
+    many = simple_phoenix(emits_per_item=10.0)
+    assert m.runtime(many).group == pytest.approx(100 * m.runtime(few).group)
+
+
+def test_phoenix_efficiency_validation():
+    with pytest.raises(ValueError):
+        simple_phoenix(flops_efficiency=0.0)
+    with pytest.raises(ValueError):
+        simple_phoenix(flops_efficiency=1.5)
+
+
+def test_phoenix_mm_matches_papers_twenty_seconds():
+    # "Phoenix required almost twenty seconds to multiply two 1024x1024
+    # matrices" — our model should land within a factor of ~2.
+    ds = mm_dataset(1024, tile=256, kspan=4, sample_factor=4)
+    t = PhoenixModel().runtime(mm_phoenix_workload(ds)).total
+    assert 5.0 < t < 40.0
+
+
+# ---------------------------------------------------------------------------
+# Mars model
+# ---------------------------------------------------------------------------
+
+def simple_mars(n=1 << 20, pairs=None, **kwargs):
+    pairs = n if pairs is None else pairs
+    defaults = dict(
+        name="t",
+        input_bytes=n * 4,
+        n_items=n,
+        map_launches=[
+            launch_1d("m", n, flops_per_item=2.0, read_bytes_per_item=4.0)
+        ],
+        n_pairs=pairs,
+        pair_bytes=16,
+    )
+    defaults.update(kwargs)
+    return MarsWorkload(**defaults)
+
+
+def test_mars_defaults_to_full_board_memory():
+    assert MarsModel().gpu.mem_capacity == 4 * GIB
+
+
+def test_mars_breakdown_sums_to_total():
+    b = MarsModel().runtime(simple_mars())
+    assert b.total == pytest.approx(
+        b.h2d + b.map_count + b.scan + b.map_emit + b.sort + b.reduce + b.d2h
+    )
+
+
+def test_mars_two_pass_map():
+    b = MarsModel().runtime(simple_mars())
+    assert b.map_count == pytest.approx(b.map_emit * MarsModel.COUNT_PASS_FACTOR)
+
+
+def test_mars_in_core_limit_enforced():
+    # 200M pairs x 16B x 2 > 4 GiB.
+    with pytest.raises(MarsOutOfCore):
+        MarsModel().runtime(simple_mars(n=200 << 20))
+
+
+def test_mars_skip_sort_reduces_requirement_and_time():
+    w_sorted = simple_mars(n=8 << 20)
+    w_unsorted = simple_mars(n=8 << 20, sorts_pairs=False)
+    m = MarsModel()
+    assert m.required_bytes(w_unsorted) < m.required_bytes(w_sorted)
+    assert m.runtime(w_unsorted).sort == 0.0
+    assert m.runtime(w_sorted).sort > 0.0
+
+
+def test_mars_bitonic_sort_superlinear_in_n():
+    # O(n log^2 n): 4x the pairs should cost clearly more than 4x.
+    m = MarsModel()
+    t1 = m.runtime(simple_mars(n=1 << 20)).sort
+    t4 = m.runtime(simple_mars(n=1 << 22)).sort
+    assert t4 > 4.4 * t1
+
+
+def test_mars_table3_workloads_fit_in_core():
+    m = MarsModel()
+    m.check_in_core(mm_mars_workload(mm_dataset(4096, tile=1024, kspan=4)))
+    m.check_in_core(kmc_mars_workload(kmc_dataset(8 << 20, sample_factor=8)))
+    m.check_in_core(wo_mars_workload(wo_dataset(512 << 20, sample_factor=256)))
+
+
+def test_mars_larger_than_table3_does_not_fit():
+    with pytest.raises(MarsOutOfCore):
+        MarsModel().check_in_core(
+            kmc_mars_workload(kmc_dataset(128 << 20, sample_factor=64))
+        )
+
+
+# ---------------------------------------------------------------------------
+# Serial oracles
+# ---------------------------------------------------------------------------
+
+def test_serial_integer_counts():
+    ds = sio_dataset(10_000, chunk_elements=2_500, key_space=64, seed=1)
+    counts = serial.integer_counts(ds)
+    assert counts.sum() == 10_000
+    assert len(counts) == 64
+
+
+def test_serial_word_counts_total():
+    from repro.apps import wo_mph
+    from repro.workloads import tokenize
+
+    ds = wo_dataset(50_000, chunk_chars=10_000, n_words=500, seed=2)
+    counts = serial.word_counts(ds, wo_mph(500))
+    total_words = sum(len(tokenize(c.data)[0]) for c in ds.chunks())
+    assert counts.sum() == total_words
+
+
+def test_serial_kmeans_step_reduces_inertia():
+    ds = kmc_dataset(20_000, n_centers=5, chunk_points=20_000, seed=3)
+    start = ds.start_centers()
+    new, counts = serial.kmeans_step(ds, start)
+
+    def inertia(centers):
+        pts = ds.chunk(0).data
+        d2 = ((pts[:, None, :] - centers[None]) ** 2).sum(axis=2)
+        return d2.min(axis=1).sum()
+
+    assert counts.sum() == 20_000
+    assert inertia(new) <= inertia(start)
+
+
+def test_serial_kmeans_empty_cluster_keeps_old_center():
+    ds = kmc_dataset(1_000, n_centers=3, chunk_points=1_000, seed=4)
+    # Put one centre far outside the unit square: it captures nothing.
+    centers = np.array([[0.5, 0.5], [0.4, 0.6], [100.0, 100.0]])
+    new, counts = serial.kmeans_step(ds, centers)
+    assert counts[2] == 0
+    np.testing.assert_array_equal(new[2], centers[2])
+
+
+def test_serial_regression_fit_exact_line():
+    sums = {"n": 3.0, "sx": 6.0, "sy": 12.0, "sxx": 14.0, "syy": 56.0, "sxy": 28.0}
+    # Points (1,2),(2,4),(3,6): y = 2x.
+    slope, intercept = serial.regression_fit(sums)
+    assert slope == pytest.approx(2.0)
+    assert intercept == pytest.approx(0.0)
+
+
+def test_serial_regression_degenerate_rejected():
+    with pytest.raises(ValueError):
+        serial.regression_fit(
+            {"n": 2.0, "sx": 2.0, "sy": 2.0, "sxx": 2.0, "syy": 2.0, "sxy": 2.0}
+        )
+
+
+def test_serial_matrix_product_matches_numpy():
+    ds = mm_dataset(16, tile=4, kspan=2, seed=5)
+    np.testing.assert_allclose(
+        serial.matrix_product(ds).astype(np.float64),
+        (ds.a.astype(np.float64) @ ds.b.astype(np.float64)),
+        rtol=1e-5,
+    )

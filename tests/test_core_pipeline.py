@@ -1,0 +1,286 @@
+"""End-to-end tests of the GPMR pipeline with a toy counting job.
+
+The toy job is SIO-shaped: map emits <key, 1> per integer; reduce sums.
+Every pipeline configuration (plain, partial-reduce, combiner,
+accumulator, no-partitioner, skip-sort-reduce) must produce exactly the
+reference counts, at every GPU count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Chunk,
+    GPMRRuntime,
+    KeyValueSet,
+    MapReduceJob,
+    Mapper,
+    PipelineConfig,
+    Reducer,
+    RoundRobinPartitioner,
+    SumAccumulator,
+    SumCombiner,
+    SumPartialReducer,
+)
+from repro.primitives import launch_1d, segmented_reduce
+from repro.workloads import IntegerDataset
+
+KEY_SPACE = 64
+
+
+class CountMapper(Mapper):
+    """Emit <key, 1> per input integer."""
+
+    def map_chunk(self, chunk):
+        data = chunk.data
+        return KeyValueSet(
+            keys=data.astype(np.uint32),
+            values=np.ones(len(data), dtype=np.int64),
+            scale=chunk.scale,
+        )
+
+    def map_cost(self, chunk):
+        return [
+            launch_1d(
+                "count_map",
+                chunk.logical_items,
+                flops_per_item=1.0,
+                read_bytes_per_item=4.0,
+                write_bytes_per_item=8.0,
+            )
+        ]
+
+
+class SumReducer(Reducer):
+    """Sum each key's values."""
+
+    def reduce_segments(self, keys, values, offsets, counts, scale):
+        sums = segmented_reduce(values, offsets)
+        return KeyValueSet(keys=keys, values=sums, scale=scale)
+
+    def reduce_cost(self, n_values, n_keys):
+        return [
+            launch_1d(
+                "count_reduce",
+                n_values,
+                flops_per_item=1.0,
+                read_bytes_per_item=8.0,
+                write_bytes_per_item=8.0 * n_keys / max(n_values, 1),
+            )
+        ]
+
+
+def make_dataset(n=20_000, chunk=2_500, seed=11):
+    return IntegerDataset(
+        n_elements=n, chunk_elements=chunk, key_space=KEY_SPACE, seed=seed
+    )
+
+
+def reference_counts(dataset):
+    counts = np.zeros(KEY_SPACE, dtype=np.int64)
+    for c in dataset.chunks():
+        counts += np.bincount(c.data, minlength=KEY_SPACE)
+    return counts
+
+
+def result_counts(result):
+    merged = result.merged()
+    counts = np.zeros(KEY_SPACE, dtype=np.int64)
+    np.add.at(counts, merged.keys.astype(np.int64), merged.values.astype(np.int64))
+    return counts
+
+
+def count_job(name="toy-count", **kwargs):
+    defaults = dict(
+        mapper=CountMapper(),
+        reducer=SumReducer(),
+        partitioner=RoundRobinPartitioner(),
+        key_bytes=4,
+        value_bytes=8,
+        key_bits=int(np.ceil(np.log2(KEY_SPACE))),
+    )
+    defaults.update(kwargs)
+    return MapReduceJob(name=name, **defaults)
+
+
+@pytest.mark.parametrize("n_gpus", [1, 2, 4, 8])
+def test_counts_exact_at_every_gpu_count(n_gpus):
+    ds = make_dataset()
+    result = GPMRRuntime(n_gpus=n_gpus).run(count_job(), ds)
+    np.testing.assert_array_equal(result_counts(result), reference_counts(ds))
+
+
+def test_output_keys_unique_across_ranks():
+    ds = make_dataset()
+    result = GPMRRuntime(n_gpus=4).run(count_job(), ds)
+    merged = result.merged()
+    assert len(np.unique(merged.keys)) == len(merged.keys)
+
+
+def test_round_robin_partitioner_places_keys_on_owning_rank():
+    ds = make_dataset()
+    result = GPMRRuntime(n_gpus=4).run(count_job(), ds)
+    for rank, kv in enumerate(result.outputs):
+        assert kv is not None
+        assert np.all(kv.keys % 4 == rank)
+
+
+def test_partial_reduce_same_result_less_traffic():
+    ds = make_dataset()
+    plain = GPMRRuntime(n_gpus=4).run(count_job(), ds)
+    pr = GPMRRuntime(n_gpus=4).run(
+        count_job(partial_reducer=SumPartialReducer()), ds
+    )
+    np.testing.assert_array_equal(result_counts(pr), reference_counts(ds))
+    # 64 unique keys per chunk vs 2500 raw pairs: traffic must collapse.
+    assert pr.stats.total_network_bytes < plain.stats.total_network_bytes / 5
+
+
+def test_combiner_same_result_less_traffic():
+    ds = make_dataset()
+    plain = GPMRRuntime(n_gpus=4).run(count_job(), ds)
+    cb = GPMRRuntime(n_gpus=4).run(count_job(combiner=SumCombiner()), ds)
+    np.testing.assert_array_equal(result_counts(cb), reference_counts(ds))
+    assert cb.stats.total_network_bytes < plain.stats.total_network_bytes / 5
+
+
+def test_accumulator_same_result_minimal_traffic():
+    ds = make_dataset()
+    acc = GPMRRuntime(n_gpus=4).run(
+        count_job(
+            accumulator=SumAccumulator(KEY_SPACE, value_dtype=np.int64),
+        ),
+        ds,
+    )
+    np.testing.assert_array_equal(result_counts(acc), reference_counts(ds))
+    # 4 ranks x 64 keys x 12B: tiny.
+    assert acc.stats.total_network_bytes < 64 * 4 * 12 * 4
+
+
+def test_no_partitioner_sends_everything_to_rank0():
+    ds = make_dataset(n=5_000, chunk=1_000)
+    result = GPMRRuntime(n_gpus=3).run(count_job(partitioner=None), ds)
+    assert result.outputs[0] is not None and len(result.outputs[0]) == KEY_SPACE
+    for kv in result.outputs[1:]:
+        assert kv is None or len(kv) == 0
+    np.testing.assert_array_equal(result_counts(result), reference_counts(ds))
+
+
+def test_skip_sort_reduce_returns_shuffled_pairs():
+    ds = make_dataset(n=4_000, chunk=1_000)
+    job = count_job(
+        reducer=None, config=PipelineConfig(skip_sort_reduce=True)
+    )
+    result = GPMRRuntime(n_gpus=2).run(job, ds)
+    total_pairs = sum(len(kv) for kv in result.outputs if kv is not None)
+    assert total_pairs == 4_000
+    np.testing.assert_array_equal(result_counts(result), reference_counts(ds))
+
+
+def test_double_buffer_is_faster_or_equal():
+    ds = make_dataset(n=40_000, chunk=2_000)
+    on = GPMRRuntime(n_gpus=2).run(count_job(), ds)
+    off = GPMRRuntime(n_gpus=2).run(
+        count_job(config=PipelineConfig(double_buffer=False)), ds
+    )
+    assert on.elapsed <= off.elapsed + 1e-12
+    np.testing.assert_array_equal(result_counts(on), result_counts(off))
+
+
+def test_more_gpus_is_faster_for_plain_counting():
+    ds = make_dataset(n=80_000, chunk=2_000)
+    t1 = GPMRRuntime(n_gpus=1).run(count_job(), ds).elapsed
+    t4 = GPMRRuntime(n_gpus=4).run(count_job(), ds).elapsed
+    assert t4 < t1
+
+
+def test_stats_structure():
+    ds = make_dataset()
+    result = GPMRRuntime(n_gpus=2).run(count_job(), ds)
+    stats = result.stats
+    assert stats.n_gpus == 2
+    assert stats.elapsed > 0
+    assert stats.total_chunks == 8  # 20000 / 2500
+    fr = stats.stage_fractions
+    assert abs(sum(fr.values()) - 1.0) < 1e-9
+    assert stats.total_pairs_logical == 20_000
+    assert "toy-count" in stats.describe()
+
+
+def test_stealing_balances_single_node_distribution():
+    # All chunks start on worker 0's queue; stealing must spread work.
+    ds = make_dataset(n=40_000, chunk=2_000)
+    rt = GPMRRuntime(n_gpus=4, initial_distribution="single")
+    result = rt.run(count_job(), ds)
+    np.testing.assert_array_equal(result_counts(result), reference_counts(ds))
+    assert result.stats.total_steals > 0
+    # Thieves actually mapped chunks.
+    mapped = [w.chunks_mapped for w in result.stats.workers]
+    assert sum(mapped[1:]) > 0
+
+
+def test_stealing_disabled_respects_config():
+    ds = make_dataset(n=10_000, chunk=2_500)  # 4 chunks
+    job = count_job(config=PipelineConfig(enable_stealing=False))
+    rt = GPMRRuntime(n_gpus=2, initial_distribution="blocks")
+    result = rt.run(job, ds)
+    assert result.stats.total_steals == 0
+    np.testing.assert_array_equal(result_counts(result), reference_counts(ds))
+
+
+def test_explicit_chunks_accepted():
+    data = np.array([1, 1, 2], dtype=np.uint32)
+    chunk = Chunk(index=0, data=data, logical_items=3, logical_bytes=12)
+    result = GPMRRuntime(n_gpus=1).run(count_job(), chunks=[chunk])
+    merged = result.merged()
+    assert dict(zip(merged.keys.tolist(), merged.values.tolist())) == {1: 2, 2: 1}
+
+
+def test_dataset_and_chunks_mutually_exclusive():
+    ds = make_dataset()
+    with pytest.raises(ValueError):
+        GPMRRuntime(n_gpus=1).run(count_job(), ds, chunks=[])
+    with pytest.raises(ValueError):
+        GPMRRuntime(n_gpus=1).run(count_job())
+
+
+def test_job_validation_rules():
+    with pytest.raises(ValueError, match="mutually exclusive"):
+        count_job(
+            partial_reducer=SumPartialReducer(),
+            accumulator=SumAccumulator(KEY_SPACE),
+        )
+    with pytest.raises(ValueError, match="Combine"):
+        count_job(
+            combiner=SumCombiner(), accumulator=SumAccumulator(KEY_SPACE)
+        )
+    with pytest.raises(ValueError, match="reducer"):
+        count_job(config=PipelineConfig(skip_sort_reduce=True))
+
+
+def test_runtime_validation():
+    with pytest.raises(ValueError):
+        GPMRRuntime(n_gpus=0)
+    with pytest.raises(ValueError):
+        GPMRRuntime(n_gpus=4096)
+    with pytest.raises(ValueError):
+        GPMRRuntime(n_gpus=1, initial_distribution="sideways")
+
+
+def test_sampled_run_matches_sampled_reference():
+    full = IntegerDataset(
+        n_elements=64_000, chunk_elements=8_000, key_space=KEY_SPACE, seed=5
+    )
+    sampled = IntegerDataset(
+        n_elements=64_000, chunk_elements=8_000, key_space=KEY_SPACE,
+        seed=5, sample_factor=8,
+    )
+    result = GPMRRuntime(n_gpus=2).run(count_job(), sampled)
+    np.testing.assert_array_equal(result_counts(result), reference_counts(sampled))
+    # Logical pair count reflects full scale.
+    assert result.stats.total_pairs_logical == 64_000
+    # And the sampled run's network bytes match the full run's (logical).
+    full_res = GPMRRuntime(n_gpus=2).run(count_job(), full)
+    assert result.stats.total_network_bytes == pytest.approx(
+        full_res.stats.total_network_bytes, rel=0.01
+    )

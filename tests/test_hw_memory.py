@@ -1,0 +1,159 @@
+"""Unit and property tests for the device-memory allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.memory import Allocation, DeviceAllocator, OutOfDeviceMemory
+
+CAP = 1 << 20  # 1 MiB
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        DeviceAllocator(0)
+
+
+def test_simple_alloc_free_cycle():
+    a = DeviceAllocator(CAP)
+    alloc = a.alloc(1000, tag="buf")
+    assert alloc.size >= 1000
+    assert alloc.size % DeviceAllocator.ALIGNMENT == 0
+    assert a.used == alloc.size
+    a.free(alloc)
+    assert a.used == 0
+    assert a.largest_free_block() == CAP
+
+
+def test_alloc_rounds_to_alignment():
+    a = DeviceAllocator(CAP)
+    alloc = a.alloc(1)
+    assert alloc.size == DeviceAllocator.ALIGNMENT
+
+
+def test_zero_byte_alloc_gets_minimum_block():
+    a = DeviceAllocator(CAP)
+    alloc = a.alloc(0)
+    assert alloc.size == DeviceAllocator.ALIGNMENT
+
+
+def test_oom_raises():
+    a = DeviceAllocator(1024)
+    a.alloc(512)
+    with pytest.raises(OutOfDeviceMemory):
+        a.alloc(1024)
+
+
+def test_oom_carries_diagnostics():
+    a = DeviceAllocator(1024)
+    a.alloc(512)
+    try:
+        a.alloc(1024)
+    except OutOfDeviceMemory as exc:
+        assert exc.requested == 1024
+        assert exc.capacity == 1024
+
+
+def test_double_free_rejected():
+    a = DeviceAllocator(CAP)
+    alloc = a.alloc(128)
+    a.free(alloc)
+    with pytest.raises(ValueError):
+        a.free(alloc)
+
+
+def test_foreign_allocation_rejected():
+    a = DeviceAllocator(CAP)
+    a.alloc(256)
+    with pytest.raises(ValueError):
+        a.free(Allocation(offset=0, size=512))
+
+
+def test_free_coalesces_neighbours():
+    a = DeviceAllocator(CAP)
+    x = a.alloc(256)
+    y = a.alloc(256)
+    z = a.alloc(256)
+    # Free in an order that requires both-sides coalescing for y.
+    a.free(x)
+    a.free(z)
+    a.free(y)
+    assert a.largest_free_block() == CAP
+
+
+def test_allocations_never_overlap():
+    a = DeviceAllocator(CAP)
+    allocs = [a.alloc(1000) for _ in range(100)]
+    spans = sorted((al.offset, al.end) for al in allocs)
+    for (lo1, hi1), (lo2, hi2) in zip(spans, spans[1:]):
+        assert hi1 <= lo2
+
+
+def test_peak_used_high_water_mark():
+    a = DeviceAllocator(CAP)
+    x = a.alloc(1024)
+    y = a.alloc(2048)
+    a.free(x)
+    a.free(y)
+    assert a.peak_used == 1024 + 2048
+    assert a.used == 0
+
+
+def test_would_fit_tracks_fragmentation():
+    a = DeviceAllocator(1024)
+    x = a.alloc(256)
+    y = a.alloc(256)
+    z = a.alloc(512)
+    a.free(x)
+    a.free(z)
+    # 768 bytes are free but the largest hole is 512.
+    assert a.free_bytes == 768
+    assert a.would_fit(512)
+    assert not a.would_fit(768)
+    del y
+
+
+def test_reset_restores_full_capacity():
+    a = DeviceAllocator(CAP)
+    a.alloc(4096)
+    a.reset()
+    assert a.used == 0
+    assert a.largest_free_block() == CAP
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["alloc", "free"]), st.integers(1, 4096)),
+        min_size=1,
+        max_size=120,
+    )
+)
+def test_property_allocator_invariants(ops):
+    """Random alloc/free sequences preserve the core invariants."""
+    a = DeviceAllocator(CAP)
+    live = []
+    for op, size in ops:
+        if op == "alloc":
+            try:
+                live.append(a.alloc(size))
+            except OutOfDeviceMemory:
+                pass
+        elif live:
+            a.free(live.pop(size % len(live)))
+
+        # Invariant 1: accounting balances.
+        assert a.used + a.free_bytes == CAP
+        # Invariant 2: used equals the sum of live allocation sizes.
+        assert a.used == sum(al.size for al in live)
+        # Invariant 3: live allocations are disjoint and in-bounds.
+        spans = sorted((al.offset, al.end) for al in live)
+        for (lo1, hi1), (lo2, hi2) in zip(spans, spans[1:]):
+            assert hi1 <= lo2
+        for lo, hi in spans:
+            assert 0 <= lo < hi <= CAP
+
+    for al in live:
+        a.free(al)
+    assert a.used == 0
+    assert a.largest_free_block() == CAP

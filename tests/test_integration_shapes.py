@@ -1,0 +1,137 @@
+"""Fast integration tests of the paper's performance shapes.
+
+Miniature versions of the headline bench assertions (smaller datasets,
+fewer sweep points) so ordinary `pytest tests/` already guards the
+reproduction's qualitative claims; the full-scale versions live in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.apps import (
+    kmc_dataset,
+    mm_dataset,
+    run_kmc,
+    run_lr,
+    run_matmul,
+    run_sio,
+    run_wo,
+    lr_dataset,
+    sio_dataset,
+    wo_dataset,
+)
+from repro.baselines import MarsModel, PhoenixModel
+from repro.apps import (
+    kmc_phoenix_workload,
+    mm_phoenix_workload,
+    sio_phoenix_workload,
+)
+
+M = 1 << 20
+
+
+def efficiency(t1, tn, n):
+    return t1 / (n * tn)
+
+
+def test_mm_scales_better_than_sio():
+    """Compute-bound vs communication-bound is the paper's core contrast."""
+    mm = mm_dataset(8192, tile=1024, kspan=8, sample_factor=16, seed=1)
+    t1 = run_matmul(1, mm).elapsed
+    t8 = run_matmul(8, mm).elapsed
+    mm_eff = efficiency(t1, t8, 8)
+
+    sio = sio_dataset(32 * M, chunk_elements=2 * M, sample_factor=32, seed=1)
+    t1 = run_sio(1, sio).elapsed
+    t8 = run_sio(8, sio).elapsed
+    sio_eff = efficiency(t1, t8, 8)
+
+    assert mm_eff > 0.75
+    assert mm_eff > sio_eff + 0.1
+
+
+def test_sio_superlinear_when_data_fits_in_core():
+    """The 4-GPU in-core bump: per-rank pair set drops under the sort
+    budget, skipping the out-of-core merge passes."""
+    ds = sio_dataset(128 * M, chunk_elements=8 * M, sample_factor=128, seed=2)
+    t1 = run_sio(1, ds).elapsed
+    t4 = run_sio(4, ds).elapsed
+    assert efficiency(t1, t4, 4) > 1.05
+
+
+def test_kmc_keeps_majority_efficiency_at_16():
+    ds = kmc_dataset(128 * M, chunk_points=2 * M, sample_factor=128, seed=3)
+    t1 = run_kmc(1, ds).elapsed
+    t16 = run_kmc(16, ds).elapsed
+    assert efficiency(t1, t16, 16) > 0.6
+
+
+def test_lr_scaling_is_poor():
+    """LR: h2d-bound map, so extra GPUs pay little."""
+    ds = lr_dataset(64 * M, chunk_points=2 * M, sample_factor=64, seed=4)
+    t1 = run_lr(1, ds).elapsed
+    t16 = run_lr(16, ds).elapsed
+    assert efficiency(t1, t16, 16) < 0.6
+
+
+def test_wo_partitioner_crossover_helps_at_scale():
+    """Above the GPU threshold the round-robin partitioner must beat
+    funnelling every accumulated table into rank 0."""
+    ds = wo_dataset(64 * M, chunk_chars=2 * M, sample_factor=64, seed=5)
+    with_part = run_wo(16, ds, partitioner_threshold=8).elapsed
+    without = run_wo(16, ds, partitioner_threshold=999).elapsed
+    assert with_part <= without * 1.02
+
+
+def test_smaller_inputs_collapse_earlier():
+    """Figure 3's within-panel ordering: efficiency grows with size."""
+    small = wo_dataset(1 * M, chunk_chars=1 * M, seed=6)
+    big = wo_dataset(64 * M, chunk_chars=2 * M, sample_factor=64, seed=6)
+
+    def eff(ds):
+        t1 = run_wo(1, ds).elapsed
+        t16 = run_wo(16, ds).elapsed
+        return efficiency(t1, t16, 16)
+
+    assert eff(big) > eff(small) + 0.15
+
+
+def test_gpmr_beats_phoenix_everywhere_small():
+    """Table 2's headline at reduced size."""
+    phoenix = PhoenixModel()
+
+    sio = sio_dataset(8 * M, chunk_elements=1 * M, sample_factor=8, seed=7)
+    t = run_sio(1, sio).elapsed
+    assert phoenix.runtime(sio_phoenix_workload(sio)).total > t
+
+    kmc = kmc_dataset(8 * M, chunk_points=1 * M, sample_factor=8, seed=7)
+    t = run_kmc(1, kmc).elapsed
+    assert phoenix.runtime(kmc_phoenix_workload(kmc)).total > t
+
+    mm = mm_dataset(1024, tile=256, kspan=4, sample_factor=4, seed=7)
+    t = run_matmul(1, mm).elapsed
+    assert phoenix.runtime(mm_phoenix_workload(mm)).total > 20 * t
+
+
+def test_figure2_shift_sio_sort_to_communication():
+    """SIO's bottleneck migrates from sort (1 GPU) to comms (16 GPUs)."""
+    ds = sio_dataset(64 * M, chunk_elements=4 * M, sample_factor=64, seed=8)
+    f1 = run_sio(1, ds).stats.stage_fractions
+    f16 = run_sio(16, ds).stats.stage_fractions
+    assert f1["sort"] > 0.3
+    comm16 = f16["bin"] + f16["scheduler"]
+    assert comm16 > f16["sort"]
+    assert comm16 > f1["bin"] + f1["scheduler"]
+
+
+def test_weak_scaling_stays_flat_for_compute_bound():
+    """Table 1's second set: per-GPU-constant input => near-constant
+    time for the accumulation jobs."""
+    times = {}
+    for g in (1, 4, 8):
+        ds = kmc_dataset(
+            8 * M * g, chunk_points=1 * M, sample_factor=8 * g, seed=9
+        )
+        times[g] = run_kmc(g, ds).elapsed
+    assert times[4] < times[1] * 1.45
+    assert times[8] < times[1] * 1.5

@@ -1,0 +1,124 @@
+"""Tests for the contention-aware network fabric."""
+
+import pytest
+
+from repro.hw.specs import OPTERON_2216_2P, QDR_INFINIBAND
+from repro.net import Fabric, StarTopology
+from repro.sim import Environment
+
+
+def make_fabric(env, n_nodes=4):
+    topo = StarTopology(n_nodes, QDR_INFINIBAND)
+    return Fabric(env, topo, OPTERON_2216_2P)
+
+
+def test_duration_formula_internode():
+    env = Environment()
+    fab = make_fabric(env)
+    expected = QDR_INFINIBAND.latency + 1e6 / QDR_INFINIBAND.bandwidth
+    assert fab.duration(0, 1, 1_000_000) == pytest.approx(expected)
+
+
+def test_duration_loopback_uses_host_memory():
+    env = Environment()
+    fab = make_fabric(env)
+    expected = fab.loopback_latency + 1e6 / fab.loopback_bandwidth
+    assert fab.duration(2, 2, 1_000_000) == pytest.approx(expected)
+
+
+def test_loopback_faster_than_wire():
+    env = Environment()
+    fab = make_fabric(env)
+    assert fab.duration(0, 0, 10_000_000) < fab.duration(0, 1, 10_000_000)
+
+
+def test_send_advances_clock():
+    env = Environment()
+    fab = make_fabric(env)
+
+    def proc(env):
+        elapsed = yield from fab.send(0, 1, 5_000_000)
+        return elapsed
+
+    elapsed = env.run(until=env.process(proc(env)))
+    assert env.now == pytest.approx(fab.duration(0, 1, 5_000_000))
+    assert elapsed == pytest.approx(env.now)
+
+
+def test_same_tx_link_contends():
+    env = Environment()
+    fab = make_fabric(env)
+
+    def send(env, dst):
+        yield from fab.send(0, dst, 28_000_000)
+
+    env.process(send(env, 1))
+    env.process(send(env, 2))
+    env.run()
+    # Both leave node 0's NIC: must serialise.
+    assert env.now == pytest.approx(2 * fab.duration(0, 1, 28_000_000), rel=1e-3)
+
+
+def test_disjoint_pairs_proceed_in_parallel():
+    env = Environment()
+    fab = make_fabric(env)
+
+    def send(env, src, dst):
+        yield from fab.send(src, dst, 28_000_000)
+
+    env.process(send(env, 0, 1))
+    env.process(send(env, 2, 3))
+    env.run()
+    assert env.now == pytest.approx(fab.duration(0, 1, 28_000_000), rel=1e-3)
+
+
+def test_rx_side_contends_too():
+    env = Environment()
+    fab = make_fabric(env)
+
+    def send(env, src):
+        yield from fab.send(src, 3, 28_000_000)
+
+    env.process(send(env, 0))
+    env.process(send(env, 1))
+    env.run()
+    # Both must traverse switch->3.
+    assert env.now == pytest.approx(2 * fab.duration(0, 3, 28_000_000), rel=1e-3)
+
+
+def test_loopback_does_not_use_nic():
+    env = Environment()
+    fab = make_fabric(env)
+
+    def wire(env):
+        yield from fab.send(0, 1, 28_000_000)
+
+    def loop(env):
+        elapsed = yield from fab.send(0, 0, 1_000_000)
+        return elapsed
+
+    env.process(wire(env))
+    p = env.process(loop(env))
+    env.run()
+    # Loopback completed unaffected by the busy NIC.
+    assert p.value == pytest.approx(fab.duration(0, 0, 1_000_000))
+
+
+def test_fabric_counters():
+    env = Environment()
+    fab = make_fabric(env)
+
+    def proc(env):
+        yield from fab.send(0, 1, 1000)
+        yield from fab.send(1, 0, 500)
+
+    env.run(until=env.process(proc(env)))
+    assert fab.bytes_sent == 1500
+    assert fab.messages_sent == 2
+
+
+def test_negative_size_rejected():
+    env = Environment()
+    fab = make_fabric(env)
+    with pytest.raises(ValueError):
+        list(fab.send(0, 1, -5))
