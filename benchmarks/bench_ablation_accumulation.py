@@ -9,7 +9,7 @@ data well)."
 from repro.harness import ablation_accumulation
 
 
-def test_accumulation_ablation(benchmark, save_result):
+def test_accumulation_ablation(benchmark, save_result, check):
     result = benchmark.pedantic(
         ablation_accumulation, rounds=1, iterations=1
     )
@@ -19,11 +19,11 @@ def test_accumulation_ablation(benchmark, save_result):
     benchmark.extra_info.update({k: round(v, 2) for k, v in f.items()})
 
     # Removing accumulation hurts every job substantially.
-    assert f["wo_slowdown"] > 1.5, "WO must degrade without accumulation"
-    assert f["kmc_slowdown"] > 2.0, "KMC must degrade without accumulation"
-    assert f["lr_slowdown"] > 2.0, "LR must degrade without accumulation"
+    check(f["wo_slowdown"] > 1.5, "WO must degrade without accumulation")
+    check(f["kmc_slowdown"] > 2.0, "KMC must degrade without accumulation")
+    check(f["lr_slowdown"] > 2.0, "LR must degrade without accumulation")
 
     # KMC's map alone was "almost 8x" slower in the paper; end-to-end
     # slowdowns of the same order, not orders of magnitude beyond.
-    assert f["kmc_slowdown"] < 40
-    assert f["lr_slowdown"] < 60
+    check(f["kmc_slowdown"] < 40, "KMC slowdown stays same-order")
+    check(f["lr_slowdown"] < 60, "LR slowdown stays same-order")

@@ -10,7 +10,7 @@ balancer.  The sweep should show a sweet spot in the middle.
 from repro.harness import ablation_chunk_size
 
 
-def test_chunk_size_ablation(benchmark, save_result):
+def test_chunk_size_ablation(benchmark, save_result, check):
     result = benchmark.pedantic(ablation_chunk_size, rounds=1, iterations=1)
     save_result("ablation_chunksize", result.render())
 
@@ -24,9 +24,9 @@ def test_chunk_size_ablation(benchmark, save_result):
     # share so streaming overlap works.  Whole-share chunks (64M ints =
     # the full 2-chunk split at 8 GPUs) forfeit the double buffer and
     # the bin/map overlap:
-    assert f["chunk_64M"] > 2 * best, "whole-share chunks must lose badly"
-    assert f["chunk_16M"] > f["chunk_1M"], "fewer chunks -> less overlap"
+    check(f["chunk_64M"] > 2 * best, "whole-share chunks must lose badly")
+    check(f["chunk_16M"] > f["chunk_1M"], "fewer chunks -> less overlap")
 
     # Small-to-mid chunks are all competitive (per-chunk overheads are
     # microseconds against megabyte transfers).
-    assert f["chunk_4M"] < 1.5 * best
+    check(f["chunk_4M"] < 1.5 * best, "small-to-mid chunks competitive")

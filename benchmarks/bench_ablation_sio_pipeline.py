@@ -9,7 +9,7 @@ substages add GPU time without removing transfer volume.
 from repro.harness import ablation_sio_pipeline
 
 
-def test_sio_pipeline_ablation(benchmark, save_result):
+def test_sio_pipeline_ablation(benchmark, save_result, check):
     result = benchmark.pedantic(
         ablation_sio_pipeline, rounds=1, iterations=1
     )
@@ -20,6 +20,6 @@ def test_sio_pipeline_ablation(benchmark, save_result):
 
     # The plain pipeline is the right choice (paper's conclusion):
     # partial reduction yields no speedup...
-    assert f["partial_reduce"] >= f["plain"] * 0.98
+    check(f["partial_reduce"] >= f["plain"] * 0.98, "partial reduce: no speedup")
     # ...and combine causes a slowdown.
-    assert f["combine"] > f["plain"] * 1.05
+    check(f["combine"] > f["plain"] * 1.05, "combine causes slowdown")

@@ -9,7 +9,7 @@ reduced (by an order of magnitude in some cases) down to less than
 from repro.harness import ablation_wo_reduce
 
 
-def test_wo_reduce_ablation(benchmark, save_result):
+def test_wo_reduce_ablation(benchmark, save_result, check):
     result = benchmark.pedantic(ablation_wo_reduce, rounds=1, iterations=1)
     save_result("ablation_wo_reduce", result.render())
 
@@ -17,10 +17,10 @@ def test_wo_reduce_ablation(benchmark, save_result):
     benchmark.extra_info.update({k: round(v, 6) for k, v in f.items()})
 
     # Order-of-magnitude kernel-level gap.
-    assert f["kernel_speedup"] > 5, "warp-per-key should win by ~10x"
+    check(f["kernel_speedup"] > 5, "warp-per-key should win by ~10x")
 
     # "down to less than 3 ms" for the warp variant.
-    assert f["warp_kernel_s"] < 0.003
+    check(f["warp_kernel_s"] < 0.003, "warp reduce under 3 ms")
 
     # The full job barely notices (reduce is a tiny share of WO).
-    assert f["job_speedup"] < 1.5
+    check(f["job_speedup"] < 1.5, "full job barely notices reduce kernel")

@@ -11,7 +11,7 @@ Paper's qualitative content, asserted here:
 from repro.harness import figure2
 
 
-def test_figure2_runtime_breakdowns(benchmark, save_result):
+def test_figure2_runtime_breakdowns(benchmark, save_result, check):
     result = benchmark.pedantic(figure2, rounds=1, iterations=1)
     save_result("figure2_breakdown", result.render())
 
@@ -19,23 +19,24 @@ def test_figure2_runtime_breakdowns(benchmark, save_result):
 
     # MM: compute-bound at every scale.
     for g in (1, 8, 64):
-        assert f("MM", g, "map") > 0.55, f"MM at {g} GPUs should be map-bound"
+        check(f("MM", g, "map") > 0.55, f"MM at {g} GPUs should be map-bound")
 
     # SIO at 1 GPU: the sort (including out-of-core merge passes)
     # dominates; at 64 GPUs the bottleneck moves to data movement
     # (exposed binning + receive waiting), not sort.
-    assert f("SIO", 1, "sort") > 0.3
+    check(f("SIO", 1, "sort") > 0.3, "SIO at 1 GPU should be sort-heavy")
     sio_comm_64 = f("SIO", 64, "bin") + f("SIO", 64, "scheduler")
-    assert sio_comm_64 > f("SIO", 64, "sort")
-    assert sio_comm_64 > 0.3
+    check(sio_comm_64 > f("SIO", 64, "sort"), "SIO at 64 GPUs is comm-bound")
+    check(sio_comm_64 > 0.3, "SIO at 64 GPUs is comm-bound")
 
     # KMC and LR: map-dominated on one GPU.
-    assert f("KMC", 1, "map") > 0.8
-    assert f("LR", 1, "map") > 0.8
+    check(f("KMC", 1, "map") > 0.8, "KMC at 1 GPU should be map-bound")
+    check(f("LR", 1, "map") > 0.8, "LR at 1 GPU should be map-bound")
 
     # LR: the internal/scheduler share grows as per-GPU work shrinks.
-    assert f("LR", 64, "scheduler") > f("LR", 1, "scheduler")
-    assert f("LR", 64, "scheduler") > 0.1
+    check(f("LR", 64, "scheduler") > f("LR", 1, "scheduler"),
+          "LR scheduler share grows with GPU count")
+    check(f("LR", 64, "scheduler") > 0.1, "LR scheduler share at 64 GPUs")
 
     # Fractions are proper distributions.
     for (app, g), frac in result.breakdowns.items():

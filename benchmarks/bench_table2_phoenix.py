@@ -13,7 +13,7 @@ Shape assertions (not absolute parity — see EXPERIMENTS.md):
 from repro.harness import PAPER_TABLE2, table2
 
 
-def test_table2_phoenix_speedups(benchmark, save_result):
+def test_table2_phoenix_speedups(benchmark, save_result, check):
     result = benchmark.pedantic(table2, rounds=1, iterations=1)
     save_result("table2_phoenix", result.render())
 
@@ -23,20 +23,21 @@ def test_table2_phoenix_speedups(benchmark, save_result):
 
     # GPMR wins everywhere at a single GPU.
     for app, speedup in s1.items():
-        assert speedup > 1.0, f"{app}: GPMR should beat Phoenix ({speedup:.2f}x)"
+        check(speedup > 1.0, f"{app}: GPMR should beat Phoenix ({speedup:.2f}x)")
 
     # MM is in a different class (paper: 162x).
-    assert s1["MM"] > 50
-    assert s1["MM"] > 10 * max(s1["KMC"], s1["WO"], s1["SIO"], s1["LR"])
+    check(s1["MM"] > 50, "MM speedup is orders of magnitude")
+    check(s1["MM"] > 10 * max(s1["KMC"], s1["WO"], s1["SIO"], s1["LR"]),
+          "MM dominates the other speedups")
 
     # Compute-light jobs barely win (paper: LR 1.30, SIO 1.45).
-    assert s1["LR"] < 3
-    assert s1["SIO"] < 4
+    check(s1["LR"] < 3, "LR barely beats Phoenix")
+    check(s1["SIO"] < 4, "SIO barely beats Phoenix")
 
     # WO and KMC benefit strongly from accumulation (paper: 11.1, 3.0).
-    assert s1["WO"] > s1["SIO"]
-    assert s1["KMC"] > s1["SIO"]
+    check(s1["WO"] > s1["SIO"], "WO above SIO")
+    check(s1["KMC"] > s1["SIO"], "KMC above SIO")
 
     # Four GPUs extend the lead on every benchmark.
     for app in PAPER_TABLE2:
-        assert s4[app] > s1[app], f"{app}: 4-GPU speedup should exceed 1-GPU"
+        check(s4[app] > s1[app], f"{app}: 4-GPU speedup should exceed 1-GPU")

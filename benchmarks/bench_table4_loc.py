@@ -7,7 +7,7 @@ non-comment, non-docstring lines) and print them beside the paper's
 numbers.
 """
 
-from repro.harness import PAPER_TABLE4, table4
+from repro.harness import table4
 
 
 def test_table4_loc(benchmark, save_result):

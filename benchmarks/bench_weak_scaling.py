@@ -9,7 +9,7 @@ all-to-all SIO degrades as the shuffled volume grows with the cluster.
 from repro.harness.weak_scaling import weak_scaling
 
 
-def test_weak_scaling(benchmark, save_result):
+def test_weak_scaling(benchmark, save_result, check):
     result = benchmark.pedantic(weak_scaling, rounds=1, iterations=1)
     save_result("weak_scaling", result.render())
 
@@ -23,13 +23,13 @@ def test_weak_scaling(benchmark, save_result):
     )
 
     # Accumulation jobs hold weak efficiency at 32 GPUs.
-    assert wo.efficiency_at(32) > 0.7
-    assert kmc.efficiency_at(32) > 0.7
+    check(wo.efficiency_at(32) > 0.7, "WO weak-scales")
+    check(kmc.efficiency_at(32) > 0.7, "KMC weak-scales")
 
     # SIO's all-to-all shuffle degrades with cluster size.
-    assert sio.efficiency_at(32) < 0.6
-    assert sio.efficiency_at(32) < kmc.efficiency_at(32)
+    check(sio.efficiency_at(32) < 0.6, "SIO weak efficiency degrades")
+    check(sio.efficiency_at(32) < kmc.efficiency_at(32), "SIO below KMC")
 
     # LR sits between: h2d streams weak-scale, the single reducer and
     # fixed overheads erode a little.
-    assert lr.efficiency_at(32) > 0.5
+    check(lr.efficiency_at(32) > 0.5, "LR holds moderate weak efficiency")

@@ -9,7 +9,6 @@ Reproduces the paper's flagship scaling result at example scale: a
     python examples/matmul_cluster.py
 """
 
-import numpy as np
 
 from repro.apps import mm_dataset, mm_validate, run_matmul
 

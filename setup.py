@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` also works on older pip/setuptools stacks that
+lack PEP 660 editable-wheel support (they fall back to
+``setup.py develop``, which needs no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -9,21 +9,33 @@ itself (:mod:`repro.core`), the paper's five benchmarks
 (:mod:`repro.baselines`), and a harness regenerating every table and
 figure (:mod:`repro.harness`).
 
+Execution is pluggable (:mod:`repro.core.executor`): the same job runs
+on the simulated cluster (``"sim"``), on real ``multiprocessing``
+workers (``"local"``, :mod:`repro.exec`), or serially in-process
+(``"serial"``), with bit-identical results.
+
 Quickstart::
 
-    from repro.core import GPMRRuntime
-    from repro.apps import word_occurrence_job
-    from repro.workloads import TextDataset
+    from repro.core import make_executor
+    from repro.apps import wo_job, wo_dataset
 
-    ds = TextDataset(n_chars=1 << 20)
-    job = word_occurrence_job(n_gpus=4)
-    result = GPMRRuntime(n_gpus=4).run(job, ds)
+    ds = wo_dataset(n_chars=1 << 20)
+    job = wo_job(n_gpus=4)
+    result = make_executor("sim", 4).run(job, ds)      # modeled cluster
+    result = make_executor("local", 4).run(job, ds)    # real processes
     print(result.stats.describe())
 """
 
-__version__ = "1.0.0"
+from .core import (
+    GPMRRuntime,
+    JobResult,
+    KeyValueSet,
+    MapReduceJob,
+    PipelineConfig,
+    make_executor,
+)
 
-from .core import GPMRRuntime, JobResult, KeyValueSet, MapReduceJob, PipelineConfig
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -32,4 +44,5 @@ __all__ = [
     "KeyValueSet",
     "MapReduceJob",
     "PipelineConfig",
+    "make_executor",
 ]

@@ -27,13 +27,13 @@ import numpy as np
 from ..baselines.mars import MarsWorkload
 from ..baselines.phoenix import PhoenixWorkload
 from ..core import (
-    GPMRRuntime,
     KeyValueSet,
     MapReduceJob,
     Mapper,
     Partitioner,
     Reducer,
     SumAccumulator,
+    make_executor,
 )
 from ..core.chunk import Chunk
 from ..core.runtime import JobResult
@@ -360,9 +360,10 @@ def run_kmc(
     n_gpus: int,
     dataset: KMeansDataset,
     use_accumulation: bool = True,
-    **runtime_kwargs,
+    backend: str = "sim",
+    **executor_kwargs,
 ) -> JobResult:
-    """Convenience: run one KMC iteration on ``n_gpus`` simulated GPUs."""
-    return GPMRRuntime(n_gpus=n_gpus, **runtime_kwargs).run(
+    """Convenience: run one KMC iteration on ``n_gpus`` workers."""
+    return make_executor(backend, n_gpus, **executor_kwargs).run(
         kmc_job(dataset, use_accumulation=use_accumulation), dataset
     )

@@ -21,12 +21,12 @@ import numpy as np
 from ..baselines.mars import MarsWorkload
 from ..baselines.phoenix import PhoenixWorkload
 from ..core import (
-    GPMRRuntime,
     KeyValueSet,
     MapReduceJob,
     Mapper,
     Reducer,
     SumAccumulator,
+    make_executor,
 )
 from ..core.chunk import Chunk
 from ..core.runtime import JobResult
@@ -289,9 +289,10 @@ def run_lr(
     n_gpus: int,
     dataset: RegressionDataset,
     use_accumulation: bool = True,
-    **runtime_kwargs,
+    backend: str = "sim",
+    **executor_kwargs,
 ) -> JobResult:
-    """Convenience: run LR on ``n_gpus`` simulated GPUs."""
-    return GPMRRuntime(n_gpus=n_gpus, **runtime_kwargs).run(
+    """Convenience: run LR on ``n_gpus`` workers of ``backend``."""
+    return make_executor(backend, n_gpus, **executor_kwargs).run(
         lr_job(use_accumulation=use_accumulation), dataset
     )

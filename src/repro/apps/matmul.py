@@ -22,7 +22,7 @@ the scaling yardstick (near-perfect efficiency at 64 GPUs for 16384^2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 import numpy as np
 
@@ -30,12 +30,12 @@ from ..baselines.mars import MarsWorkload
 from ..baselines.phoenix import PhoenixWorkload
 from ..core import (
     Chunk,
-    GPMRRuntime,
     KeyValueSet,
     MapReduceJob,
     Mapper,
     PipelineConfig,
     RoundRobinPartitioner,
+    make_executor,
 )
 from ..core.runtime import JobResult
 from ..core.stats import JobStats, WorkerStats
@@ -239,12 +239,14 @@ def _phase2_chunks(dataset: MatrixDataset, phase1: JobResult) -> List[Chunk]:
     return chunks
 
 
-def run_matmul(n_gpus: int, dataset: MatrixDataset, **runtime_kwargs) -> MMResult:
+def run_matmul(
+    n_gpus: int, dataset: MatrixDataset, backend: str = "sim", **executor_kwargs
+) -> MMResult:
     """Run the full two-phase MM job; returns the assembled product."""
-    rt = GPMRRuntime(n_gpus=n_gpus, **runtime_kwargs)
-    phase1 = rt.run(mm_phase1_job(dataset), dataset)
+    ex = make_executor(backend, n_gpus, **executor_kwargs)
+    phase1 = ex.run(mm_phase1_job(dataset), dataset)
     chunks = _phase2_chunks(dataset, phase1)
-    phase2 = rt.run(mm_phase2_job(dataset), chunks=chunks)
+    phase2 = ex.run(mm_phase2_job(dataset), chunks=chunks)
 
     t = dataset.tile_actual
     grid = dataset.grid

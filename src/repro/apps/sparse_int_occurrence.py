@@ -28,12 +28,12 @@ import numpy as np
 from ..baselines.mars import MarsWorkload
 from ..baselines.phoenix import PhoenixWorkload
 from ..core import (
-    GPMRRuntime,
     KeyValueSet,
     MapReduceJob,
     Mapper,
     Reducer,
     RoundRobinPartitioner,
+    make_executor,
 )
 from ..core.chunk import Chunk
 from ..core.runtime import JobResult
@@ -202,8 +202,10 @@ def sio_mars_workload(dataset: IntegerDataset) -> MarsWorkload:
     )
 
 
-def run_sio(n_gpus: int, dataset: IntegerDataset, **runtime_kwargs) -> JobResult:
-    """Convenience: run SIO on ``n_gpus`` simulated GPUs."""
-    return GPMRRuntime(n_gpus=n_gpus, **runtime_kwargs).run(
+def run_sio(
+    n_gpus: int, dataset: IntegerDataset, backend: str = "sim", **executor_kwargs
+) -> JobResult:
+    """Convenience: run SIO on ``n_gpus`` workers of ``backend``."""
+    return make_executor(backend, n_gpus, **executor_kwargs).run(
         sio_job(dataset.key_space), dataset
     )

@@ -22,20 +22,20 @@ decisions, all reproduced here:
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
 from ..baselines.mars import MarsWorkload
 from ..baselines.phoenix import PhoenixWorkload
 from ..core import (
-    GPMRRuntime,
     KeyValueSet,
     MapReduceJob,
     Mapper,
     Reducer,
     RoundRobinPartitioner,
     SumAccumulator,
+    make_executor,
 )
 from ..core.chunk import Chunk
 from ..core.runtime import JobResult
@@ -291,7 +291,9 @@ def wo_mars_workload(dataset: TextDataset) -> MarsWorkload:
     )
 
 
-def run_wo(n_gpus: int, dataset: TextDataset, **job_kwargs) -> JobResult:
-    """Convenience: run WO on ``n_gpus`` simulated GPUs."""
+def run_wo(
+    n_gpus: int, dataset: TextDataset, backend: str = "sim", **job_kwargs
+) -> JobResult:
+    """Convenience: run WO on ``n_gpus`` workers of ``backend``."""
     job = wo_job(n_gpus, n_words=len(dataset.dictionary), **job_kwargs)
-    return GPMRRuntime(n_gpus=n_gpus).run(job, dataset)
+    return make_executor(backend, n_gpus).run(job, dataset)

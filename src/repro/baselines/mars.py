@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from typing import List
 
 from ..hw.kernel import KernelLaunch, kernel_duration
-from ..hw.specs import GPUSpec, GT200, PCIE_GEN1_X16, PCIeSpec
+from ..hw.specs import GPUSpec, GT200, PCIeSpec
 from ..primitives import bitonic_sort_cost, scan_cost
 from ..util.validation import check_positive
 

@@ -10,10 +10,12 @@ Public API surface::
         KeyValueSet, Chunk,
     )
 
-A job is a :class:`MapReduceJob` (mapper + optional substages); a
-:class:`GPMRRuntime` runs it on ``n_gpus`` of a simulated cluster and
-returns a :class:`JobResult` with per-rank outputs and per-stage
-timing (`JobStats`).
+A job is a :class:`MapReduceJob` (mapper + optional substages); an
+:class:`Executor` runs it and returns a :class:`JobResult` with
+per-rank outputs and per-stage timing (`JobStats`).  Backends are
+pluggable via :func:`make_executor`: ``"sim"`` (the simulated cluster,
+:class:`GPMRRuntime` underneath), ``"local"`` (real ``multiprocessing``
+workers), and ``"serial"`` (in-process real execution).
 """
 
 from .binner import TAG_DATA, TAG_FLUSH, Binner
@@ -28,6 +30,15 @@ from .combine import (
     combine_by_key_sum,
 )
 from .config import PipelineConfig
+from .executor import (
+    Executor,
+    SimExecutor,
+    available_backends,
+    distribute_chunks,
+    make_executor,
+    register_backend,
+    resolve_chunks,
+)
 from .job import MapReduceJob
 from .kvset import KeyValueSet
 from .mapper import Mapper
@@ -49,6 +60,13 @@ __all__ = [
     "GPMRRuntime",
     "JobResult",
     "PipelineConfig",
+    "Executor",
+    "SimExecutor",
+    "make_executor",
+    "register_backend",
+    "available_backends",
+    "resolve_chunks",
+    "distribute_chunks",
     "Mapper",
     "Reducer",
     "Partitioner",

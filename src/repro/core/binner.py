@@ -10,11 +10,18 @@ with one MPI send ("requiring only one network send per Reducer").
 Completion protocol: receivers cannot know how many data messages to
 expect, so after its last bin each worker sends a FLUSH message to
 every rank carrying the count of DATA messages it sent there.
+
+Every DATA payload is wrapped as ``(seq, KeyValueSet)``, where ``seq``
+counts this sender's submissions to that destination.  Receivers order
+the gathered payloads by ``(source rank, seq)`` — a *canonical* shuffle
+order that does not depend on simulated arrival times, so the sim
+backend produces bit-identical reductions to the real execution
+backends (see :mod:`repro.exec`).
 """
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional
+from typing import Generator, List, Tuple
 
 from .kvset import KeyValueSet
 from ..hw.cpu import HostCPU
@@ -46,28 +53,35 @@ class Binner:
         self._inflight: List[Event] = []
 
     # -- transmission ------------------------------------------------------
-    def _bin_proc(self, parts: List[KeyValueSet]) -> Generator:
-        total_bytes = sum(p.nbytes_logical for p in parts if len(p))
+    def _bin_proc(self, sends_planned: List[Tuple[int, int, KeyValueSet]]) -> Generator:
+        total_bytes = sum(p.nbytes_logical for _, _, p in sends_planned)
         if total_bytes:
             # Host-side packing of the send buffers on one core.
             yield from self.cpu.process_bytes(total_bytes, tag="bin-pack")
-        sends = []
-        for dest, part in enumerate(parts):
-            if len(part) == 0:
-                continue
-            sends.append(
-                self.comm.isend(
-                    self.rank, dest, part, part.nbytes_logical, tag=TAG_DATA
-                )
+        sends = [
+            self.comm.isend(
+                self.rank, dest, (seq, part), part.nbytes_logical, tag=TAG_DATA
             )
-            self.sent_counts[dest] += 1
-            self.bytes_sent += part.nbytes_logical
+            for dest, seq, part in sends_planned
+        ]
         if sends:
             yield self.env.all_of(sends)
 
     def submit(self, parts: List[KeyValueSet]) -> Event:
-        """Launch an asynchronous bin of one chunk's partitioned pairs."""
-        proc = self.env.process(self._bin_proc(parts), name=f"bin:r{self.rank}")
+        """Launch an asynchronous bin of one chunk's partitioned pairs.
+
+        Sequence numbers are assigned here, in submission order, so the
+        canonical shuffle order matches the order chunks were mapped
+        regardless of how the asynchronous bins interleave.
+        """
+        planned: List[Tuple[int, int, KeyValueSet]] = []
+        for dest, part in enumerate(parts):
+            if len(part) == 0:
+                continue
+            planned.append((dest, self.sent_counts[dest], part))
+            self.sent_counts[dest] += 1
+            self.bytes_sent += part.nbytes_logical
+        proc = self.env.process(self._bin_proc(planned), name=f"bin:r{self.rank}")
         self._inflight.append(proc)
         return proc
 
@@ -87,19 +101,22 @@ class Binner:
         """Process: gather this rank's incoming DATA payloads.
 
         Completes once a FLUSH has arrived from every rank and every
-        promised DATA message has been received.  Returns the list of
-        received :class:`KeyValueSet` payloads.
+        promised DATA message has been received.  Returns the received
+        :class:`KeyValueSet` payloads in canonical ``(source, seq)``
+        order, independent of simulated arrival times.
         """
         flushes_seen = 0
         promised = 0
-        received: List[KeyValueSet] = []
+        received: List[Tuple[int, int, KeyValueSet]] = []
         while flushes_seen < self.comm.size or len(received) < promised:
             msg = yield self.comm.recv(self.rank)
             if msg.tag == TAG_FLUSH:
                 flushes_seen += 1
                 promised += msg.payload
             elif msg.tag == TAG_DATA:
-                received.append(msg.payload)
+                seq, part = msg.payload
+                received.append((msg.source, seq, part))
             else:  # pragma: no cover - protocol violation
                 raise RuntimeError(f"unexpected message tag {msg.tag}")
-        return received
+        received.sort(key=lambda item: (item[0], item[1]))
+        return [part for _, _, part in received]

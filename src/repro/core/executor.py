@@ -1,0 +1,146 @@
+"""Pluggable execution backends: *how* a GPMR job runs.
+
+The GPMR dataflow — chunk scheduling, Map (+ Combine / Partial Reduce /
+Accumulate), Partition, Bin/exchange, Sort, Reduce — is described by a
+:class:`~repro.core.job.MapReduceJob`.  An :class:`Executor` decides how
+that dataflow executes:
+
+* :class:`SimExecutor` (``"sim"``) — the discrete-event simulation.
+  Every stage charges modeled time (kernels, PCI-e, network) and the
+  result carries the paper's Figure-2 stage accounting.
+* ``LocalExecutor`` (``"local"``, in :mod:`repro.exec.local`) — real
+  execution on ``multiprocessing`` workers with NumPy-vectorized
+  kernels; the network fabric becomes pickle-over-pipe exchange.
+* ``SerialExecutor`` (``"serial"``, in :mod:`repro.exec.serial`) — the
+  same real dataflow, run rank-by-rank in the current process.
+
+Every backend implements the same canonical semantics (deterministic
+chunk distribution, source-major shuffle order, identical sort/reduce
+maths), so a job produces **bit-identical** per-rank outputs on all of
+them — the cross-validation contract ``tests/test_exec_parity.py``
+enforces.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from .chunk import Chunk
+from .job import MapReduceJob
+from .runtime import (
+    DISTRIBUTIONS,
+    GPMRRuntime,
+    JobResult,
+    distribute_chunks,
+    resolve_chunks,
+)
+from ..workloads.base import Dataset
+
+__all__ = [
+    "Executor",
+    "SimExecutor",
+    "DISTRIBUTIONS",
+    "available_backends",
+    "make_executor",
+    "register_backend",
+    "resolve_chunks",
+    "distribute_chunks",
+]
+
+
+class Executor(ABC):
+    """One way of executing :class:`MapReduceJob` dataflows."""
+
+    #: registry name of the backend ("sim", "local", ...)
+    name: str = "abstract"
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = int(n_workers)
+
+    @abstractmethod
+    def run(
+        self,
+        job: MapReduceJob,
+        dataset: Optional[Dataset] = None,
+        chunks: Optional[Sequence[Chunk]] = None,
+    ) -> JobResult:
+        """Execute ``job`` over ``dataset`` (or explicit ``chunks``)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} n_workers={self.n_workers}>"
+
+
+class SimExecutor(Executor):
+    """The discrete-event simulation backend (the seed's engine).
+
+    Accepts every :class:`~repro.core.runtime.GPMRRuntime` knob
+    (cluster spec, network topology, initial distribution, ...) and
+    preserves all Figure-2 / Table-1 accounting.
+    """
+
+    name = "sim"
+
+    def __init__(self, n_workers: int, **runtime_kwargs) -> None:
+        super().__init__(n_workers)
+        self.runtime = GPMRRuntime(n_gpus=n_workers, **runtime_kwargs)
+
+    def run(
+        self,
+        job: MapReduceJob,
+        dataset: Optional[Dataset] = None,
+        chunks: Optional[Sequence[Chunk]] = None,
+    ) -> JobResult:
+        return self.runtime.run(job, dataset=dataset, chunks=chunks)
+
+
+# ---------------------------------------------------------------------------
+# Backend registry
+# ---------------------------------------------------------------------------
+
+_BACKENDS: Dict[str, Callable[..., Executor]] = {}
+
+#: Backends that live outside core and register on first import.
+_LAZY_BACKENDS: Tuple[str, ...] = ("local", "serial")
+
+
+def register_backend(name: str, factory: Callable[..., Executor]) -> None:
+    """Register an executor factory under ``name`` (last wins)."""
+    if not name:
+        raise ValueError("backend name must be non-empty")
+    _BACKENDS[name] = factory
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names (triggers registration of lazy ones)."""
+    for name in _LAZY_BACKENDS:
+        if name not in _BACKENDS:
+            _import_lazy(name)
+    return tuple(sorted(_BACKENDS))
+
+
+def _import_lazy(name: str) -> None:
+    # Imported for the registration side effect; core cannot import
+    # repro.exec at module load without creating a cycle.
+    import repro.exec  # noqa: F401
+
+
+def make_executor(backend: str, n_workers: int, **kwargs) -> Executor:
+    """Build the executor registered as ``backend``.
+
+    ``kwargs`` go to the backend factory verbatim (e.g. ``cluster=`` /
+    ``network=`` for ``"sim"``, ``start_method=`` for ``"local"``).
+    """
+    if backend not in _BACKENDS and backend in _LAZY_BACKENDS:
+        _import_lazy(backend)
+    if backend not in _BACKENDS:
+        raise ValueError(
+            f"unknown execution backend {backend!r}; "
+            f"available: {available_backends()}"
+        )
+    return _BACKENDS[backend](n_workers, **kwargs)
+
+
+register_backend(SimExecutor.name, SimExecutor)

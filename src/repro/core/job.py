@@ -11,11 +11,12 @@ Pipeline" summary:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
 
 from .combine import Accumulator, Combiner, PartialReducer
 from .config import PipelineConfig
+from .kvset import KeyValueSet
 from .mapper import Mapper
 from .partitioner import Partitioner
 from .reducer import Reducer
@@ -65,6 +66,26 @@ class MapReduceJob:
     @property
     def pair_bytes(self) -> int:
         return self.key_bytes + self.value_bytes
+
+    def partition_parts(self, kv: KeyValueSet, n_parts: int) -> List[KeyValueSet]:
+        """The functional half of Partition: one part per reducer rank.
+
+        This is the single definition of pair routing shared by every
+        execution backend: with a partitioner, pairs split by per-pair
+        destination; without one, everything goes to rank 0 ("all pairs
+        are sent to a single Reducer", paper Section 4.1).
+        """
+        if self.partitioner is not None:
+            dest = self.partitioner.partition(kv, n_parts)
+            return kv.split_by(dest, n_parts)
+        return [
+            kv if d == 0 else KeyValueSet.empty(scale=kv.scale)
+            for d in range(n_parts)
+        ]
+
+    def with_config(self, **changes) -> "MapReduceJob":
+        """A copy of this job with ``PipelineConfig`` fields replaced."""
+        return replace(self, config=replace(self.config, **changes))
 
     @property
     def bins_during_map(self) -> bool:

@@ -13,8 +13,8 @@ accounting stays at paper scale when the functional payload is sampled
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Sequence
 
 import numpy as np
 

@@ -14,18 +14,17 @@ and records it into the Figure-2 stage buckets.
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional, Tuple
+from typing import Generator, List, Optional
 
 import numpy as np
 
-from .binner import TAG_DATA, TAG_FLUSH, Binner
+from .binner import Binner
 from .chunk import Chunk
 from .job import MapReduceJob
 from .kvset import KeyValueSet
 from .scheduler import Assignment, ChunkScheduler
 from .stats import WorkerStats
 from ..hw.gpu import GPU
-from ..hw.memory import OutOfDeviceMemory
 from ..hw.node import Node
 from ..net.mpi import Communicator
 from ..primitives import unique_segments, unique_segments_cost
@@ -74,7 +73,7 @@ class Worker:
                 yield from self.comm.fabric.send(victim_node, my_node, chunk.wire_bytes)
         nbytes = self.job.mapper.input_bytes(chunk)
         alloc = self.gpu.alloc(nbytes, tag=f"chunk{chunk.index}")
-        elapsed = yield from self.gpu.copy_h2d(nbytes)
+        yield from self.gpu.copy_h2d(nbytes)
         self.stats.bytes_h2d += nbytes
         return alloc
 
@@ -137,17 +136,13 @@ class Worker:
             return [] if not defer_bin else kv
 
         parts: List[KeyValueSet]
-        if job.partitioner is not None and not defer_bin:
-            for launch in job.partitioner.partition_cost(
-                kv.logical_pairs, kv.nbytes_logical
-            ):
-                yield from self.gpu.run_kernel(launch)
-            dest = job.partitioner.partition(kv, self.comm.size)
-            parts = kv.split_by(dest, self.comm.size)
-        elif not defer_bin:
-            # No partitioner: everything to rank 0 (paper Section 4.1).
-            parts = [kv if d == 0 else KeyValueSet.empty(scale=kv.scale)
-                     for d in range(self.comm.size)]
+        if not defer_bin:
+            if job.partitioner is not None:
+                for launch in job.partitioner.partition_cost(
+                    kv.logical_pairs, kv.nbytes_logical
+                ):
+                    yield from self.gpu.run_kernel(launch)
+            parts = job.partition_parts(kv, self.comm.size)
         else:
             parts = [kv]
 

@@ -12,15 +12,20 @@ completion on the discrete-event engine, and returns a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from .chunk import Chunk
 from .job import MapReduceJob
 from .kvset import KeyValueSet
 from .pipeline import Worker
-from .scheduler import ChunkScheduler
+from .scheduler import (
+    DISTRIBUTIONS,
+    ChunkScheduler,
+    distribute_chunks,
+    resolve_chunks,
+)
 from .stats import JobStats
-from ..hw.node import Node, build_nodes
+from ..hw.node import build_nodes
 from ..hw.specs import ACCELERATOR, ClusterSpec
 from ..net.fabric import Fabric
 from ..net.mpi import Communicator
@@ -28,7 +33,13 @@ from ..net.topology import FatTreeTopology, StarTopology
 from ..sim import Environment
 from ..workloads.base import Dataset
 
-__all__ = ["JobResult", "GPMRRuntime"]
+__all__ = [
+    "JobResult",
+    "GPMRRuntime",
+    "DISTRIBUTIONS",
+    "resolve_chunks",
+    "distribute_chunks",
+]
 
 
 @dataclass
@@ -67,7 +78,7 @@ class GPMRRuntime:
                 f"cluster {cluster.name!r} has {cluster.total_gpus} GPUs, "
                 f"requested {n_gpus}"
             )
-        if initial_distribution not in ("round_robin", "blocks", "single"):
+        if initial_distribution not in DISTRIBUTIONS:
             raise ValueError(
                 "initial_distribution must be 'round_robin', 'blocks', or "
                 "'single' (all chunks start on rank 0, as when one node "
@@ -114,22 +125,13 @@ class GPMRRuntime:
         chunks: Optional[Sequence[Chunk]] = None,
     ) -> JobResult:
         """Execute ``job`` over ``dataset`` (or explicit ``chunks``)."""
-        if (dataset is None) == (chunks is None):
-            raise ValueError("provide exactly one of dataset or chunks")
-        if chunks is None:
-            chunks = [Chunk.from_work_item(item) for item in dataset.chunks()]
+        chunks = resolve_chunks(dataset, chunks)
 
         env, nodes, fabric, comm, gpus, rank_to_node = self._build()
         scheduler = ChunkScheduler(
             self.n_gpus, enable_stealing=job.config.enable_stealing
         )
-        if self.initial_distribution == "round_robin":
-            scheduler.assign_round_robin(list(chunks))
-        elif self.initial_distribution == "blocks":
-            scheduler.assign_blocks(list(chunks))
-        else:  # "single": everything starts on rank 0
-            for chunk in chunks:
-                scheduler.push(0, chunk)
+        scheduler.assign(chunks, self.initial_distribution)
 
         workers = [
             Worker(

@@ -15,8 +15,60 @@ from collections import deque
 from typing import Deque, List, NamedTuple, Optional, Sequence
 
 from .chunk import Chunk
+from ..workloads.base import Dataset
 
-__all__ = ["Assignment", "ChunkScheduler"]
+__all__ = [
+    "Assignment",
+    "ChunkScheduler",
+    "DISTRIBUTIONS",
+    "resolve_chunks",
+    "distribute_chunks",
+]
+
+#: Deterministic initial chunk distributions shared by all backends.
+DISTRIBUTIONS = ("round_robin", "blocks", "single")
+
+
+def resolve_chunks(
+    dataset: Optional[Dataset], chunks: Optional[Sequence[Chunk]]
+) -> List[Chunk]:
+    """Materialise the job's input chunks from exactly one source."""
+    if (dataset is None) == (chunks is None):
+        raise ValueError("provide exactly one of dataset or chunks")
+    if chunks is None:
+        return [Chunk.from_work_item(item) for item in dataset.chunks()]
+    return list(chunks)
+
+
+def distribute_chunks(
+    chunks: Sequence[Chunk], n_workers: int, how: str = "round_robin"
+) -> List[List[Chunk]]:
+    """Initial chunk placement, identical on every backend.
+
+    ``round_robin``: chunk i to worker ``i % n``; ``blocks``:
+    contiguous runs of ``ceil(n_chunks / n_workers)``; ``single``:
+    everything on worker 0 (as when one node ingested the data).
+
+    This is the single definition of placement the bit-parity contract
+    rests on; the sim scheduler's ``assign_*`` helpers delegate here.
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    if how not in DISTRIBUTIONS:
+        raise ValueError(
+            f"unknown distribution {how!r}; expected one of {DISTRIBUTIONS}"
+        )
+    out: List[List[Chunk]] = [[] for _ in range(n_workers)]
+    if how == "round_robin":
+        for i, chunk in enumerate(chunks):
+            out[i % n_workers].append(chunk)
+    elif how == "blocks":
+        per = (len(chunks) + n_workers - 1) // n_workers
+        for w in range(n_workers):
+            out[w].extend(chunks[w * per : (w + 1) * per])
+    else:  # "single"
+        out[0].extend(chunks)
+    return out
 
 
 class Assignment(NamedTuple):
@@ -49,16 +101,18 @@ class ChunkScheduler:
     # -- loading ---------------------------------------------------------
     def assign_round_robin(self, chunks: Sequence[Chunk]) -> None:
         """Initial distribution: chunk i goes to worker i mod n."""
-        for i, chunk in enumerate(chunks):
-            self._queues[i % self.n_workers].append(chunk)
+        self.assign(chunks, "round_robin")
 
     def assign_blocks(self, chunks: Sequence[Chunk]) -> None:
         """Initial distribution: contiguous blocks of chunks per worker."""
-        n = len(chunks)
-        per = (n + self.n_workers - 1) // self.n_workers
-        for w in range(self.n_workers):
-            for chunk in chunks[w * per : (w + 1) * per]:
-                self._queues[w].append(chunk)
+        self.assign(chunks, "blocks")
+
+    def assign(self, chunks: Sequence[Chunk], how: str = "round_robin") -> None:
+        """Load queues via the canonical placement policy."""
+        for worker, assigned in enumerate(
+            distribute_chunks(chunks, self.n_workers, how)
+        ):
+            self._queues[worker].extend(assigned)
 
     def push(self, worker: int, chunk: Chunk) -> None:
         self._queues[worker].append(chunk)

@@ -10,7 +10,7 @@ stage.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

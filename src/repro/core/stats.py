@@ -9,7 +9,7 @@ into those buckets; the job aggregates them into fractions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 __all__ = ["STAGES", "WorkerStats", "JobStats"]
 

@@ -1,0 +1,24 @@
+"""Real execution backends (vs. the discrete-event sim in S6).
+
+Importing this package registers the ``"local"`` (multiprocessing) and
+``"serial"`` (in-process) backends with
+:func:`repro.core.executor.make_executor`; the ``"sim"`` backend is
+registered by :mod:`repro.core` itself.
+
+    from repro.core import make_executor
+    result = make_executor("local", 4).run(job, dataset)
+"""
+
+from .dataflow import MapPhaseOutput, map_worker, merge_incoming, reduce_worker
+from .local import LocalExecutor, WorkerFailure
+from .serial import SerialExecutor
+
+__all__ = [
+    "LocalExecutor",
+    "SerialExecutor",
+    "WorkerFailure",
+    "MapPhaseOutput",
+    "map_worker",
+    "merge_incoming",
+    "reduce_worker",
+]

@@ -1,0 +1,164 @@
+"""The functional GPMR dataflow, independent of any execution backend.
+
+These are the *real* (NumPy-vectorized) map/combine/partition/sort/
+reduce semantics a worker rank executes — the same Figure-1 work flow
+the sim pipeline prices, minus the cost model.  Both the
+``multiprocessing`` backend (:mod:`repro.exec.local`) and the in-process
+backend (:mod:`repro.exec.serial`) run exactly this code, and the sim
+backend's functional half follows the same rules, so all backends
+produce bit-identical per-rank outputs.
+
+Canonical semantics (the parity contract):
+
+* a worker maps its assigned chunks in assignment order;
+* Partial Reduce applies per chunk; Accumulate folds every chunk into a
+  resident state emitted once, after the last map (a worker with *no*
+  chunks still emits the accumulator's initial state, as the sim
+  pipeline does); Combine buffers raw pairs and merges them once after
+  all maps;
+* Partition routes through
+  :meth:`~repro.core.job.MapReduceJob.partition_parts` (no partitioner
+  means everything goes to rank 0);
+* each reducer rank concatenates its incoming parts in **source-major,
+  emission-order** order, then sorts with the job's sorter and reduces
+  per key segment.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.chunk import Chunk
+from ..core.job import MapReduceJob
+from ..core.kvset import KeyValueSet
+from ..core.stats import WorkerStats
+from ..primitives import unique_segments
+
+__all__ = ["MapPhaseOutput", "map_worker", "merge_incoming", "reduce_worker"]
+
+
+@dataclass
+class MapPhaseOutput:
+    """One worker's map-phase product: per-destination emission lists."""
+
+    #: ``parts[dest]`` = this worker's parts for rank ``dest``, in
+    #: emission order; empty parts are dropped at emission time.
+    parts: List[List[KeyValueSet]]
+    chunks_mapped: int = 0
+    pairs_emitted_logical: int = 0
+    #: logical bytes handed to the exchange (the sim's bin accounting)
+    bytes_binned: int = 0
+
+    def batch_for(self, dest: int) -> List[KeyValueSet]:
+        return self.parts[dest]
+
+
+def _emit(
+    job: MapReduceJob, kv: KeyValueSet, out: MapPhaseOutput, n_workers: int
+) -> None:
+    """Partition one emission and append the non-empty parts."""
+    if len(kv) == 0:
+        return
+    for dest, part in enumerate(job.partition_parts(kv, n_workers)):
+        if len(part):
+            out.parts[dest].append(part)
+            out.bytes_binned += part.nbytes_logical
+
+
+def map_worker(
+    job: MapReduceJob, chunks: Sequence[Chunk], n_workers: int
+) -> MapPhaseOutput:
+    """Run one rank's full map phase over its assigned chunks."""
+    out = MapPhaseOutput(parts=[[] for _ in range(n_workers)])
+    accum_state: Optional[KeyValueSet] = None
+    combine_buffer: List[KeyValueSet] = []
+
+    for chunk in chunks:
+        kv = job.mapper.map_chunk(chunk)
+        out.chunks_mapped += 1
+        out.pairs_emitted_logical += kv.logical_pairs
+
+        if job.accumulator is not None:
+            if accum_state is None:
+                accum_state = job.accumulator.initial_state(kv.scale)
+            accum_state = job.accumulator.accumulate(accum_state, kv)
+            continue
+
+        if job.partial_reducer is not None:
+            kv = job.partial_reducer.partial_reduce(kv)
+
+        if job.combiner is not None:
+            if len(kv):
+                combine_buffer.append(kv)
+            continue
+
+        _emit(job, kv, out, n_workers)
+
+    if job.accumulator is not None:
+        state = (
+            accum_state
+            if accum_state is not None
+            else job.accumulator.initial_state(1.0)
+        )
+        _emit(job, state, out, n_workers)
+
+    if job.combiner is not None and combine_buffer:
+        merged = KeyValueSet.concat(combine_buffer)
+        _emit(job, job.combiner.combine(merged), out, n_workers)
+
+    return out
+
+
+def merge_incoming(
+    batches: Sequence[Tuple[int, Sequence[KeyValueSet]]]
+) -> List[KeyValueSet]:
+    """Order received batches canonically: by source rank, then emission.
+
+    ``batches`` holds one ``(source_rank, parts)`` entry per source, in
+    arbitrary arrival order.
+    """
+    ordered = sorted(batches, key=lambda item: item[0])
+    return [part for _, parts in ordered for part in parts]
+
+
+def reduce_worker(
+    job: MapReduceJob,
+    incoming: Sequence[KeyValueSet],
+    stats: Optional[WorkerStats] = None,
+) -> Optional[KeyValueSet]:
+    """Run one rank's sort + reduce over its (canonically ordered) input.
+
+    Mirrors the sim pipeline exactly: ``skip_sort_reduce`` jobs return
+    the concatenated shuffle output; an empty inbox returns ``None``; a
+    job without a reducer returns the sorted pair set.
+
+    With ``stats``, measured wall-clock lands in the same ``sort`` /
+    ``reduce`` Figure-2 buckets the sim charges modeled time to.
+    """
+    nonempty = [kv for kv in incoming if len(kv)]
+    if not nonempty:
+        return None
+    if job.config.skip_sort_reduce:
+        return KeyValueSet.concat(nonempty)
+
+    t0 = time.perf_counter()
+    kv_all = KeyValueSet.concat(nonempty)
+    sorted_kv = job.sorter.sort(kv_all)
+    runs = unique_segments(sorted_kv.keys)
+    t1 = time.perf_counter()
+    if stats is not None:
+        stats.add("sort", t1 - t0)
+    if runs.n_keys == 0 or job.reducer is None:
+        return sorted_kv
+    output = job.reducer.reduce_segments(
+        runs.unique_keys,
+        sorted_kv.values,
+        runs.offsets,
+        runs.counts,
+        sorted_kv.scale,
+    )
+    if stats is not None:
+        stats.add("reduce", time.perf_counter() - t1)
+    return output

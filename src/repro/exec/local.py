@@ -1,0 +1,216 @@
+"""Real parallel execution on ``multiprocessing`` workers.
+
+One OS process per rank runs the full GPMR worker dataflow
+(:mod:`repro.exec.dataflow`).  The "network fabric" is pickle-over-pipe:
+each rank owns an inbound :class:`multiprocessing.Queue`; after its map
+phase a rank posts exactly one batch — ``(source_rank, parts)`` — to
+every destination's queue (including its own), then blocks until it has
+collected one batch from each source.  Receivers order batches by
+source rank, which makes the shuffle canonical and the whole run
+deterministic regardless of OS scheduling.
+
+Failure handling: a worker that raises ships its traceback to the
+driver over the result queue and still posts (empty) batches so peers
+cannot deadlock; the driver re-raises as :class:`WorkerFailure`.  A
+worker that dies hard (e.g. killed) is caught by the driver's liveness
+watch, which terminates the rest and raises.
+
+Timing is real wall-clock: each worker buckets its map / exchange
+(bin) / sort / reduce time into the same Figure-2 stages the sim
+reports, so sim-modeled and measured breakdowns are directly
+comparable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+import time
+import traceback
+from typing import List, Optional, Sequence, Tuple
+
+from .dataflow import map_worker, merge_incoming, reduce_worker
+from ..core.chunk import Chunk
+from ..core.executor import Executor, register_backend
+from ..core.job import MapReduceJob
+from ..core.kvset import KeyValueSet
+from ..core.runtime import JobResult, distribute_chunks, resolve_chunks
+from ..core.stats import JobStats, WorkerStats
+from ..workloads.base import Dataset
+
+__all__ = ["LocalExecutor", "WorkerFailure"]
+
+
+class WorkerFailure(RuntimeError):
+    """A worker process failed; carries the rank and remote traceback."""
+
+    def __init__(self, rank: int, detail: str) -> None:
+        super().__init__(f"worker rank {rank} failed:\n{detail}")
+        self.rank = rank
+        self.detail = detail
+
+
+def _default_start_method() -> str:
+    # fork is dramatically cheaper and keeps the job object shared
+    # copy-on-write; fall back to spawn where fork is unavailable.
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+def _worker_main(
+    rank: int,
+    n_workers: int,
+    job: MapReduceJob,
+    chunks: List[Chunk],
+    shuffle_queues: List[mp.Queue],
+    result_queue: mp.Queue,
+) -> None:
+    """Entry point of one rank's process: map, exchange, sort, reduce."""
+    stats = WorkerStats(rank=rank)
+    posted = False
+    try:
+        t0 = time.perf_counter()
+        mapped = map_worker(job, chunks, n_workers)
+        stats.chunks_mapped = mapped.chunks_mapped
+        stats.pairs_emitted_logical = mapped.pairs_emitted_logical
+        stats.bytes_sent_network = mapped.bytes_binned
+        t1 = time.perf_counter()
+        stats.add("map", t1 - t0)
+
+        # Self-destined parts stay in-process; only remote batches ride
+        # the pickle-over-pipe fabric.
+        for dest in range(n_workers):
+            if dest != rank:
+                shuffle_queues[dest].put((rank, mapped.batch_for(dest)))
+        posted = True
+
+        batches: List[Tuple[int, List[KeyValueSet]]] = [
+            (rank, mapped.batch_for(rank))
+        ]
+        for _ in range(n_workers - 1):
+            batches.append(shuffle_queues[rank].get())
+        incoming = merge_incoming(batches)
+        t2 = time.perf_counter()
+        stats.add("bin", t2 - t1)
+
+        output = reduce_worker(job, incoming, stats=stats)
+        result_queue.put((rank, None, output, stats))
+    except BaseException:
+        if not posted:
+            # Unblock peers waiting on this rank's batch.
+            for dest in range(n_workers):
+                if dest != rank:
+                    shuffle_queues[dest].put((rank, []))
+        result_queue.put((rank, traceback.format_exc(), None, stats))
+
+
+class LocalExecutor(Executor):
+    """Execute jobs for real on ``n_workers`` OS processes."""
+
+    name = "local"
+
+    def __init__(
+        self,
+        n_workers: int,
+        initial_distribution: str = "round_robin",
+        start_method: Optional[str] = None,
+        timeout_seconds: float = 300.0,
+    ) -> None:
+        super().__init__(n_workers)
+        self.initial_distribution = initial_distribution
+        self.start_method = start_method or _default_start_method()
+        self.timeout_seconds = float(timeout_seconds)
+
+    def run(
+        self,
+        job: MapReduceJob,
+        dataset: Optional[Dataset] = None,
+        chunks: Optional[Sequence[Chunk]] = None,
+    ) -> JobResult:
+        all_chunks = resolve_chunks(dataset, chunks)
+        per_worker = distribute_chunks(
+            all_chunks, self.n_workers, self.initial_distribution
+        )
+        ctx = mp.get_context(self.start_method)
+        # mp.Queue writes through a feeder thread, so puts never block
+        # on pipe capacity — no exchange deadlock however large a batch.
+        shuffle_queues = [ctx.Queue() for _ in range(self.n_workers)]
+        result_queue = ctx.Queue()
+
+        t_start = time.perf_counter()
+        procs = [
+            ctx.Process(
+                target=_worker_main,
+                args=(
+                    rank,
+                    self.n_workers,
+                    job,
+                    per_worker[rank],
+                    shuffle_queues,
+                    result_queue,
+                ),
+                name=f"gpmr-local-r{rank}",
+                daemon=True,
+            )
+            for rank in range(self.n_workers)
+        ]
+        for p in procs:
+            p.start()
+
+        outputs: List[Optional[KeyValueSet]] = [None] * self.n_workers
+        worker_stats: List[Optional[WorkerStats]] = [None] * self.n_workers
+        failures: List[Tuple[int, str]] = []
+        deadline = time.monotonic() + self.timeout_seconds
+        pending = self.n_workers
+        try:
+            while pending:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"local backend timed out after {self.timeout_seconds}s "
+                        f"with {pending} worker(s) outstanding"
+                    )
+                try:
+                    rank, error, output, stats = result_queue.get(
+                        timeout=min(remaining, 0.5)
+                    )
+                except queue_mod.Empty:
+                    dead = [
+                        p for p in procs if not p.is_alive() and p.exitcode not in (0, None)
+                    ]
+                    if dead and result_queue.empty():
+                        codes = {p.name: p.exitcode for p in dead}
+                        raise WorkerFailure(
+                            -1, f"worker process(es) died without reporting: {codes}"
+                        )
+                    continue
+                pending -= 1
+                if error is not None:
+                    failures.append((rank, error))
+                else:
+                    outputs[rank] = output
+                    worker_stats[rank] = stats
+        finally:
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+            for p in procs:
+                p.join(timeout=5.0)
+            for q in shuffle_queues + [result_queue]:
+                q.cancel_join_thread()
+
+        if failures:
+            rank, detail = failures[0]
+            raise WorkerFailure(rank, detail)
+
+        elapsed = time.perf_counter() - t_start
+        stats = JobStats(
+            job_name=job.name,
+            n_gpus=self.n_workers,
+            elapsed=elapsed,
+            workers=[s if s is not None else WorkerStats(rank=r)
+                     for r, s in enumerate(worker_stats)],
+        )
+        return JobResult(stats=stats, outputs=outputs)
+
+
+register_backend(LocalExecutor.name, LocalExecutor)

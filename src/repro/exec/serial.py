@@ -1,0 +1,82 @@
+"""In-process real execution: the same dataflow, one rank at a time.
+
+``SerialExecutor`` runs the identical functional semantics as the
+``multiprocessing`` backend with zero IPC — useful for debugging app
+kernels, for environments where spawning processes is off-limits, and
+as a fast third witness in the backend-parity tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from .dataflow import map_worker, merge_incoming, reduce_worker
+from ..core.chunk import Chunk
+from ..core.executor import Executor, register_backend
+from ..core.job import MapReduceJob
+from ..core.kvset import KeyValueSet
+from ..core.runtime import JobResult, distribute_chunks, resolve_chunks
+from ..core.stats import JobStats, WorkerStats
+from ..workloads.base import Dataset
+
+__all__ = ["SerialExecutor"]
+
+
+class SerialExecutor(Executor):
+    """Run every rank's dataflow sequentially in the current process."""
+
+    name = "serial"
+
+    def __init__(
+        self, n_workers: int, initial_distribution: str = "round_robin"
+    ) -> None:
+        super().__init__(n_workers)
+        self.initial_distribution = initial_distribution
+
+    def run(
+        self,
+        job: MapReduceJob,
+        dataset: Optional[Dataset] = None,
+        chunks: Optional[Sequence[Chunk]] = None,
+    ) -> JobResult:
+        all_chunks = resolve_chunks(dataset, chunks)
+        per_worker = distribute_chunks(
+            all_chunks, self.n_workers, self.initial_distribution
+        )
+
+        t_start = time.perf_counter()
+        stats: List[WorkerStats] = []
+        mapped = []
+        for rank in range(self.n_workers):
+            w = WorkerStats(rank=rank)
+            t0 = time.perf_counter()
+            out = map_worker(job, per_worker[rank], self.n_workers)
+            w.add("map", time.perf_counter() - t0)
+            w.chunks_mapped = out.chunks_mapped
+            w.pairs_emitted_logical = out.pairs_emitted_logical
+            w.bytes_sent_network = out.bytes_binned
+            mapped.append(out)
+            stats.append(w)
+
+        outputs: List[Optional[KeyValueSet]] = []
+        for rank in range(self.n_workers):
+            batches = [
+                (src, mapped[src].batch_for(rank)) for src in range(self.n_workers)
+            ]
+            outputs.append(
+                reduce_worker(job, merge_incoming(batches), stats=stats[rank])
+            )
+
+        return JobResult(
+            stats=JobStats(
+                job_name=job.name,
+                n_gpus=self.n_workers,
+                elapsed=time.perf_counter() - t_start,
+                workers=stats,
+            ),
+            outputs=outputs,
+        )
+
+
+register_backend(SerialExecutor.name, SerialExecutor)

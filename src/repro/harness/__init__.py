@@ -23,8 +23,10 @@ from .experiments import (
     GPU_COUNTS,
     TABLE2_SIZES,
     TABLE3_SIZES,
+    bench_smoke_enabled,
     dataset_for,
     sample_factor_for,
+    sample_target,
     strong_scaling_sizes,
 )
 from .figures import (
@@ -71,6 +73,8 @@ __all__ = [
     "WEAK_PER_GPU",
     "dataset_for",
     "sample_factor_for",
+    "sample_target",
+    "bench_smoke_enabled",
     "strong_scaling_sizes",
     "GPU_COUNTS",
     "FIGURE2_GPUS",

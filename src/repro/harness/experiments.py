@@ -12,8 +12,8 @@ default regenerates the full figure/table grids.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+import os
+from typing import Dict, Tuple
 
 from ..apps import (
     kmc_dataset,
@@ -29,6 +29,8 @@ __all__ = [
     "strong_scaling_sizes",
     "dataset_for",
     "sample_factor_for",
+    "sample_target",
+    "bench_smoke_enabled",
     "TABLE2_SIZES",
     "TABLE3_SIZES",
     "FIGURE2_GPUS",
@@ -57,6 +59,20 @@ _STRONG: Dict[str, Tuple[int, ...]] = {
 #: Functional elements kept per dataset (sampling target).
 _SAMPLE_TARGET = 2 * M
 
+#: Smoke-mode sampling target: tiny functional payloads so every bench
+#: executes end-to-end in seconds (CI rot protection, not measurement).
+_SMOKE_SAMPLE_TARGET = 1 << 14
+
+
+def bench_smoke_enabled() -> bool:
+    """Whether ``REPRO_BENCH_SMOKE=1`` fast mode is active."""
+    return os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+
+def sample_target() -> int:
+    """Functional elements to keep per dataset (smoke-aware)."""
+    return _SMOKE_SAMPLE_TARGET if bench_smoke_enabled() else _SAMPLE_TARGET
+
 
 def strong_scaling_sizes(app: str, quick: bool = False) -> Tuple[int, ...]:
     sizes = _STRONG[app]
@@ -77,9 +93,11 @@ def sample_factor_for(app: str, size: int) -> int:
     """Power-of-two sampling factor keeping ~2M functional elements."""
     if app == "MM":
         # MM samples tile edges; the factor divides the tile.
-        return max(1, mm_tile_for(size) // 64)
+        divisor = 16 if bench_smoke_enabled() else 64
+        return max(1, mm_tile_for(size) // divisor)
     sf = 1
-    while size // sf > _SAMPLE_TARGET:
+    target = sample_target()
+    while size // sf > target:
         sf *= 2
     return sf
 

@@ -11,8 +11,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from .experiments import (
     FIGURE2_GPUS,
@@ -21,7 +21,7 @@ from .experiments import (
     strong_scaling_sizes,
 )
 from .report import render_series, render_table
-from .runners import AppRun, run_app
+from .runners import run_app
 from ..core.stats import STAGES
 
 __all__ = [

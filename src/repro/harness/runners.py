@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ..apps import run_kmc, run_lr, run_matmul, run_sio, run_wo
 from ..core.stats import JobStats
@@ -13,34 +12,43 @@ __all__ = ["AppRun", "run_app"]
 
 @dataclass
 class AppRun:
-    """One measured execution of an app on the simulated cluster."""
+    """One measured execution of an app on some execution backend."""
 
     app: str
     size: int
     n_gpus: int
     elapsed: float
     stats: JobStats
+    backend: str = "sim"
 
 
-def run_app(app: str, dataset, n_gpus: int) -> AppRun:
-    """Run ``app`` over ``dataset`` on ``n_gpus`` and collect stats."""
+def run_app(app: str, dataset, n_gpus: int, backend: str = "sim") -> AppRun:
+    """Run ``app`` over ``dataset`` on ``n_gpus`` workers of ``backend``.
+
+    With the default ``"sim"`` backend ``elapsed`` is modeled cluster
+    time; with a real backend (``"local"``/``"serial"``) it is measured
+    wall-clock time.
+    """
     if app == "MM":
-        result = run_matmul(n_gpus, dataset)
+        result = run_matmul(n_gpus, dataset, backend=backend)
         stats = result.stats
         elapsed = result.elapsed
         size = dataset.m
     elif app == "SIO":
-        r = run_sio(n_gpus, dataset)
+        r = run_sio(n_gpus, dataset, backend=backend)
         stats, elapsed, size = r.stats, r.elapsed, dataset.n_elements
     elif app == "WO":
-        r = run_wo(n_gpus, dataset)
+        r = run_wo(n_gpus, dataset, backend=backend)
         stats, elapsed, size = r.stats, r.elapsed, dataset.n_chars
     elif app == "KMC":
-        r = run_kmc(n_gpus, dataset)
+        r = run_kmc(n_gpus, dataset, backend=backend)
         stats, elapsed, size = r.stats, r.elapsed, dataset.n_points
     elif app == "LR":
-        r = run_lr(n_gpus, dataset)
+        r = run_lr(n_gpus, dataset, backend=backend)
         stats, elapsed, size = r.stats, r.elapsed, dataset.n_points
     else:
         raise ValueError(f"unknown app {app!r}")
-    return AppRun(app=app, size=size, n_gpus=n_gpus, elapsed=elapsed, stats=stats)
+    return AppRun(
+        app=app, size=size, n_gpus=n_gpus, elapsed=elapsed, stats=stats,
+        backend=backend,
+    )

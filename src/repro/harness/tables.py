@@ -7,8 +7,8 @@ values for side-by-side comparison (recorded in EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from .experiments import TABLE2_SIZES, TABLE3_SIZES, dataset_for
 from .loc import app_loc_counts
@@ -79,7 +79,6 @@ class Table1Result:
 
 def table1() -> Table1Result:
     """The dataset-size matrix (element sizes and counts, Table 1)."""
-    m = 1 << 20
     rows = [
         ["Input element size", "float32", "4 bytes", "1 byte", "16 bytes", "8 bytes"],
         [

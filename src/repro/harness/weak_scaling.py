@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from .experiments import GPU_COUNTS, dataset_for
+from .experiments import dataset_for
 from .report import render_series
 from .runners import run_app
 

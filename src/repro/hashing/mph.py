@@ -22,7 +22,7 @@ millions of words per chunk.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 
@@ -85,7 +85,6 @@ def segmented_poly_hashes(
     total = int(lengths.sum())
 
     # Flatten all word bytes with their in-word positions.
-    seg_index = np.repeat(np.arange(len(starts)), lengths)
     within = np.arange(total) - np.repeat(np.cumsum(lengths) - lengths, lengths)
     byte_pos = np.repeat(starts, lengths) + within
     raw = data[byte_pos].astype(np.uint64) + np.uint64(1)

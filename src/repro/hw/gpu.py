@@ -17,7 +17,7 @@ them.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator
 
 from .kernel import KernelLaunch, kernel_duration
 from .memory import Allocation, DeviceAllocator

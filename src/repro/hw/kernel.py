@@ -20,7 +20,7 @@ constants here are the usual achievable fractions of peak.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .specs import GPUSpec
 from ..util.validation import check_in_range, check_non_negative

@@ -17,10 +17,10 @@ of peak) live in :mod:`repro.hw.kernel`, not here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Tuple
 
-from ..util.units import GB, GIB, MIB, US
+from ..util.units import GB, GIB, US
 from ..util.validation import check_positive
 
 __all__ = [

@@ -20,8 +20,8 @@ the message's ``nbytes`` through the fabric.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, List, Sequence
 
 from .fabric import Fabric
 from ..sim import Environment, Event, FilterStore

@@ -6,7 +6,6 @@ cost model reflects both passes.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

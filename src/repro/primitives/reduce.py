@@ -9,7 +9,6 @@ plus a short second pass over per-block partials.
 
 from __future__ import annotations
 
-from typing import Callable, Tuple
 
 import numpy as np
 

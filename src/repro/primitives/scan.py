@@ -9,7 +9,6 @@ small recursive block-sums term (folded into a 1.1x factor).
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

@@ -20,7 +20,6 @@ import numpy as np
 from .common import as_1d_array, launch_1d
 from .compact import compact_cost
 from .scan import scan_cost
-from ..hw.kernel import KernelLaunch
 
 __all__ = ["KeyRuns", "unique_segments", "unique_segments_cost"]
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Tuple
 
 from .events import Event
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Any
 
 __all__ = ["require", "check_positive", "check_non_negative", "check_in_range"]
 

@@ -7,7 +7,6 @@ random cluster centres chosen at job startup) and LR (8-byte elements
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

@@ -5,7 +5,6 @@ counts and must reproduce the reference answer exactly (integer counts)
 or to floating-point round-off (sums, products).
 """
 
-import numpy as np
 import pytest
 
 from repro.apps import (

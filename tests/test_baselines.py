@@ -6,15 +6,10 @@ import pytest
 from repro.apps import (
     kmc_dataset,
     kmc_mars_workload,
-    kmc_phoenix_workload,
-    lr_dataset,
-    lr_phoenix_workload,
     mm_dataset,
     mm_mars_workload,
     mm_phoenix_workload,
     sio_dataset,
-    sio_mars_workload,
-    sio_phoenix_workload,
     wo_dataset,
     wo_mars_workload,
 )
@@ -26,7 +21,6 @@ from repro.baselines import (
     PhoenixWorkload,
     serial,
 )
-from repro.hw import GT200
 from repro.primitives import launch_1d
 from repro.util.units import GIB
 

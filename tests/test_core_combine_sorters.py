@@ -14,6 +14,7 @@ from repro.core import (
     SumPartialReducer,
 )
 from repro.hw import GT200, kernel_duration
+from repro.util.rng import generator
 
 
 def kv(keys, values, scale=1.0):
@@ -170,7 +171,7 @@ def test_radix_sorter_validation():
 
 
 def test_comparison_sorter_matches_radix():
-    keys = np.random.default_rng(0).integers(0, 1000, 500).astype(np.uint32)
+    keys = generator(0).integers(0, 1000, 500).astype(np.uint32)
     values = np.arange(500)
     a = RadixSorter().sort(kv(keys, values))
     b = ComparisonSorter().sort(kv(keys, values))

@@ -1,0 +1,182 @@
+"""Sim-vs-real cross-validation of the execution backends.
+
+Every app must produce **bit-identical** per-rank outputs under the
+discrete-event sim backend, the in-process serial backend, and the
+``multiprocessing`` local backend, across multiple worker counts and
+uneven chunk splits.  This turns the simulator's functional-correctness
+claims into checkable facts: the sim's answers are exactly what real
+parallel execution of the same job produces.
+
+Stealing is disabled for the strict parity runs: the parity contract
+pins the deterministic round-robin chunk placement, while sim stealing
+re-routes chunks based on modeled timing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.kmeans import kmc_dataset, kmc_job, kmc_validate
+from repro.apps.linear_regression import lr_dataset, lr_job, lr_validate
+from repro.apps.matmul import (
+    _phase2_chunks,
+    mm_dataset,
+    mm_phase1_job,
+    mm_phase2_job,
+    mm_validate,
+    run_matmul,
+)
+from repro.apps.sparse_int_occurrence import sio_dataset, sio_job, sio_validate
+from repro.apps.word_occurrence import wo_dataset, wo_job, wo_validate
+from repro.core import available_backends, make_executor
+from repro.exec import WorkerFailure
+
+#: >= 3 worker counts, including the acceptance floor of 4 real
+#: multiprocessing workers; none divides the 7-chunk datasets evenly.
+WORKER_COUNTS = (2, 4, 5)
+
+BACKENDS = ("sim", "serial", "local")
+
+
+def _assert_outputs_identical(ref, other, tag):
+    assert len(ref.outputs) == len(other.outputs), tag
+    for rank, (a, b) in enumerate(zip(ref.outputs, other.outputs)):
+        where = f"{tag} rank {rank}"
+        assert (a is None) == (b is None), where
+        if a is None:
+            continue
+        assert a.keys.dtype == b.keys.dtype, where
+        assert a.values.dtype == b.values.dtype, where
+        assert np.array_equal(a.keys, b.keys), where
+        # tobytes() comparison is deliberately bitwise: float reductions
+        # must happen in the same order on every backend.
+        assert a.values.tobytes() == b.values.tobytes(), where
+        assert a.scale == b.scale, where
+
+
+def _run_everywhere(job, n_workers, dataset=None, chunks=None):
+    results = {
+        b: make_executor(b, n_workers).run(job, dataset=dataset, chunks=chunks)
+        for b in BACKENDS
+    }
+    for backend in ("serial", "local"):
+        _assert_outputs_identical(
+            results["sim"], results[backend], f"{job.name}/{backend}/n={n_workers}"
+        )
+    return results
+
+
+def test_backend_registry_is_complete():
+    assert set(BACKENDS) <= set(available_backends())
+    with pytest.raises(ValueError, match="unknown execution backend"):
+        make_executor("quantum", 2)
+
+
+@pytest.mark.parametrize("n_workers", WORKER_COUNTS)
+def test_sio_parity(n_workers):
+    ds = sio_dataset(120_000, chunk_elements=18_000, key_space=1 << 16, seed=3)
+    assert ds.n_chunks % n_workers != 0  # uneven split
+    job = sio_job(key_space=1 << 16).with_config(enable_stealing=False)
+    results = _run_everywhere(job, n_workers, dataset=ds)
+    sio_validate(results["local"], ds)
+
+
+@pytest.mark.parametrize("n_workers", WORKER_COUNTS)
+def test_wo_parity(n_workers):
+    ds = wo_dataset(1 << 18, chunk_chars=40_000, n_words=2_000, seed=7)
+    job = wo_job(n_workers, n_words=2_000).with_config(enable_stealing=False)
+    results = _run_everywhere(job, n_workers, dataset=ds)
+    wo_validate(results["local"], ds)
+
+
+@pytest.mark.parametrize("n_workers", WORKER_COUNTS)
+def test_kmc_parity(n_workers):
+    ds = kmc_dataset(30_000, n_centers=16, dims=3, chunk_points=4_500, seed=11)
+    assert ds.n_chunks % n_workers != 0
+    job = kmc_job(ds).with_config(enable_stealing=False)
+    results = _run_everywhere(job, n_workers, dataset=ds)
+    kmc_validate(results["local"], ds)
+
+
+@pytest.mark.parametrize("n_workers", WORKER_COUNTS)
+def test_lr_parity(n_workers):
+    ds = lr_dataset(40_000, chunk_points=6_000, seed=5)
+    assert ds.n_chunks % n_workers != 0
+    job = lr_job().with_config(enable_stealing=False)
+    results = _run_everywhere(job, n_workers, dataset=ds)
+    lr_validate(results["local"], ds)
+
+
+@pytest.mark.parametrize("n_workers", WORKER_COUNTS)
+def test_mm_parity_both_phases(n_workers):
+    """MM's two-phase flow: phase-1 shuffle and phase-2 sums match."""
+    ds = mm_dataset(512, tile=128, kspan=2, seed=13)
+    job1 = mm_phase1_job(ds).with_config(enable_stealing=False)
+    job2 = mm_phase2_job(ds).with_config(enable_stealing=False)
+
+    p1 = _run_everywhere(job1, n_workers, dataset=ds)
+    # Phase-2 chunks are derived from each backend's own phase-1 output.
+    for backend in BACKENDS:
+        chunks = _phase2_chunks(ds, p1[backend])
+        p2 = make_executor(backend, n_workers).run(job2, chunks=chunks)
+        if backend == "sim":
+            ref = p2
+        else:
+            _assert_outputs_identical(ref, p2, f"mm-p2/{backend}/n={n_workers}")
+
+
+def test_mm_end_to_end_local_product_is_correct():
+    """`run_matmul(backend="local")` assembles the right product."""
+    ds = mm_dataset(256, tile=64, kspan=2, seed=17)
+    result = run_matmul(4, ds, backend="local")
+    mm_validate(result, ds)
+
+
+def test_parity_with_fewer_chunks_than_workers():
+    """Chunkless accumulation workers still emit their initial state."""
+    ds = lr_dataset(12_000, chunk_points=5_000, seed=23)  # 3 chunks
+    assert ds.n_chunks == 3
+    job = lr_job().with_config(enable_stealing=False)
+    results = _run_everywhere(job, 5, dataset=ds)
+    lr_validate(results["local"], ds)
+
+
+def test_parity_blocks_distribution():
+    """The alternative contiguous-blocks placement is canonical too."""
+    ds = sio_dataset(60_000, chunk_elements=9_000, key_space=1 << 14, seed=29)
+    job = sio_job(key_space=1 << 14).with_config(enable_stealing=False)
+    ref = make_executor("sim", 4, initial_distribution="blocks").run(job, dataset=ds)
+    for backend in ("serial", "local"):
+        got = make_executor(backend, 4, initial_distribution="blocks").run(
+            job, dataset=ds
+        )
+        _assert_outputs_identical(ref, got, f"blocks/{backend}")
+
+
+def test_local_worker_failure_propagates():
+    """A raising mapper surfaces as WorkerFailure, not a hang."""
+    from repro.core import Mapper, MapReduceJob
+
+    class BoomMapper(Mapper):
+        def map_chunk(self, chunk):
+            raise RuntimeError("boom in worker")
+
+        def map_cost(self, chunk):  # pragma: no cover - never priced
+            return []
+
+    ds = sio_dataset(10_000, chunk_elements=2_000, key_space=1 << 10, seed=1)
+    job = MapReduceJob(name="boom", mapper=BoomMapper())
+    ex = make_executor("local", 4, timeout_seconds=60.0)
+    with pytest.raises(WorkerFailure, match="boom in worker"):
+        ex.run(job, dataset=ds)
+
+
+def test_local_stats_are_populated():
+    ds = sio_dataset(50_000, chunk_elements=8_000, key_space=1 << 14, seed=2)
+    job = sio_job(key_space=1 << 14).with_config(enable_stealing=False)
+    result = make_executor("local", 4).run(job, dataset=ds)
+    stats = result.stats
+    assert stats.elapsed > 0
+    assert stats.total_chunks == ds.n_chunks
+    assert stats.total_pairs_logical == ds.n_elements
+    assert all(w.stage_seconds.get("map", 0) >= 0 for w in stats.workers)
+    assert stats.total_network_bytes > 0

@@ -1,6 +1,5 @@
 """Tests for the experiment harness: report, loc, configs, runners."""
 
-import numpy as np
 import pytest
 
 from repro.harness import (

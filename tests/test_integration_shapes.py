@@ -6,7 +6,6 @@ reproduction's qualitative claims; the full-scale versions live in
 ``benchmarks/``.
 """
 
-import pytest
 
 from repro.apps import (
     kmc_dataset,
@@ -20,7 +19,7 @@ from repro.apps import (
     sio_dataset,
     wo_dataset,
 )
-from repro.baselines import MarsModel, PhoenixModel
+from repro.baselines import PhoenixModel
 from repro.apps import (
     kmc_phoenix_workload,
     mm_phoenix_workload,

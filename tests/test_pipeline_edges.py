@@ -13,13 +13,14 @@ from repro.core import (
     Reducer,
     RoundRobinPartitioner,
 )
-from repro.core.binner import Binner, TAG_DATA, TAG_FLUSH
+from repro.core.binner import Binner
 from repro.hw import OutOfDeviceMemory
 from repro.hw.specs import ACCELERATOR_NODE, ClusterSpec, GT200, NodeSpec
 from repro.net import Communicator, Fabric, StarTopology
 from repro.primitives import launch_1d, segmented_reduce
 from repro.sim import Environment
 from repro.hw.cpu import HostCPU
+from repro.util.rng import generator
 from repro.util.units import MIB
 
 
@@ -137,7 +138,7 @@ def test_out_of_core_sort_path():
     chunks = [
         Chunk(
             index=i,
-            data=np.random.default_rng(i).integers(0, 1 << 20, 50_000).astype(np.uint32),
+            data=generator(i).integers(0, 1 << 20, 50_000).astype(np.uint32),
             logical_items=50_000,
             logical_bytes=200_000,
         )

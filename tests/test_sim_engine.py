@@ -2,14 +2,7 @@
 
 import pytest
 
-from repro.sim import (
-    AllOf,
-    AnyOf,
-    EmptySchedule,
-    Environment,
-    Event,
-    Interrupt,
-)
+from repro.sim import EmptySchedule, Environment, Interrupt
 
 
 def test_clock_starts_at_zero():
