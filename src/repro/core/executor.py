@@ -13,6 +13,11 @@ that dataflow executes:
   kernels; the network fabric becomes pickle-over-pipe exchange.
 * ``SerialExecutor`` (``"serial"``, in :mod:`repro.exec.serial`) — the
   same real dataflow, run rank-by-rank in the current process.
+* ``ClusterExecutor`` (``"cluster"``, in :mod:`repro.exec.cluster`) —
+  the same real dataflow on rank processes joined by the
+  :mod:`repro.fabric` TCP socket shuffle (host-agnostic wire; spawns
+  local ranks by default, or accepts remote ranks started with
+  ``python -m repro.fabric.launch``).
 
 Every backend implements the same canonical semantics (deterministic
 chunk distribution, source-major shuffle order, identical sort/reduce
@@ -103,7 +108,7 @@ class SimExecutor(Executor):
 _BACKENDS: Dict[str, Callable[..., Executor]] = {}
 
 #: Backends that live outside core and register on first import.
-_LAZY_BACKENDS: Tuple[str, ...] = ("local", "serial")
+_LAZY_BACKENDS: Tuple[str, ...] = ("local", "serial", "cluster")
 
 
 def register_backend(name: str, factory: Callable[..., Executor]) -> None:

@@ -1,19 +1,22 @@
 """Real execution backends (vs. the discrete-event sim in S6).
 
-Importing this package registers the ``"local"`` (multiprocessing) and
-``"serial"`` (in-process) backends with
-:func:`repro.core.executor.make_executor`; the ``"sim"`` backend is
-registered by :mod:`repro.core` itself.
+Importing this package registers the ``"local"`` (multiprocessing),
+``"serial"`` (in-process), and ``"cluster"`` (TCP socket fabric)
+backends with :func:`repro.core.executor.make_executor`; the ``"sim"``
+backend is registered by :mod:`repro.core` itself.
 
     from repro.core import make_executor
     result = make_executor("local", 4).run(job, dataset)
+    result = make_executor("cluster", 4).run(job, dataset)
 """
 
+from .cluster import ClusterExecutor
 from .dataflow import MapPhaseOutput, map_worker, merge_incoming, reduce_worker
 from .local import LocalExecutor, WorkerFailure
 from .serial import SerialExecutor
 
 __all__ = [
+    "ClusterExecutor",
     "LocalExecutor",
     "SerialExecutor",
     "WorkerFailure",

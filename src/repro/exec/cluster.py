@@ -1,0 +1,205 @@
+"""Real distributed execution over the TCP cluster fabric.
+
+``ClusterExecutor`` runs the same :mod:`repro.exec.dataflow` worker
+code as the ``local`` backend, but every byte between ranks rides the
+:mod:`repro.fabric` wire instead of ``multiprocessing`` queues: ranks
+register with a driver-side :class:`~repro.fabric.Coordinator`, receive
+their job + chunk assignment as framed messages, shuffle peer-to-peer
+over TCP sockets, and report results (or remote tracebacks) back over
+their control connection.
+
+By default the executor spawns one rank process per worker on this
+host, all over ``127.0.0.1`` — the test and single-node configuration.
+The wire protocol is host-agnostic, so the same driver serves a real
+multi-host run: construct with ``spawn_ranks=False`` (and typically
+``host="0.0.0.0"``), read the port from
+:attr:`ClusterExecutor.coordinator_address`, and start each rank with
+``python -m repro.fabric.launch --coordinator host:port --rank N`` —
+no code changes.  (With a wildcard bind, ``--coordinator`` takes the
+driver's *real* interface address; ``0.0.0.0`` is bindable, not
+dialable.)
+
+Failure handling matches the local backend's contract: a rank that
+raises ships its traceback upstream and the driver re-raises
+:class:`WorkerFailure`; a rank that dies hard is caught either by the
+coordinator (its control socket hits EOF) or by the driver's process
+liveness probe, never waited out.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import sys
+import time
+import traceback
+from typing import List, Optional, Sequence
+
+from .local import WorkerFailure, _default_start_method, dead_worker_failure
+from ..core.chunk import Chunk
+from ..core.executor import Executor, register_backend
+from ..core.job import MapReduceJob
+from ..core.kvset import KeyValueSet
+from ..core.runtime import JobResult, distribute_chunks, resolve_chunks
+from ..core.stats import JobStats, WorkerStats
+from ..fabric import (
+    DEFAULT_MAX_FRAME_BYTES,
+    Coordinator,
+    PeerDisconnected,
+    RankFailure,
+    run_rank,
+)
+from ..workloads.base import Dataset
+
+__all__ = ["ClusterExecutor"]
+
+
+def _rank_main(
+    rank: int,
+    host: str,
+    port: int,
+    timeout_seconds: float,
+    max_frame_bytes: int,
+) -> None:
+    """Process target for one locally spawned rank."""
+    try:
+        run_rank(
+            rank,
+            (host, port),
+            listen_host="127.0.0.1",
+            timeout_seconds=timeout_seconds,
+            max_frame_bytes=max_frame_bytes,
+        )
+    except Exception:
+        # The endpoint could not ship its traceback over the control
+        # link; put it on stderr and die visibly so the driver's
+        # liveness probe attributes the failure instead of waiting for
+        # a timeout.
+        traceback.print_exc()
+        sys.exit(1)
+
+
+class ClusterExecutor(Executor):
+    """Execute jobs on ``n_workers`` ranks joined by the TCP fabric."""
+
+    name = "cluster"
+
+    def __init__(
+        self,
+        n_workers: int,
+        initial_distribution: str = "round_robin",
+        start_method: Optional[str] = None,
+        timeout_seconds: float = 300.0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        spawn_ranks: bool = True,
+    ) -> None:
+        super().__init__(n_workers)
+        self.initial_distribution = initial_distribution
+        self.start_method = start_method or _default_start_method()
+        self.timeout_seconds = float(timeout_seconds)
+        self.host = host
+        self.port = int(port)
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.spawn_ranks = spawn_ranks
+        #: (host, port) of the live coordinator; set for the duration of
+        #: :meth:`run` — the address external ranks dial when
+        #: ``spawn_ranks=False``.
+        self.coordinator_address: Optional[tuple] = None
+
+    def run(
+        self,
+        job: MapReduceJob,
+        dataset: Optional[Dataset] = None,
+        chunks: Optional[Sequence[Chunk]] = None,
+    ) -> JobResult:
+        all_chunks = resolve_chunks(dataset, chunks)
+        per_worker = distribute_chunks(
+            all_chunks, self.n_workers, self.initial_distribution
+        )
+
+        procs: List[mp.process.BaseProcess] = []
+
+        def _probe() -> None:
+            failure = dead_worker_failure(procs)
+            if failure is not None:
+                raise failure
+
+        t_start = time.perf_counter()
+        with Coordinator(
+            self.n_workers,
+            host=self.host,
+            port=self.port,
+            timeout_seconds=self.timeout_seconds,
+            max_frame_bytes=self.max_frame_bytes,
+            liveness_probe=_probe if self.spawn_ranks else None,
+        ) as coordinator:
+            self.coordinator_address = coordinator.address
+            if self.spawn_ranks:
+                # A wildcard bind is not dialable; local ranks always
+                # reach a wildcard-bound coordinator over loopback.
+                dial_host = (
+                    "127.0.0.1"
+                    if coordinator.host in ("0.0.0.0", "::", "")
+                    else coordinator.host
+                )
+                ctx = mp.get_context(self.start_method)
+                procs = [
+                    ctx.Process(
+                        target=_rank_main,
+                        args=(
+                            rank,
+                            dial_host,
+                            coordinator.port,
+                            self.timeout_seconds,
+                            self.max_frame_bytes,
+                        ),
+                        name=f"gpmr-cluster-r{rank}",
+                        daemon=True,
+                    )
+                    for rank in range(self.n_workers)
+                ]
+                for p in procs:
+                    p.start()
+            try:
+                coordinator.wait_for_ranks()
+                coordinator.broadcast_assignments(job, per_worker)
+                coordinator.barrier("start")
+                collected = coordinator.collect_results()
+            except RankFailure as exc:
+                raise WorkerFailure(exc.rank, exc.detail) from exc
+            except PeerDisconnected as exc:
+                # Recv-side deaths become RankFailure inside the
+                # coordinator; this catches the rare send-side races so
+                # the documented contract (WorkerFailure or
+                # TimeoutError) holds for every rank-death path.
+                raise WorkerFailure(-1, f"a rank disconnected: {exc}") from exc
+            finally:
+                self.coordinator_address = None
+                for p in procs:
+                    if p.is_alive():
+                        p.terminate()
+                for p in procs:
+                    p.join(timeout=5.0)
+
+        outputs: List[Optional[KeyValueSet]] = [None] * self.n_workers
+        worker_stats: List[WorkerStats] = []
+        for rank, output, stats in collected:
+            outputs[rank] = output
+            worker_stats.append(
+                stats if stats is not None else WorkerStats(rank=rank)
+            )
+
+        elapsed = time.perf_counter() - t_start
+        return JobResult(
+            stats=JobStats(
+                job_name=job.name,
+                n_gpus=self.n_workers,
+                elapsed=elapsed,
+                workers=worker_stats,
+            ),
+            outputs=outputs,
+        )
+
+
+register_backend(ClusterExecutor.name, ClusterExecutor)

@@ -38,7 +38,7 @@ from ..core.runtime import JobResult, distribute_chunks, resolve_chunks
 from ..core.stats import JobStats, WorkerStats
 from ..workloads.base import Dataset
 
-__all__ = ["LocalExecutor", "WorkerFailure"]
+__all__ = ["LocalExecutor", "WorkerFailure", "dead_worker_failure"]
 
 
 class WorkerFailure(RuntimeError):
@@ -54,6 +54,17 @@ def _default_start_method() -> str:
     # fork is dramatically cheaper and keeps the job object shared
     # copy-on-write; fall back to spawn where fork is unavailable.
     return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+def dead_worker_failure(procs) -> Optional["WorkerFailure"]:
+    """The liveness predicate shared by the local and cluster drivers:
+    a :class:`WorkerFailure` naming every worker process that died with
+    a nonzero exit code, or None while all are healthy."""
+    dead = [p for p in procs if not p.is_alive() and p.exitcode not in (0, None)]
+    if not dead:
+        return None
+    codes = {p.name: p.exitcode for p in dead}
+    return WorkerFailure(-1, f"worker process(es) died without reporting: {codes}")
 
 
 def _worker_main(
@@ -174,14 +185,9 @@ class LocalExecutor(Executor):
                         timeout=min(remaining, 0.5)
                     )
                 except queue_mod.Empty:
-                    dead = [
-                        p for p in procs if not p.is_alive() and p.exitcode not in (0, None)
-                    ]
-                    if dead and result_queue.empty():
-                        codes = {p.name: p.exitcode for p in dead}
-                        raise WorkerFailure(
-                            -1, f"worker process(es) died without reporting: {codes}"
-                        )
+                    failure = dead_worker_failure(procs)
+                    if failure is not None and result_queue.empty():
+                        raise failure
                     continue
                 pending -= 1
                 if error is not None:

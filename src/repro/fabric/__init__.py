@@ -1,0 +1,52 @@
+"""The cluster fabric: a real TCP shuffle + control plane for GPMR.
+
+Where the sim *models* the paper's MPI interconnect and the ``local``
+backend fakes it with in-node queues, this package is an actual wire:
+
+* :mod:`repro.fabric.wire` — length-prefixed, version-checked framed
+  messaging (the protocol both planes speak);
+* :mod:`repro.fabric.coordinator` — the driver side: rank registration,
+  assignment broadcast, barrier, result collection, failure detection;
+* :mod:`repro.fabric.endpoint` — the rank side, including the
+  one-batch-per-(src, dst) all-to-all shuffle over peer TCP sockets;
+* :mod:`repro.fabric.launch` — ``python -m repro.fabric.launch`` for
+  joining a fabric from another host.
+
+:class:`repro.exec.cluster.ClusterExecutor` (``make_executor("cluster",
+n)``) runs the shared :mod:`repro.exec` dataflow over this fabric.
+"""
+
+from .coordinator import ClusterTimeout, Coordinator, RankFailure
+from .endpoint import RankEndpoint, run_rank
+from .wire import (
+    DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FabricError,
+    FrameTooLarge,
+    PeerDisconnected,
+    ProtocolError,
+    ProtocolVersionError,
+    TruncatedFrame,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = [
+    "Coordinator",
+    "RankEndpoint",
+    "run_rank",
+    "ClusterTimeout",
+    "RankFailure",
+    "FabricError",
+    "ProtocolError",
+    "ProtocolVersionError",
+    "FrameTooLarge",
+    "TruncatedFrame",
+    "PeerDisconnected",
+    "PROTOCOL_VERSION",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "send_frame",
+    "recv_frame",
+    "parse_address",
+]

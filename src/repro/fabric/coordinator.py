@@ -1,0 +1,323 @@
+"""Driver-side control plane of the cluster fabric.
+
+The :class:`Coordinator` owns one TCP listening socket.  Rank processes
+(local or on other hosts) dial in and the run proceeds through four
+control-plane phases, all over the framed wire protocol in
+:mod:`repro.fabric.wire`:
+
+1. **Registration** — each rank sends ``HELLO`` carrying its rank id
+   and the address of its own shuffle listener; the coordinator answers
+   ``WELCOME``.  Registration tolerates stragglers: ranks may dial in
+   in any order, any time before the deadline.
+2. **Assignment broadcast** — ``ASSIGN`` ships the pickled job, the
+   rank's chunk list, and the full peer directory (rank -> shuffle
+   address), so the data plane needs no further coordinator round-trips.
+3. **Barrier** — every rank reports ``BARRIER``; once all have arrived
+   the coordinator broadcasts ``RESUME``.  This pins a common start
+   line so per-rank wall-clock stage timings are comparable.
+4. **Result collection** — the coordinator multiplexes over all rank
+   connections; each rank ends with exactly one ``RESULT`` (output +
+   stats) or ``ERROR`` (remote traceback) frame.
+
+Peer failure is detected, never waited out: a rank connection that hits
+EOF before its result arrived raises :class:`RankFailure` immediately
+(a dead process's kernel closes its sockets), and every phase enforces
+a deadline, raising :class:`ClusterTimeout` with the laggards named.
+"""
+
+from __future__ import annotations
+
+import pickle
+import selectors
+import socket
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .wire import (
+    MSG_ASSIGN,
+    MSG_BARRIER,
+    MSG_ERROR,
+    MSG_HELLO,
+    MSG_RESULT,
+    MSG_RESUME,
+    MSG_WELCOME,
+    DEFAULT_MAX_FRAME_BYTES,
+    FabricError,
+    PeerDisconnected,
+    ProtocolError,
+    ProtocolVersionError,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = ["Coordinator", "ClusterTimeout", "RankFailure"]
+
+#: How often blocking phases wake up to re-check deadlines/liveness.
+_POLL_SECONDS = 0.2
+
+
+class ClusterTimeout(FabricError, TimeoutError):
+    """A control-plane phase missed its deadline; names the laggards.
+
+    Also a :class:`TimeoutError`, so ``except TimeoutError`` catches a
+    cluster-backend deadline exactly like a local-backend one.
+    """
+
+
+class RankFailure(FabricError):
+    """A rank failed; carries the rank id and what is known about why."""
+
+    def __init__(self, rank: int, detail: str) -> None:
+        super().__init__(f"rank {rank} failed:\n{detail}")
+        self.rank = rank
+        self.detail = detail
+
+
+class Coordinator:
+    """Rank registry, broadcaster, barrier, and result sink for one job.
+
+    ``liveness_probe`` (optional) is called on every poll tick of every
+    blocking phase; it should raise if it knows a rank already died
+    (e.g. the launching executor watching its child processes), turning
+    a would-be timeout into an immediate, attributed failure.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout_seconds: float = 120.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        liveness_probe: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = int(n_workers)
+        self.timeout_seconds = float(timeout_seconds)
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.liveness_probe = liveness_probe
+        self._listener = socket.create_server(
+            (host, port), backlog=max(self.n_workers, 8)
+        )
+        self._listener.settimeout(_POLL_SECONDS)
+        self.host, self.port = self._listener.getsockname()[:2]
+        #: rank -> control connection, filled by :meth:`wait_for_ranks`
+        self._conns: Dict[int, socket.socket] = {}
+        #: rank -> advertised shuffle (host, port)
+        self.shuffle_peers: Dict[int, Tuple[str, int]] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    def close(self) -> None:
+        for conn in self._conns.values():
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._conns.clear()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "Coordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- phase helpers -----------------------------------------------------
+    def _deadline(self) -> float:
+        return time.monotonic() + self.timeout_seconds
+
+    def _tick(self, deadline: float, phase: str, waiting_on: Sequence[int]) -> None:
+        if self.liveness_probe is not None:
+            self.liveness_probe()
+        if time.monotonic() > deadline:
+            raise ClusterTimeout(
+                f"{phase} timed out after {self.timeout_seconds}s; "
+                f"still waiting on rank(s) {sorted(waiting_on)}"
+            )
+
+    # -- 1. registration ---------------------------------------------------
+    def wait_for_ranks(self) -> None:
+        """Accept HELLOs until every rank 0..n-1 has registered.
+
+        A connection that is not a well-formed HELLO — a port scanner,
+        a health check, a half-open socket — is dropped and accepting
+        continues; only real misconfigurations (protocol version skew,
+        duplicate or out-of-range ranks) abort the run.  The handshake
+        itself gets a short per-connection timeout so one silent client
+        cannot serially consume the whole registration deadline.
+        """
+        deadline = self._deadline()
+        while len(self._conns) < self.n_workers:
+            missing = [r for r in range(self.n_workers) if r not in self._conns]
+            self._tick(deadline, "rank registration", missing)
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            conn.settimeout(min(5.0, self.timeout_seconds))
+            try:
+                _, hello = recv_frame(
+                    conn, max_frame_bytes=self.max_frame_bytes, expect=MSG_HELLO
+                )
+            except ProtocolVersionError:
+                conn.close()
+                raise
+            except (ProtocolError, PeerDisconnected, socket.timeout):
+                conn.close()  # not a rank; keep listening
+                continue
+            conn.settimeout(self.timeout_seconds)
+            rank = int(hello["rank"])
+            if not 0 <= rank < self.n_workers:
+                conn.close()
+                raise FabricError(
+                    f"HELLO from out-of-range rank {rank} "
+                    f"(cluster has {self.n_workers} ranks)"
+                )
+            if rank in self._conns:
+                conn.close()
+                raise FabricError(f"duplicate registration for rank {rank}")
+            self._conns[rank] = conn
+            self.shuffle_peers[rank] = tuple(hello["shuffle_address"])
+            send_frame(
+                conn,
+                MSG_WELCOME,
+                {"n_workers": self.n_workers,
+                 "max_frame_bytes": self.max_frame_bytes},
+                max_frame_bytes=self.max_frame_bytes,
+            )
+
+    # -- 2. assignment broadcast -------------------------------------------
+    def broadcast_assignments(
+        self, job: Any, per_worker_chunks: Sequence[Sequence[Any]]
+    ) -> None:
+        """Ship the job, each rank's chunks, and the peer directory.
+
+        The job (potentially megabytes of mapper state) is pickled
+        *once* and embedded as a blob in every rank's ASSIGN frame —
+        only the chunk list varies per rank, so startup cost stays
+        O(job + chunks), not O(n_workers * job).
+        """
+        if len(per_worker_chunks) != self.n_workers:
+            raise ValueError("need exactly one chunk list per rank")
+        job_blob = pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL)
+        peers = dict(self.shuffle_peers)
+        for rank in range(self.n_workers):
+            try:
+                send_frame(
+                    self._conns[rank],
+                    MSG_ASSIGN,
+                    {
+                        "job_pickle": job_blob,
+                        "chunks": list(per_worker_chunks[rank]),
+                        "peers": peers,
+                        "n_workers": self.n_workers,
+                    },
+                    max_frame_bytes=self.max_frame_bytes,
+                )
+            except PeerDisconnected as exc:
+                raise RankFailure(
+                    rank, f"disconnected before receiving its assignment: {exc}"
+                ) from exc
+
+    # -- 3. barrier ---------------------------------------------------------
+    def barrier(self, name: str = "start") -> None:
+        """Wait for every rank's BARRIER frame, then broadcast RESUME."""
+        arrived: set = set()
+        deadline = self._deadline()
+        with selectors.DefaultSelector() as sel:
+            for rank, conn in self._conns.items():
+                sel.register(conn, selectors.EVENT_READ, rank)
+            while len(arrived) < self.n_workers:
+                waiting = [r for r in self._conns if r not in arrived]
+                self._tick(deadline, f"barrier {name!r}", waiting)
+                for key, _ in sel.select(timeout=_POLL_SECONDS):
+                    rank = key.data
+                    try:
+                        msg_type, payload = recv_frame(
+                            key.fileobj, max_frame_bytes=self.max_frame_bytes
+                        )
+                    except PeerDisconnected as exc:
+                        raise RankFailure(
+                            rank, f"disconnected at barrier {name!r}: {exc}"
+                        ) from exc
+                    if msg_type == MSG_ERROR:
+                        # A rank can fail before reaching the barrier
+                        # (bad assignment unpickle, version skew on a
+                        # remote host); surface its traceback, not a
+                        # framing complaint.
+                        raise RankFailure(rank, payload["traceback"])
+                    if msg_type != MSG_BARRIER:
+                        raise FabricError(
+                            f"rank {rank} sent frame type {msg_type} "
+                            f"while barrier {name!r} was pending"
+                        )
+                    if payload.get("name") != name:
+                        raise FabricError(
+                            f"rank {rank} reached barrier "
+                            f"{payload.get('name')!r}, expected {name!r}"
+                        )
+                    arrived.add(rank)
+        for rank, conn in self._conns.items():
+            try:
+                send_frame(conn, MSG_RESUME, {"name": name},
+                           max_frame_bytes=self.max_frame_bytes)
+            except PeerDisconnected as exc:
+                raise RankFailure(
+                    rank, f"disconnected at barrier {name!r} release: {exc}"
+                ) from exc
+
+    # -- 4. result collection -----------------------------------------------
+    def collect_results(self) -> List[Tuple[int, Any, Any]]:
+        """Gather one RESULT frame per rank; fail fast on any ERROR.
+
+        Returns ``(rank, output, stats)`` tuples in rank order.  The
+        first ERROR frame raises :class:`RankFailure` carrying the
+        remote traceback *immediately* — peers of the failed rank may
+        still be draining the shuffle, and a single failure must not
+        cost the run its full timeout.  A connection that drops before
+        reporting raises :class:`RankFailure` too — a hard-killed
+        worker is detected here, not waited out.
+        """
+        results: Dict[int, Tuple[int, Any, Any]] = {}
+        deadline = self._deadline()
+        with selectors.DefaultSelector() as sel:
+            for rank, conn in self._conns.items():
+                sel.register(conn, selectors.EVENT_READ, rank)
+            while len(results) < self.n_workers:
+                waiting = [r for r in self._conns if r not in results]
+                self._tick(deadline, "result collection", waiting)
+                for key, _ in sel.select(timeout=_POLL_SECONDS):
+                    rank = key.data
+                    if rank in results:
+                        continue
+                    try:
+                        msg_type, payload = recv_frame(
+                            key.fileobj, max_frame_bytes=self.max_frame_bytes
+                        )
+                    except PeerDisconnected as exc:
+                        raise RankFailure(
+                            rank,
+                            f"worker process disconnected before reporting "
+                            f"a result ({exc})",
+                        ) from exc
+                    if msg_type == MSG_RESULT:
+                        results[rank] = (
+                            rank, payload["output"], payload["stats"]
+                        )
+                    elif msg_type == MSG_ERROR:
+                        raise RankFailure(rank, payload["traceback"])
+                    else:
+                        raise FabricError(
+                            f"rank {rank} sent unexpected frame type {msg_type} "
+                            "during result collection"
+                        )
+                    sel.unregister(key.fileobj)
+        return [results[r] for r in sorted(results)]

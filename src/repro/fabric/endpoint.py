@@ -1,0 +1,323 @@
+"""Rank-side endpoint of the cluster fabric.
+
+A :class:`RankEndpoint` is everything one worker rank needs to take
+part in a fabric run: a control connection to the coordinator and its
+own shuffle listener for the data plane.  The full worker flow
+(:meth:`run_job`) mirrors :mod:`repro.exec.local`'s ``_worker_main``
+exactly — map, all-to-all exchange, sort, reduce — with the
+pickle-over-pipe queues replaced by framed TCP:
+
+* **exchange** is the same one-batch-per-(src, dst) protocol: after its
+  map phase a rank opens one connection to every peer's shuffle
+  listener, sends exactly one ``BATCH`` frame ``{src, parts}``, and
+  accepts exactly ``n-1`` inbound batches.  Self-destined parts never
+  touch the wire.  Outbound sends run on one thread per destination
+  (the TCP analogue of ``mp.Queue``'s feeder thread) so a rank is
+  always able to drain inbound batches while its own sends are still
+  in flight — no send/recv interleaving deadlock at any batch size.
+* **timing** buckets real wall-clock into the same Figure-2 stages
+  (map / bin / sort / reduce) the sim charges modeled time to.
+
+The endpoint is transport-complete for multi-host runs: the rank
+itself states where its shuffle listener is reachable (``listen_host``
+/ ``advertise_host``) rather than anyone inferring it, and everything
+else is plain TCP — the same code joins a fabric from another host via
+``python -m repro.fabric.launch``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import threading
+import time
+import traceback
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .wire import (
+    MSG_ASSIGN,
+    MSG_BARRIER,
+    MSG_BATCH,
+    MSG_ERROR,
+    MSG_HELLO,
+    MSG_RESULT,
+    MSG_RESUME,
+    MSG_WELCOME,
+    DEFAULT_MAX_FRAME_BYTES,
+    FabricError,
+    PeerDisconnected,
+    ProtocolError,
+    ProtocolVersionError,
+    recv_frame,
+    send_frame,
+)
+
+__all__ = ["RankEndpoint", "run_rank"]
+
+#: Accept-loop wake interval: how often exchange() re-checks its
+#: deadline while waiting for inbound batches.
+_POLL_SECONDS = 0.2
+
+
+class RankEndpoint:
+    """One rank's connections into the fabric (control + shuffle)."""
+
+    def __init__(
+        self,
+        rank: int,
+        coordinator: Tuple[str, int],
+        listen_host: str = "127.0.0.1",
+        advertise_host: Optional[str] = None,
+        timeout_seconds: float = 120.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.rank = int(rank)
+        self.coordinator_address = tuple(coordinator)
+        self.timeout_seconds = float(timeout_seconds)
+        self.max_frame_bytes = int(max_frame_bytes)
+        # Data plane first: the listener must exist before HELLO
+        # advertises it, so no peer can ever dial a closed port.
+        self._shuffle_listener = socket.create_server((listen_host, 0), backlog=16)
+        self._shuffle_listener.settimeout(_POLL_SECONDS)
+        port = self._shuffle_listener.getsockname()[1]
+        self.shuffle_address = (advertise_host or listen_host, port)
+        self._control: Optional[socket.socket] = None
+        self.n_workers: Optional[int] = None
+        self.peers: Dict[int, Tuple[str, int]] = {}
+
+    # -- control plane -----------------------------------------------------
+    def connect(self) -> None:
+        """Dial the coordinator, register, and learn the cluster size."""
+        self._control = socket.create_connection(
+            self.coordinator_address, timeout=self.timeout_seconds
+        )
+        send_frame(
+            self._control,
+            MSG_HELLO,
+            {"rank": self.rank, "shuffle_address": self.shuffle_address},
+            max_frame_bytes=self.max_frame_bytes,
+        )
+        _, welcome = recv_frame(
+            self._control, max_frame_bytes=self.max_frame_bytes, expect=MSG_WELCOME
+        )
+        self.n_workers = int(welcome["n_workers"])
+        self.max_frame_bytes = int(
+            welcome.get("max_frame_bytes", self.max_frame_bytes)
+        )
+
+    def receive_assignment(self) -> Tuple[Any, List[Any]]:
+        """Block for ASSIGN; returns ``(job, chunks)`` and stores peers."""
+        _, assign = recv_frame(
+            self._control, max_frame_bytes=self.max_frame_bytes, expect=MSG_ASSIGN
+        )
+        self.n_workers = int(assign["n_workers"])
+        self.peers = {int(r): tuple(a) for r, a in assign["peers"].items()}
+        # The job travels as a nested blob, pickled once for all ranks.
+        return pickle.loads(assign["job_pickle"]), list(assign["chunks"])
+
+    def barrier(self, name: str = "start") -> None:
+        """Report arrival at ``name`` and block until RESUME."""
+        send_frame(self._control, MSG_BARRIER, {"name": name},
+                   max_frame_bytes=self.max_frame_bytes)
+        _, resume = recv_frame(
+            self._control, max_frame_bytes=self.max_frame_bytes, expect=MSG_RESUME
+        )
+        if resume.get("name") != name:
+            raise FabricError(
+                f"resumed from barrier {resume.get('name')!r}, expected {name!r}"
+            )
+
+    def send_result(self, output: Any, stats: Any) -> None:
+        send_frame(
+            self._control,
+            MSG_RESULT,
+            {"rank": self.rank, "output": output, "stats": stats},
+            max_frame_bytes=self.max_frame_bytes,
+        )
+
+    def send_error(self, tb: str, stats: Any = None) -> None:
+        send_frame(
+            self._control,
+            MSG_ERROR,
+            {"rank": self.rank, "traceback": tb, "stats": stats},
+            max_frame_bytes=self.max_frame_bytes,
+        )
+
+    # -- data plane: the all-to-all exchange -------------------------------
+    def _send_batch(self, dest: int, parts: Sequence[Any]) -> None:
+        with socket.create_connection(
+            self.peers[dest], timeout=self.timeout_seconds
+        ) as sock:
+            send_frame(
+                sock,
+                MSG_BATCH,
+                {"src": self.rank, "parts": list(parts)},
+                max_frame_bytes=self.max_frame_bytes,
+            )
+
+    def exchange(
+        self, parts_for: Sequence[Sequence[Any]]
+    ) -> List[Tuple[int, List[Any]]]:
+        """Run the one-batch-per-(src, dst) all-to-all shuffle.
+
+        ``parts_for[dest]`` is this rank's emission list for ``dest``.
+        Returns ``(source_rank, parts)`` batches for *every* source
+        including self, in arrival order (callers canonicalise with
+        :func:`repro.exec.dataflow.merge_incoming`).
+        """
+        assert self.n_workers is not None, "exchange before connect()"
+        n = self.n_workers
+        errors: List[BaseException] = []
+
+        def _sender(dest: int) -> None:
+            try:
+                self._send_batch(dest, parts_for[dest])
+            except BaseException as exc:  # surfaced after the joins
+                errors.append(exc)
+
+        senders = [
+            threading.Thread(
+                target=_sender, args=(dest,), name=f"gpmr-shuffle-to-{dest}",
+                daemon=True,
+            )
+            for dest in range(n)
+            if dest != self.rank
+        ]
+        for t in senders:
+            t.start()
+
+        batches: List[Tuple[int, List[Any]]] = [
+            (self.rank, list(parts_for[self.rank]))
+        ]
+        deadline = time.monotonic() + self.timeout_seconds
+        while len(batches) < n:
+            if time.monotonic() > deadline:
+                got = sorted(src for src, _ in batches)
+                raise FabricError(
+                    f"rank {self.rank} shuffle timed out after "
+                    f"{self.timeout_seconds}s; received batches only from "
+                    f"{got}"
+                )
+            try:
+                conn, _addr = self._shuffle_listener.accept()
+            except socket.timeout:
+                continue
+            try:
+                with conn:
+                    conn.settimeout(self.timeout_seconds)
+                    _, batch = recv_frame(
+                        conn, max_frame_bytes=self.max_frame_bytes,
+                        expect=MSG_BATCH,
+                    )
+            except ProtocolVersionError:
+                raise  # a version-skewed peer is a real failure
+            except (ProtocolError, PeerDisconnected, socket.timeout):
+                continue  # stray connection (scanner, health check); drop it
+            batches.append((int(batch["src"]), list(batch["parts"])))
+
+        for t in senders:
+            t.join(timeout=self.timeout_seconds)
+        if errors:
+            raise FabricError(
+                f"rank {self.rank} failed sending shuffle batches: {errors[0]}"
+            ) from errors[0]
+        return batches
+
+    # -- full worker flow --------------------------------------------------
+    def run_job(self) -> None:
+        """Handshake, then execute the complete GPMR worker dataflow.
+
+        Wall-clock lands in the sim's Figure-2 buckets: ``map`` covers
+        the map phase, ``bin`` the exposed exchange time, ``sort`` and
+        ``reduce`` are recorded inside ``reduce_worker``.
+        """
+        # Imported here so repro.fabric stays importable without the
+        # exec package (the wire layer is dependency-free).
+        from ..core.stats import WorkerStats
+        from ..exec.dataflow import map_worker, merge_incoming, reduce_worker
+
+        stats = WorkerStats(rank=self.rank)
+        posted = False
+        try:
+            job, chunks = self.receive_assignment()
+            self.barrier("start")
+
+            t0 = time.perf_counter()
+            mapped = map_worker(job, chunks, self.n_workers)
+            stats.chunks_mapped = mapped.chunks_mapped
+            stats.pairs_emitted_logical = mapped.pairs_emitted_logical
+            stats.bytes_sent_network = mapped.bytes_binned
+            t1 = time.perf_counter()
+            stats.add("map", t1 - t0)
+
+            posted = True  # exchange() sends every outbound batch itself
+            batches = self.exchange(mapped.parts)
+            incoming = merge_incoming(batches)
+            t2 = time.perf_counter()
+            stats.add("bin", t2 - t1)
+
+            output = reduce_worker(job, incoming, stats=stats)
+            self.send_result(output, stats)
+        except BaseException:
+            if not posted and self.peers:
+                # Unblock peers waiting on this rank's batch (the same
+                # empty-batch courtesy the local backend's failing
+                # workers extend), so survivors finish promptly instead
+                # of running out their shuffle deadlines.
+                for dest in range(self.n_workers or 0):
+                    if dest == self.rank:
+                        continue
+                    try:
+                        self._send_batch(dest, [])
+                    except (OSError, FabricError):
+                        pass  # peer already gone; its own deadline covers it
+            # A failure that reaches the coordinator as an ERROR frame is
+            # a *reported* failure (the rank then exits cleanly, like the
+            # local backend's workers).  Only if shipping the traceback
+            # itself fails does the exception propagate — the process
+            # then dies visibly and the driver's liveness watch fires.
+            self.send_error(traceback.format_exc(), stats)
+
+    def close(self) -> None:
+        if self._control is not None:
+            try:
+                self._control.close()
+            except OSError:
+                pass
+            self._control = None
+        try:
+            self._shuffle_listener.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "RankEndpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def run_rank(
+    rank: int,
+    coordinator: Tuple[str, int],
+    listen_host: str = "127.0.0.1",
+    advertise_host: Optional[str] = None,
+    timeout_seconds: float = 120.0,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> None:
+    """Join the fabric as ``rank`` and run one job end to end.
+
+    The in-process entry point behind ``python -m repro.fabric.launch``
+    and the process target :class:`repro.exec.cluster.ClusterExecutor`
+    spawns for local ranks.
+    """
+    with RankEndpoint(
+        rank,
+        coordinator,
+        listen_host=listen_host,
+        advertise_host=advertise_host,
+        timeout_seconds=timeout_seconds,
+        max_frame_bytes=max_frame_bytes,
+    ) as endpoint:
+        endpoint.connect()
+        endpoint.run_job()

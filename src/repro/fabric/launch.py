@@ -1,0 +1,111 @@
+"""Join a cluster fabric from the command line — the multi-host path.
+
+:class:`~repro.exec.cluster.ClusterExecutor` spawns its ranks as local
+processes for single-host runs and tests, but the wire protocol is
+host-agnostic; this launcher is the only extra piece a real multi-host
+run needs.  Start the driver with ``make_executor("cluster", N,
+spawn_ranks=False)`` (it prints / exposes its coordinator address),
+then on each host::
+
+    python -m repro.fabric.launch --coordinator driver-host:5555 --rank 0
+    python -m repro.fabric.launch --coordinator driver-host:5555 --rank 1 ...
+
+Each invocation registers with the coordinator, receives its job and
+chunk assignment over the wire, shuffles directly with its peers, and
+reports its result — no code or data staging on the worker hosts.
+
+``--listen-host`` binds the rank's shuffle listener (default
+``0.0.0.0`` here, so peers on other hosts can reach it) and
+``--advertise-host`` is the address peers should dial (defaults to this
+host's name as resolved locally).
+
+The fabric moves pickled objects and assumes a private, trusted
+network (see :mod:`repro.fabric.wire`); only bind interfaces on an
+isolated cluster interconnect.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import sys
+from typing import Optional, Sequence
+
+from .endpoint import run_rank
+from .wire import DEFAULT_MAX_FRAME_BYTES, parse_address
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fabric.launch",
+        description="Join a GPMR cluster fabric as one worker rank.",
+    )
+    parser.add_argument(
+        "--coordinator",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of the driver's fabric coordinator",
+    )
+    parser.add_argument(
+        "--rank", required=True, type=int, help="this worker's rank id (0-based)"
+    )
+    parser.add_argument(
+        "--listen-host",
+        default="0.0.0.0",
+        help="interface the shuffle listener binds (default: all)",
+    )
+    parser.add_argument(
+        "--advertise-host",
+        default=None,
+        help="address peers dial for shuffle batches "
+        "(default: this host's resolved name)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="per-phase fabric timeout (default: 300)",
+    )
+    parser.add_argument(
+        "--max-frame-bytes",
+        type=int,
+        default=DEFAULT_MAX_FRAME_BYTES,
+        help="largest accepted wire frame (default: 1 GiB)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.rank < 0:
+        print(f"error: --rank must be >= 0, got {args.rank}", file=sys.stderr)
+        return 2
+    advertise = args.advertise_host
+    if advertise is None:
+        # A wildcard bind is not dialable; advertise something that is.
+        advertise = (
+            "127.0.0.1"
+            if args.listen_host in ("0.0.0.0", "")
+            and args.coordinator.startswith(("127.", "localhost"))
+            else socket.gethostname()
+        )
+    try:
+        run_rank(
+            args.rank,
+            parse_address(args.coordinator),
+            listen_host=args.listen_host,
+            advertise_host=advertise,
+            timeout_seconds=args.timeout,
+            max_frame_bytes=args.max_frame_bytes,
+        )
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(f"rank {args.rank} failed: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

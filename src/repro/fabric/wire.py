@@ -1,0 +1,204 @@
+"""Length-prefixed framed messaging: the cluster fabric's wire format.
+
+Every message on a fabric socket is one *frame*::
+
+    +-------+---------+------+----------+----------------+---------...
+    | magic | version | type | reserved | payload length | payload
+    | 4 B   | 1 B     | 1 B  | 2 B      | 8 B (big-end.) | pickled object
+    +-------+---------+------+----------+----------------+---------...
+
+The header is fixed (16 bytes, network byte order) and versioned, so a
+rank launched from a different repo revision fails fast with
+:class:`ProtocolVersionError` instead of desynchronising mid-shuffle.
+Payloads are pickled Python objects (jobs, chunk lists, ``KeyValueSet``
+batches); the length prefix makes message boundaries explicit on the
+byte stream, and an enforced ``max_frame_bytes`` bound rejects
+corrupted or hostile lengths before any allocation happens.
+
+EOF handling distinguishes two cases the coordinator cares about:
+
+* a socket that closes *between* frames raises :class:`PeerDisconnected`
+  (orderly death — a rank process exited);
+* a socket that closes *inside* a frame raises :class:`TruncatedFrame`
+  (the peer died mid-send, or the stream corrupted).
+
+**Trust model**: payloads are pickles, and unpickling attacker-supplied
+bytes is code execution — the frame bound guards allocation, not
+authenticity.  Like the MPI interconnect it reproduces, the fabric
+assumes a *private, trusted network*: bind ``127.0.0.1`` (the default)
+or an isolated cluster interface, never an internet-facing address.
+An authenticated (HMAC-challenge) handshake is a roadmap item.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any, Optional, Tuple
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "MSG_NAMES",
+    "MSG_HELLO",
+    "MSG_WELCOME",
+    "MSG_ASSIGN",
+    "MSG_BARRIER",
+    "MSG_RESUME",
+    "MSG_RESULT",
+    "MSG_ERROR",
+    "MSG_BATCH",
+    "FabricError",
+    "ProtocolError",
+    "ProtocolVersionError",
+    "FrameTooLarge",
+    "TruncatedFrame",
+    "PeerDisconnected",
+    "send_frame",
+    "recv_frame",
+    "parse_address",
+]
+
+#: Bump on any incompatible header/message change.
+PROTOCOL_VERSION = 1
+
+MAGIC = b"GPMR"
+
+#: magic(4s) version(B) msg_type(B) reserved(2x) payload_len(Q)
+HEADER = struct.Struct("!4sBB2xQ")
+
+#: Refuse frames above this many payload bytes (1 GiB) unless the
+#: caller raises the bound explicitly.
+DEFAULT_MAX_FRAME_BYTES = 1 << 30
+
+# -- message types ----------------------------------------------------------
+MSG_HELLO = 1    #: rank -> coordinator: register {rank, shuffle address}
+MSG_WELCOME = 2  #: coordinator -> rank: registration accepted {n_workers}
+MSG_ASSIGN = 3   #: coordinator -> rank: {job, chunks, peers, n_workers}
+MSG_BARRIER = 4  #: rank -> coordinator: reached the named barrier
+MSG_RESUME = 5   #: coordinator -> rank: all ranks arrived, proceed
+MSG_RESULT = 6   #: rank -> coordinator: {rank, output, stats}
+MSG_ERROR = 7    #: rank -> coordinator: {rank, traceback}
+MSG_BATCH = 8    #: rank -> rank: one shuffle batch {src, parts}
+
+MSG_NAMES = {
+    MSG_HELLO: "HELLO",
+    MSG_WELCOME: "WELCOME",
+    MSG_ASSIGN: "ASSIGN",
+    MSG_BARRIER: "BARRIER",
+    MSG_RESUME: "RESUME",
+    MSG_RESULT: "RESULT",
+    MSG_ERROR: "ERROR",
+    MSG_BATCH: "BATCH",
+}
+
+
+class FabricError(RuntimeError):
+    """Base class for every cluster-fabric failure."""
+
+
+class ProtocolError(FabricError):
+    """The byte stream violated the framing protocol."""
+
+
+class ProtocolVersionError(ProtocolError):
+    """Peer speaks a different fabric protocol revision."""
+
+
+class FrameTooLarge(ProtocolError):
+    """Declared payload length exceeds the enforced bound."""
+
+
+class TruncatedFrame(ProtocolError):
+    """The stream ended in the middle of a frame."""
+
+
+class PeerDisconnected(FabricError):
+    """The peer closed the connection at a frame boundary."""
+
+
+def _recv_exact(sock: socket.socket, n: int, *, at_boundary: bool) -> bytes:
+    """Read exactly ``n`` bytes, mapping EOF to the right fabric error."""
+    buf = bytearray()
+    while len(buf) < n:
+        try:
+            piece = sock.recv(n - len(buf))
+        except (ConnectionResetError, BrokenPipeError) as exc:
+            raise PeerDisconnected(f"connection reset: {exc}") from exc
+        if not piece:
+            if at_boundary and not buf:
+                raise PeerDisconnected("peer closed the connection")
+            raise TruncatedFrame(
+                f"stream ended after {len(buf)} of {n} expected bytes"
+            )
+        buf.extend(piece)
+    return bytes(buf)
+
+
+def send_frame(
+    sock: socket.socket,
+    msg_type: int,
+    payload: Any,
+    *,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> int:
+    """Pickle ``payload`` and send it as one framed message.
+
+    Returns the number of payload bytes put on the wire (the fabric's
+    real network-traffic accounting).
+    """
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(blob) > max_frame_bytes:
+        raise FrameTooLarge(
+            f"refusing to send {len(blob)} B {MSG_NAMES.get(msg_type, msg_type)} "
+            f"frame (max_frame_bytes={max_frame_bytes})"
+        )
+    header = HEADER.pack(MAGIC, PROTOCOL_VERSION, msg_type, len(blob))
+    try:
+        sock.sendall(header + blob)
+    except (ConnectionResetError, BrokenPipeError) as exc:
+        raise PeerDisconnected(f"send failed: {exc}") from exc
+    return len(blob)
+
+
+def recv_frame(
+    sock: socket.socket,
+    *,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    expect: Optional[int] = None,
+) -> Tuple[int, Any]:
+    """Receive one frame; returns ``(msg_type, payload)``.
+
+    With ``expect``, a frame of any other type is a
+    :class:`ProtocolError` (fail fast on desynchronised peers).
+    """
+    raw = _recv_exact(sock, HEADER.size, at_boundary=True)
+    magic, version, msg_type, length = HEADER.unpack(raw)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolVersionError(
+            f"peer speaks fabric protocol v{version}, "
+            f"this build speaks v{PROTOCOL_VERSION}"
+        )
+    if length > max_frame_bytes:
+        raise FrameTooLarge(
+            f"declared payload of {length} B exceeds "
+            f"max_frame_bytes={max_frame_bytes}"
+        )
+    payload = pickle.loads(_recv_exact(sock, length, at_boundary=False))
+    if expect is not None and msg_type != expect:
+        raise ProtocolError(
+            f"expected {MSG_NAMES.get(expect, expect)} frame, "
+            f"got {MSG_NAMES.get(msg_type, msg_type)}"
+        )
+    return msg_type, payload
+
+
+def parse_address(spec: str) -> Tuple[str, int]:
+    """Parse a ``host:port`` spec (the launcher's --coordinator form)."""
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"address {spec!r} is not of the form host:port")
+    return host, int(port)

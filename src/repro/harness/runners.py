@@ -26,8 +26,8 @@ def run_app(app: str, dataset, n_gpus: int, backend: str = "sim") -> AppRun:
     """Run ``app`` over ``dataset`` on ``n_gpus`` workers of ``backend``.
 
     With the default ``"sim"`` backend ``elapsed`` is modeled cluster
-    time; with a real backend (``"local"``/``"serial"``) it is measured
-    wall-clock time.
+    time; with a real backend (``"local"`` / ``"serial"`` /
+    ``"cluster"``) it is measured wall-clock time.
     """
     if app == "MM":
         result = run_matmul(n_gpus, dataset, backend=backend)

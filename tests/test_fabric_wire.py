@@ -1,0 +1,374 @@
+"""The cluster fabric's wire layer, tested in isolation.
+
+No executors, no dataflow: raw sockets (or socketpairs) exercising the
+framing protocol — round-trips, bound enforcement, truncation and
+disconnect detection, version negotiation failure — plus the
+coordinator handshake against hand-rolled rank endpoints, including a
+straggler that registers late and a rank that never shows up.
+"""
+
+import socket
+import struct
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.kvset import KeyValueSet
+from repro.fabric import (
+    ClusterTimeout,
+    Coordinator,
+    FabricError,
+    FrameTooLarge,
+    PeerDisconnected,
+    ProtocolError,
+    ProtocolVersionError,
+    RankEndpoint,
+    TruncatedFrame,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+from repro.fabric.wire import HEADER, MAGIC, MSG_BATCH, MSG_HELLO, PROTOCOL_VERSION
+
+
+@pytest.fixture
+def pair():
+    a, b = socket.socketpair()
+    a.settimeout(5.0)
+    b.settimeout(5.0)
+    yield a, b
+    a.close()
+    b.close()
+
+
+# -- framing round-trips ----------------------------------------------------
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        None,
+        {"rank": 3, "shuffle_address": ("127.0.0.1", 4242)},
+        list(range(1000)),
+        b"\x00" * 4096,
+    ],
+)
+def test_frame_round_trip(pair, payload):
+    a, b = pair
+    sent = send_frame(a, MSG_HELLO, payload)
+    msg_type, got = recv_frame(b)
+    assert msg_type == MSG_HELLO
+    assert got == payload
+    assert sent > 0
+
+
+def test_frame_round_trip_kvset_batch(pair):
+    """The shuffle's actual cargo — KeyValueSets — survives the wire."""
+    a, b = pair
+    kv = KeyValueSet(
+        keys=np.arange(512, dtype=np.uint32),
+        values=np.linspace(0.0, 1.0, 512),
+        scale=4.0,
+    )
+    send_frame(a, MSG_BATCH, {"src": 1, "parts": [kv, kv]})
+    _, got = recv_frame(b, expect=MSG_BATCH)
+    for part in got["parts"]:
+        assert np.array_equal(part.keys, kv.keys)
+        assert part.values.tobytes() == kv.values.tobytes()
+        assert part.scale == kv.scale
+
+
+def test_many_frames_on_one_stream(pair):
+    """Length prefixes keep message boundaries exact back-to-back."""
+    a, b = pair
+    for i in range(50):
+        send_frame(a, MSG_HELLO, {"seq": i})
+    for i in range(50):
+        _, got = recv_frame(b)
+        assert got == {"seq": i}
+
+
+# -- bound enforcement ------------------------------------------------------
+
+def test_oversized_send_is_refused(pair):
+    a, _ = pair
+    with pytest.raises(FrameTooLarge):
+        send_frame(a, MSG_HELLO, b"x" * 1024, max_frame_bytes=512)
+
+
+def test_oversized_declared_length_is_refused_before_allocation(pair):
+    a, b = pair
+    # A hand-forged header declaring a huge payload must be rejected
+    # from the 16 header bytes alone.
+    a.sendall(HEADER.pack(MAGIC, PROTOCOL_VERSION, MSG_HELLO, 1 << 40))
+    with pytest.raises(FrameTooLarge):
+        recv_frame(b, max_frame_bytes=1 << 20)
+
+
+# -- truncation / disconnect ------------------------------------------------
+
+def test_truncated_header_raises(pair):
+    a, b = pair
+    a.sendall(b"GPMR\x01")  # 5 of 16 header bytes
+    a.close()
+    with pytest.raises(TruncatedFrame):
+        recv_frame(b)
+
+
+def test_truncated_payload_raises(pair):
+    a, b = pair
+    a.sendall(HEADER.pack(MAGIC, PROTOCOL_VERSION, MSG_HELLO, 1000) + b"x" * 10)
+    a.close()
+    with pytest.raises(TruncatedFrame):
+        recv_frame(b)
+
+
+def test_clean_close_raises_peer_disconnected(pair):
+    a, b = pair
+    a.close()
+    with pytest.raises(PeerDisconnected):
+        recv_frame(b)
+
+
+# -- protocol violations ----------------------------------------------------
+
+def test_protocol_version_mismatch(pair):
+    a, b = pair
+    future = struct.Struct("!4sBB2xQ").pack(MAGIC, PROTOCOL_VERSION + 1, MSG_HELLO, 0)
+    a.sendall(future)
+    with pytest.raises(ProtocolVersionError, match="protocol"):
+        recv_frame(b)
+
+
+def test_bad_magic(pair):
+    a, b = pair
+    a.sendall(HEADER.pack(b"HTTP", PROTOCOL_VERSION, MSG_HELLO, 0))
+    with pytest.raises(ProtocolError, match="magic"):
+        recv_frame(b)
+
+
+def test_unexpected_message_type(pair):
+    a, b = pair
+    send_frame(a, MSG_BATCH, {"src": 0, "parts": []})
+    with pytest.raises(ProtocolError, match="expected HELLO"):
+        recv_frame(b, expect=MSG_HELLO)
+
+
+def test_parse_address():
+    assert parse_address("10.0.0.7:5555") == ("10.0.0.7", 5555)
+    assert parse_address("host.example:1") == ("host.example", 1)
+    with pytest.raises(ValueError):
+        parse_address("5555")
+    with pytest.raises(ValueError):
+        parse_address(":5555")
+
+
+# -- coordinator handshake --------------------------------------------------
+
+def _register(rank, address, delay=0.0, timeout=10.0):
+    if delay:
+        time.sleep(delay)
+    ep = RankEndpoint(rank, address, timeout_seconds=timeout)
+    ep.connect()
+    return ep
+
+
+def _register_expecting_rejection(sink, rank, address):
+    """Thread target for ranks the coordinator will turn away."""
+    try:
+        sink.append(_register(rank, address))
+    except PeerDisconnected:
+        pass  # the coordinator hung up on us, as the test expects
+
+
+def test_handshake_with_straggler_rank():
+    """Registration order is free: a late rank still completes the
+    handshake, and every rank learns the same cluster size."""
+    with Coordinator(3, timeout_seconds=10.0) as coord:
+        endpoints = []
+        threads = [
+            threading.Thread(
+                # Rank 1 dials in well after 2 and 0.
+                target=lambda r=r, d=d: endpoints.append(
+                    _register(r, coord.address, delay=d)
+                ),
+                daemon=True,
+            )
+            for r, d in ((2, 0.0), (0, 0.05), (1, 0.6))
+        ]
+        for t in threads:
+            t.start()
+        coord.wait_for_ranks()
+        for t in threads:
+            t.join(timeout=10.0)
+        try:
+            assert len(endpoints) == 3
+            assert all(ep.n_workers == 3 for ep in endpoints)
+            assert set(coord.shuffle_peers) == {0, 1, 2}
+            # Each advertised shuffle listener is really dialable.
+            for host, port in coord.shuffle_peers.values():
+                socket.create_connection((host, port), timeout=5.0).close()
+        finally:
+            for ep in endpoints:
+                ep.close()
+
+
+def test_registration_timeout_names_missing_ranks():
+    with Coordinator(2, timeout_seconds=0.5) as coord:
+        eps = []
+        t = threading.Thread(
+            target=lambda: eps.append(_register(0, coord.address)), daemon=True
+        )
+        t.start()
+        try:
+            with pytest.raises(ClusterTimeout, match=r"rank\(s\) \[1\]"):
+                coord.wait_for_ranks()
+        finally:
+            t.join(timeout=5.0)
+            for ep in eps:
+                ep.close()
+
+
+def test_out_of_range_rank_is_rejected():
+    with Coordinator(2, timeout_seconds=5.0) as coord:
+        t = threading.Thread(
+            target=_register_expecting_rejection,
+            args=([], 7, coord.address),
+            daemon=True,
+        )
+        t.start()
+        with pytest.raises(FabricError, match="out-of-range rank 7"):
+            coord.wait_for_ranks()
+        t.join(timeout=5.0)
+
+
+def test_stray_connection_does_not_abort_registration():
+    """A port scanner / health check that connects and closes (or
+    sends garbage) is dropped; the real ranks still register."""
+    with Coordinator(2, timeout_seconds=10.0) as coord:
+        def _noise_then_ranks():
+            # Stray 1: connect and close immediately.
+            socket.create_connection(coord.address, timeout=5.0).close()
+            # Stray 2: send non-fabric bytes, then close.
+            s = socket.create_connection(coord.address, timeout=5.0)
+            s.sendall(b"GET / HTTP/1.1\r\n\r\n")
+            s.close()
+
+        eps = []
+        threads = [threading.Thread(target=_noise_then_ranks, daemon=True)] + [
+            threading.Thread(
+                target=lambda r=r: eps.append(
+                    _register(r, coord.address, delay=0.2)
+                ),
+                daemon=True,
+            )
+            for r in (0, 1)
+        ]
+        for t in threads:
+            t.start()
+        coord.wait_for_ranks()
+        for t in threads:
+            t.join(timeout=10.0)
+        try:
+            assert set(coord.shuffle_peers) == {0, 1}
+        finally:
+            for ep in eps:
+                ep.close()
+
+
+def test_stray_connection_does_not_abort_shuffle():
+    """The data-plane listener tolerates scanners too: a rank's
+    exchange drops garbage connections and still collects every real
+    batch."""
+    a = RankEndpoint(0, ("127.0.0.1", 1), timeout_seconds=10.0)
+    b = RankEndpoint(1, ("127.0.0.1", 1), timeout_seconds=10.0)
+    a.n_workers = b.n_workers = 2
+    a.peers = b.peers = {0: a.shuffle_address, 1: b.shuffle_address}
+    try:
+        # Noise at rank 0's shuffle port before/while batches fly.
+        s = socket.create_connection(a.shuffle_address, timeout=5.0)
+        s.sendall(b"\x00" * 32)
+        s.close()
+        socket.create_connection(a.shuffle_address, timeout=5.0).close()
+
+        results = {}
+        tb = threading.Thread(
+            target=lambda: results.update(b=b.exchange([[["p0"]], [["p1"]]])),
+            daemon=True,
+        )
+        tb.start()
+        results["a"] = a.exchange([[["p0"]], [["p1"]]])
+        tb.join(timeout=10.0)
+        assert sorted(src for src, _ in results["a"]) == [0, 1]
+        assert sorted(src for src, _ in results["b"]) == [0, 1]
+    finally:
+        a.close()
+        b.close()
+
+
+def test_error_frame_at_barrier_surfaces_rank_traceback():
+    """A rank that fails before the barrier reports its traceback as
+    RankFailure, not as a framing ProtocolError."""
+    from repro.fabric import RankFailure
+
+    with Coordinator(1, timeout_seconds=10.0) as coord:
+        eps = []
+        t = threading.Thread(
+            target=lambda: eps.append(_register(0, coord.address)), daemon=True
+        )
+        t.start()
+        coord.wait_for_ranks()
+        t.join(timeout=10.0)
+        try:
+            eps[0].send_error("Traceback: boom before barrier")
+            with pytest.raises(RankFailure, match="boom before barrier"):
+                coord.barrier("start")
+        finally:
+            for ep in eps:
+                ep.close()
+
+
+def test_broadcast_to_dead_rank_names_the_rank():
+    """A rank that registers and dies before ASSIGN arrives surfaces
+    as RankFailure(rank), not a bare disconnect from a send loop."""
+    from repro.fabric import RankFailure
+
+    with Coordinator(1, timeout_seconds=10.0) as coord:
+        eps = []
+        t = threading.Thread(
+            target=lambda: eps.append(_register(0, coord.address)), daemon=True
+        )
+        t.start()
+        coord.wait_for_ranks()
+        t.join(timeout=10.0)
+        eps[0].close()  # rank dies right after registering
+        with pytest.raises(RankFailure, match="rank 0"):
+            # One ASSIGN payload cannot overrun the socket buffers, so
+            # grow it until the dead peer's RST is felt mid-send.
+            for _ in range(50):
+                coord.broadcast_assignments(b"x" * (1 << 20), [[]])
+                time.sleep(0.02)
+
+
+def test_duplicate_rank_is_rejected():
+    with Coordinator(2, timeout_seconds=5.0) as coord:
+        eps = []
+        threads = [
+            threading.Thread(
+                target=_register_expecting_rejection,
+                args=(eps, 0, coord.address),
+                daemon=True,
+            )
+            for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            with pytest.raises(FabricError, match="duplicate registration"):
+                coord.wait_for_ranks()
+        finally:
+            for t in threads:
+                t.join(timeout=5.0)
+            for ep in eps:
+                ep.close()
