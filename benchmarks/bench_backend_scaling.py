@@ -1,19 +1,28 @@
 """Wall-clock backend scaling: serial -> local -> cluster vs the sim.
 
-PR 1 made the speed axis *measurable*; the cluster fabric makes the
-communication axis *real*.  This bench runs one shuffle-heavy job (SIO,
-the paper's all-to-all stress case) on every real backend across a
-worker sweep and lines the measured speedups up against the sim's
-predicted strong-scaling curve for the same job:
+PR 1 made the speed axis *measurable*; the cluster fabric made the
+communication axis *real*; the zero-copy exchange makes it *fast*.
+This bench runs one shuffle-heavy job (SIO, the paper's all-to-all
+stress case) on every real backend across a worker sweep and lines the
+measured speedups up against the sim's predicted strong-scaling curve
+for the same job:
 
-* ``serial`` is the 1-process floor (all ranks in one interpreter —
+* ``serial``  is the 1-process floor (all ranks in one interpreter —
   its "scaling" is flat by construction and anchors the comparison);
-* ``local``  scales over ``multiprocessing`` with pipe shuffle;
+* ``local/pickle`` scales over ``multiprocessing`` with the original
+  pickle-over-queue shuffle — the exchange baseline;
+* ``local``   is the same backend on the shared-memory zero-copy
+  exchange (binary KVSet codec, segments instead of pipes), so the
+  difference local/pickle - local is pure exchange-transport cost;
 * ``cluster`` scales over OS processes joined by the TCP socket
-  fabric, so the difference local - cluster is the real wire cost of
-  the exchange (framing, pickling to sockets, peer connections);
-* ``sim``    contributes the modeled speedup the paper's cost model
+  fabric with streamed raw-codec batch frames, so the difference
+  local - cluster is the real wire cost of the exchange;
+* ``sim``     contributes the modeled speedup the paper's cost model
   predicts for this worker count.
+
+Besides wall-clock speedups the bench reports **exchange throughput**
+(network-destined shuffle bytes per second of exposed bin time) per
+backend — the column that shows the zero-copy win directly.
 
 Smoke mode shrinks the dataset to a functional payload; speedup shapes
 are advisory there (process start-up dominates toy sizes).
@@ -27,7 +36,14 @@ from repro.core import make_executor
 from repro.harness import bench_smoke_enabled
 
 WORKER_COUNTS = (1, 2, 4)
-REAL_BACKENDS = ("serial", "local", "cluster")
+
+#: (label, backend, executor kwargs) — label is the table row key.
+VARIANTS = (
+    ("serial", "serial", {}),
+    ("local/pickle", "local", {"exchange": "pickle"}),
+    ("local", "local", {"exchange": "shm"}),
+    ("cluster", "cluster", {}),
+)
 
 
 def _dataset():
@@ -40,58 +56,96 @@ def _dataset():
     )
 
 
+def _cores():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
 def _measure():
     ds = _dataset()
     job = sio_job(key_space=1 << 16).with_config(enable_stealing=False)
-    wall = {}   # (backend, n) -> seconds
-    for backend in REAL_BACKENDS:
+    wall = {}       # (label, n) -> seconds
+    exchange = {}   # (label, n) -> (network_bytes, bin_seconds)
+    for label, backend, kwargs in VARIANTS:
         for n in WORKER_COUNTS:
             t0 = time.perf_counter()
-            result = make_executor(backend, n).run(job, dataset=ds)
-            wall[(backend, n)] = time.perf_counter() - t0
+            result = make_executor(backend, n, **kwargs).run(job, dataset=ds)
+            wall[(label, n)] = time.perf_counter() - t0
             assert any(kv is not None for kv in result.outputs)
+            exchange[(label, n)] = (
+                result.stats.total_network_bytes,
+                result.stats.stage_totals["bin"],
+            )
     modeled = {
         n: make_executor("sim", n).run(job, dataset=ds).elapsed
         for n in WORKER_COUNTS
     }
-    return ds, wall, modeled
+    return ds, wall, exchange, modeled
 
 
-def _render(ds, wall, modeled):
-    def speedup(backend, n):
-        return wall[(backend, 1)] / wall[(backend, n)]
+def _throughput(exchange, label, n):
+    """Exchange bytes/second: network-destined bytes over bin time."""
+    nbytes, seconds = exchange[(label, n)]
+    return nbytes / max(seconds, 1e-9)
+
+
+def _render(ds, wall, exchange, modeled):
+    def speedup(label, n):
+        return wall[(label, 1)] / wall[(label, n)]
 
     lines = [
         f"backend scaling — SIO, {ds.n_elements:,d} elements, "
         f"{ds.n_chunks} chunks (wall-clock vs sim-predicted speedup)",
-        f"{'n':>3} {'serial_ms':>10} {'local_ms':>10} {'cluster_ms':>11} "
-        f"{'local_x':>8} {'cluster_x':>10} {'sim_x':>7}",
+        f"{'n':>3} {'serial_ms':>10} {'lpickle_ms':>11} {'local_ms':>10} "
+        f"{'cluster_ms':>11} {'local_x':>8} {'cluster_x':>10} {'sim_x':>7}",
     ]
     for n in WORKER_COUNTS:
         lines.append(
             f"{n:>3} "
             f"{wall[('serial', n)] * 1e3:>10.1f} "
+            f"{wall[('local/pickle', n)] * 1e3:>11.1f} "
             f"{wall[('local', n)] * 1e3:>10.1f} "
             f"{wall[('cluster', n)] * 1e3:>11.1f} "
             f"{speedup('local', n):>8.2f} "
             f"{speedup('cluster', n):>10.2f} "
             f"{modeled[1] / modeled[n]:>7.2f}"
         )
+    lines += [
+        "",
+        "exchange throughput — network-destined shuffle MB per second of "
+        "exposed bin time",
+        f"{'n':>3} {'lpickle_MBps':>13} {'local_MBps':>11} {'cluster_MBps':>13}",
+    ]
+    for n in WORKER_COUNTS[1:]:  # n=1 shuffles nothing over the fabric
+        lines.append(
+            f"{n:>3} "
+            f"{_throughput(exchange, 'local/pickle', n) / 1e6:>13.1f} "
+            f"{_throughput(exchange, 'local', n) / 1e6:>11.1f} "
+            f"{_throughput(exchange, 'cluster', n) / 1e6:>13.1f}"
+        )
     return "\n".join(lines)
 
 
 def test_backend_scaling(benchmark, save_result, check):
-    ds, wall, modeled = benchmark.pedantic(_measure, rounds=1, iterations=1)
-    save_result("backend_scaling", _render(ds, wall, modeled))
+    ds, wall, exchange, modeled = benchmark.pedantic(
+        _measure, rounds=1, iterations=1
+    )
+    save_result("backend_scaling", _render(ds, wall, exchange, modeled))
 
     local_x = wall[("local", 1)] / wall[("local", 4)]
     cluster_x = wall[("cluster", 1)] / wall[("cluster", 4)]
     sim_x = modeled[1] / modeled[4]
+    shm_bps = _throughput(exchange, "local", 4)
+    pickle_bps = _throughput(exchange, "local/pickle", 4)
     benchmark.extra_info.update(
         {
             "local_speedup_4": round(local_x, 3),
             "cluster_speedup_4": round(cluster_x, 3),
             "sim_predicted_speedup_4": round(sim_x, 3),
+            "local_shm_exchange_MBps_4": round(shm_bps / 1e6, 1),
+            "local_pickle_exchange_MBps_4": round(pickle_bps / 1e6, 1),
         }
     )
 
@@ -101,14 +155,16 @@ def test_backend_scaling(benchmark, save_result, check):
     # some of it (process + socket overheads bound how much).  On
     # fewer cores there is no parallelism to find, so the speedup rows
     # are reported but not asserted.
-    try:
-        cores = len(os.sched_getaffinity(0))
-    except AttributeError:  # non-Linux
-        cores = os.cpu_count() or 1
-    if cores >= 4:
+    if _cores() >= 4:
         check(local_x > 1.1, "local backend shows measurable 4-worker speedup")
         check(
             cluster_x > 1.05, "cluster backend shows measurable 4-worker speedup"
+        )
+        # The point of the zero-copy exchange: moving a shuffle byte
+        # through shared memory beats pickling it through a pipe.
+        check(
+            shm_bps > pickle_bps,
+            "shared-memory exchange beats pickle-over-queue bytes/s",
         )
     # The wire costs something, but not an order of magnitude vs pipes.
     check(

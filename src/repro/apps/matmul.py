@@ -199,6 +199,7 @@ class MMResult:
                 m.bytes_h2d += src.bytes_h2d
                 m.bytes_d2h += src.bytes_d2h
                 m.bytes_sent_network += src.bytes_sent_network
+                m.bytes_kept_local += src.bytes_kept_local
             merged_workers.append(m)
         return JobStats(
             job_name="matmul",

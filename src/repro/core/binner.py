@@ -49,7 +49,10 @@ class Binner:
         self.cpu = cpu
         self.rank = rank
         self.sent_counts = [0] * comm.size
+        #: logical bytes binned to *other* ranks (real network traffic)
         self.bytes_sent = 0
+        #: logical bytes binned to this rank itself (loopback, not wire)
+        self.bytes_kept_local = 0
         self._inflight: List[Event] = []
 
     # -- transmission ------------------------------------------------------
@@ -80,7 +83,13 @@ class Binner:
                 continue
             planned.append((dest, self.sent_counts[dest], part))
             self.sent_counts[dest] += 1
-            self.bytes_sent += part.nbytes_logical
+            # Self-destined parts ride the loopback, not the network —
+            # keep the byte ledgers split the same way the real
+            # backends split bytes_sent_network / bytes_kept_local.
+            if dest == self.rank:
+                self.bytes_kept_local += part.nbytes_logical
+            else:
+                self.bytes_sent += part.nbytes_logical
         proc = self.env.process(self._bin_proc(planned), name=f"bin:r{self.rank}")
         self._inflight.append(proc)
         return proc

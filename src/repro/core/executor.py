@@ -10,7 +10,8 @@ that dataflow executes:
   result carries the paper's Figure-2 stage accounting.
 * ``LocalExecutor`` (``"local"``, in :mod:`repro.exec.local`) — real
   execution on ``multiprocessing`` workers with NumPy-vectorized
-  kernels; the network fabric becomes pickle-over-pipe exchange.
+  kernels; the network fabric becomes a zero-copy shared-memory
+  exchange (binary KVSet codec, :mod:`repro.exec.exchange`).
 * ``SerialExecutor`` (``"serial"``, in :mod:`repro.exec.serial`) — the
   same real dataflow, run rank-by-rank in the current process.
 * ``ClusterExecutor`` (``"cluster"``, in :mod:`repro.exec.cluster`) —

@@ -9,16 +9,50 @@ Like the workload chunks, a KVSet carries a ``scale``: each stored pair
 stands for ``scale`` logical pairs, so PCI-e and network byte
 accounting stays at paper scale when the functional payload is sampled
 (``scale == 1.0`` in all correctness tests).
+
+Because the layout is already two flat arrays, a KVSet also has a
+**versioned binary codec** — :meth:`KeyValueSet.to_buffers` /
+:meth:`KeyValueSet.from_buffers` plus the batch-level
+:func:`pack_parts` / :func:`unpack_parts` — a small struct header
+(dtypes, shape, scale) followed by the raw array bytes.  Every real
+backend's exchange hot path (shared-memory local shuffle, streamed
+cluster fabric frames) rides this codec; pickle never touches payload
+bytes.
 """
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["KeyValueSet"]
+__all__ = [
+    "KeyValueSet",
+    "CODEC_VERSION",
+    "CodecError",
+    "pack_parts",
+    "unpack_parts",
+]
+
+#: Version byte of the binary KVSet codec; bump on any layout change.
+CODEC_VERSION = 1
+
+#: magic(2s) version(B) ndim(B) key_dtype_len(H) value_dtype_len(H)
+#: n_pairs(Q) value_width(Q) scale(d) — dtype strings follow.
+_KV_HEADER = struct.Struct("!2sBBHHQQd")
+_KV_MAGIC = b"KV"
+
+#: manifest: magic(4s) version(B) reserved(3x) n_parts(I) — then one
+#: ``u32 header_len + header`` record per part.
+_MANIFEST_HEADER = struct.Struct("!4sB3xI")
+_MANIFEST_MAGIC = b"KVPK"
+_U32 = struct.Struct("!I")
+
+
+class CodecError(ValueError):
+    """A byte stream violated the binary KVSet codec."""
 
 
 @dataclass
@@ -134,8 +168,165 @@ class KeyValueSet:
             self.select(order[bounds[p] : bounds[p + 1]]) for p in range(n_parts)
         ]
 
+    # -- binary codec ------------------------------------------------------
+    def to_buffers(self) -> Tuple[bytes, List[memoryview]]:
+        """Encode as ``(header, [key_bytes, value_bytes])`` — no pickle.
+
+        The header is a small versioned struct (dtypes, shape, scale);
+        the buffers are the raw C-contiguous array bytes, exposed as
+        ``uint8`` memoryviews so senders can splice them into shared
+        memory or a wire stream without copying.  The exchange hot path
+        of every real backend rides this codec.
+        """
+        keys = np.ascontiguousarray(self.keys)
+        values = np.ascontiguousarray(self.values)
+        key_dtype = keys.dtype.str.encode("ascii")
+        value_dtype = values.dtype.str.encode("ascii")
+        header = _KV_HEADER.pack(
+            _KV_MAGIC,
+            CODEC_VERSION,
+            values.ndim,
+            len(key_dtype),
+            len(value_dtype),
+            len(self),
+            self.value_width,
+            self.scale,
+        ) + key_dtype + value_dtype
+        # ravel() first: a 0 x k view cannot be cast to bytes, and on a
+        # contiguous array it is free.
+        return header, [
+            memoryview(keys.ravel()).cast("B"),
+            memoryview(values.ravel()).cast("B"),
+        ]
+
+    @classmethod
+    def from_buffers(cls, header: bytes, buffers: Sequence) -> "KeyValueSet":
+        """Rebuild from :meth:`to_buffers` output, zero-copy.
+
+        The returned arrays are *views* into ``buffers`` — the caller
+        owns the backing memory's lifetime (e.g. a shared-memory
+        segment must outlive the views, or the data must be copied out
+        before the segment is released).
+        """
+        key_dtype, value_dtype, ndim, n, width, scale = _parse_kv_header(header)
+        if len(buffers) != 2:
+            raise CodecError(f"expected 2 buffers, got {len(buffers)}")
+        key_buf, value_buf = buffers
+        key_nbytes = n * key_dtype.itemsize
+        value_nbytes = n * width * value_dtype.itemsize
+        if memoryview(key_buf).nbytes != key_nbytes:
+            raise CodecError(
+                f"key buffer holds {memoryview(key_buf).nbytes} B, "
+                f"header declares {key_nbytes}"
+            )
+        if memoryview(value_buf).nbytes != value_nbytes:
+            raise CodecError(
+                f"value buffer holds {memoryview(value_buf).nbytes} B, "
+                f"header declares {value_nbytes}"
+            )
+        keys = np.frombuffer(key_buf, dtype=key_dtype, count=n)
+        values = np.frombuffer(value_buf, dtype=value_dtype, count=n * width)
+        if ndim != 1:
+            values = values.reshape(n, width)
+        return cls(keys=keys, values=values, scale=scale)
+
     def __repr__(self) -> str:  # pragma: no cover
         return (
             f"<KeyValueSet n={len(self)} width={self.value_width} "
             f"scale={self.scale:g}>"
         )
+
+
+def _parse_kv_header(header: bytes):
+    """Decode one codec header -> (key_dtype, value_dtype, ndim, n, width, scale)."""
+    header = bytes(header)
+    if len(header) < _KV_HEADER.size:
+        raise CodecError(f"KVSet header truncated at {len(header)} B")
+    magic, version, ndim, kd_len, vd_len, n, width, scale = _KV_HEADER.unpack_from(
+        header
+    )
+    if magic != _KV_MAGIC:
+        raise CodecError(f"bad KVSet header magic {magic!r}")
+    if version != CODEC_VERSION:
+        raise CodecError(
+            f"KVSet codec v{version} not supported (this build speaks "
+            f"v{CODEC_VERSION})"
+        )
+    if ndim not in (1, 2):
+        raise CodecError(f"unsupported value rank {ndim}")
+    offset = _KV_HEADER.size
+    if len(header) != offset + kd_len + vd_len:
+        raise CodecError("KVSet header length disagrees with dtype fields")
+    key_dtype = np.dtype(header[offset : offset + kd_len].decode("ascii"))
+    value_dtype = np.dtype(
+        header[offset + kd_len : offset + kd_len + vd_len].decode("ascii")
+    )
+    return key_dtype, value_dtype, ndim, n, width, scale
+
+
+def pack_parts(
+    parts: Sequence[KeyValueSet],
+) -> Tuple[bytes, List[memoryview], int]:
+    """Encode a batch (list of KVSets) as ``(manifest, chunks, nbytes)``.
+
+    ``manifest`` is a small self-describing bytes blob (per-part codec
+    headers, order-preserving); ``chunks`` are the raw buffers to lay
+    end-to-end after it (shared-memory segment, wire stream, ...);
+    ``nbytes`` is their total size.  Nothing is pickled.
+    """
+    records = [bytearray(_MANIFEST_HEADER.pack(_MANIFEST_MAGIC, CODEC_VERSION,
+                                               len(parts)))]
+    chunks: List[memoryview] = []
+    nbytes = 0
+    for part in parts:
+        header, buffers = part.to_buffers()
+        records.append(_U32.pack(len(header)))
+        records.append(header)
+        for buf in buffers:
+            chunks.append(buf)
+            nbytes += buf.nbytes
+    return b"".join(bytes(r) for r in records), chunks, nbytes
+
+
+def unpack_parts(manifest: bytes, data) -> List[KeyValueSet]:
+    """Decode :func:`pack_parts` output; arrays are views into ``data``.
+
+    ``data`` is any buffer holding the concatenated chunks.  The caller
+    keeps it alive until the parts are consumed (concatenation by the
+    reduce path copies them out).
+    """
+    manifest = bytes(manifest)
+    if len(manifest) < _MANIFEST_HEADER.size:
+        raise CodecError(f"batch manifest truncated at {len(manifest)} B")
+    magic, version, n_parts = _MANIFEST_HEADER.unpack_from(manifest)
+    if magic != _MANIFEST_MAGIC:
+        raise CodecError(f"bad batch manifest magic {magic!r}")
+    if version != CODEC_VERSION:
+        raise CodecError(f"batch manifest codec v{version} not supported")
+    view = memoryview(data).cast("B")
+    parts: List[KeyValueSet] = []
+    read = _MANIFEST_HEADER.size
+    offset = 0
+    for _ in range(n_parts):
+        if read + _U32.size > len(manifest):
+            raise CodecError("batch manifest ends inside a part record")
+        (header_len,) = _U32.unpack_from(manifest, read)
+        read += _U32.size
+        header = manifest[read : read + header_len]
+        read += header_len
+        key_dtype, value_dtype, _ndim, n, width, _scale = _parse_kv_header(header)
+        key_nbytes = n * key_dtype.itemsize
+        value_nbytes = n * width * value_dtype.itemsize
+        if offset + key_nbytes + value_nbytes > view.nbytes:
+            raise CodecError(
+                f"batch data holds {view.nbytes} B, manifest promises more"
+            )
+        buffers = [
+            view[offset : offset + key_nbytes],
+            view[offset + key_nbytes : offset + key_nbytes + value_nbytes],
+        ]
+        offset += key_nbytes + value_nbytes
+        parts.append(KeyValueSet.from_buffers(header, buffers))
+    if read != len(manifest):
+        raise CodecError("trailing bytes after the last manifest record")
+    return parts

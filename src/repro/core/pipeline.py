@@ -317,6 +317,7 @@ class Worker:
         t0 = self.env.now
         incoming = yield from self.binner.receive_all()
         self.stats.bytes_sent_network += self.binner.bytes_sent
+        self.stats.bytes_kept_local += self.binner.bytes_kept_local
         self.stats.add("scheduler", self.env.now - t0)
 
         if self.job.config.skip_sort_reduce:

@@ -29,6 +29,10 @@ class WorkerStats:
     bytes_h2d: int = 0
     bytes_d2h: int = 0
     bytes_sent_network: int = 0
+    #: logical shuffle bytes binned to this worker's own rank — they
+    #: never leave the process, so they are accounted separately from
+    #: the network traffic (the real backends fill this in)
+    bytes_kept_local: int = 0
 
     def add(self, stage: str, seconds: float) -> None:
         if stage not in STAGES:
@@ -79,6 +83,11 @@ class JobStats:
     @property
     def total_network_bytes(self) -> int:
         return sum(w.bytes_sent_network for w in self.workers)
+
+    @property
+    def total_local_exchange_bytes(self) -> int:
+        """Shuffle bytes that stayed on their own rank (no wire cost)."""
+        return sum(w.bytes_kept_local for w in self.workers)
 
     @property
     def total_chunks(self) -> int:

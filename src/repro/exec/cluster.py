@@ -93,6 +93,7 @@ class ClusterExecutor(Executor):
         port: int = 0,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         spawn_ranks: bool = True,
+        compress_exchange: bool = False,
     ) -> None:
         super().__init__(n_workers)
         self.initial_distribution = initial_distribution
@@ -102,6 +103,9 @@ class ClusterExecutor(Executor):
         self.port = int(port)
         self.max_frame_bytes = int(max_frame_bytes)
         self.spawn_ranks = spawn_ranks
+        #: zlib-deflate shuffle chunks on the wire (worth it only when
+        #: a real NIC, not loopback, is the bottleneck)
+        self.compress_exchange = bool(compress_exchange)
         #: (host, port) of the live coordinator; set for the duration of
         #: :meth:`run` — the address external ranks dial when
         #: ``spawn_ranks=False``.
@@ -133,6 +137,7 @@ class ClusterExecutor(Executor):
             timeout_seconds=self.timeout_seconds,
             max_frame_bytes=self.max_frame_bytes,
             liveness_probe=_probe if self.spawn_ranks else None,
+            compress_exchange=self.compress_exchange,
         ) as coordinator:
             self.coordinator_address = coordinator.address
             if self.spawn_ranks:

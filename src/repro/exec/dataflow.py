@@ -27,7 +27,7 @@ Canonical semantics (the parity contract):
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..core.chunk import Chunk
@@ -50,9 +50,22 @@ class MapPhaseOutput:
     pairs_emitted_logical: int = 0
     #: logical bytes handed to the exchange (the sim's bin accounting)
     bytes_binned: int = 0
+    #: per-destination share of ``bytes_binned``, same indexing as
+    #: ``parts`` — lets workers split self-kept vs. network-sent bytes
+    bytes_binned_by_dest: List[int] = field(default_factory=list)
 
     def batch_for(self, dest: int) -> List[KeyValueSet]:
         return self.parts[dest]
+
+    def bytes_self(self, rank: int) -> int:
+        """Logical bytes binned to this worker's own rank (never leave
+        the process — the sim charges them to loopback, not the wire)."""
+        return self.bytes_binned_by_dest[rank]
+
+    def bytes_remote(self, rank: int) -> int:
+        """Logical bytes binned to *other* ranks — what actually rides
+        the exchange fabric, and what network accounting must report."""
+        return self.bytes_binned - self.bytes_binned_by_dest[rank]
 
 
 def _emit(
@@ -65,13 +78,17 @@ def _emit(
         if len(part):
             out.parts[dest].append(part)
             out.bytes_binned += part.nbytes_logical
+            out.bytes_binned_by_dest[dest] += part.nbytes_logical
 
 
 def map_worker(
     job: MapReduceJob, chunks: Sequence[Chunk], n_workers: int
 ) -> MapPhaseOutput:
     """Run one rank's full map phase over its assigned chunks."""
-    out = MapPhaseOutput(parts=[[] for _ in range(n_workers)])
+    out = MapPhaseOutput(
+        parts=[[] for _ in range(n_workers)],
+        bytes_binned_by_dest=[0] * n_workers,
+    )
     accum_state: Optional[KeyValueSet] = None
     combine_buffer: List[KeyValueSet] = []
 

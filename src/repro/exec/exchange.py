@@ -1,0 +1,179 @@
+"""Zero-copy batch transport for the local backend's shuffle.
+
+The ``multiprocessing`` queues used to carry whole pickled
+``KeyValueSet`` lists; every shuffle byte was serialised, copied into a
+pipe, and deserialised on the far side.  This module replaces that with
+the binary KVSet codec (:mod:`repro.core.kvset`): the queue message is
+now just a tiny routing tuple — a transport tag, a batch manifest, and
+either the raw bytes inline (small batches) or the *name* of a
+``multiprocessing.shared_memory`` segment holding them (large batches).
+Receivers map the arrays in place; the reduce path's concatenation is
+the single copy the data ever takes on the receiving side.
+
+Queue message shapes (the first element is the transport tag):
+
+``("pickle", parts)``
+    Legacy pickled list of KVSets — kept as an explicit baseline
+    (``LocalExecutor(exchange="pickle")``) so the shared-memory win
+    stays measurable in ``bench_backend_scaling``.
+``("inline", manifest, data)``
+    Binary codec, payload bytes riding inside the message.  Used for
+    batches under :data:`SHM_MIN_BYTES` (a segment per tiny batch costs
+    more in syscalls than it saves in copies) and as the fallback when
+    segment creation fails.
+``("shm", name, nbytes, manifest)``
+    Binary codec, payload in a named shared-memory segment.
+
+Segment lifecycle — explicit, no leaks on failure paths:
+
+* the **sender** creates the segment, fills it, closes its own mapping
+  and posts the name; if the post itself fails it unlinks immediately
+  (:func:`release_message`);
+* the **receiver** attaches, builds zero-copy views
+  (:func:`decode_batch` returns the segment handle), and after the
+  reduce has copied the data out it closes + unlinks
+  (:func:`release_segment`);
+* the **driver** drains every shuffle queue after a failed run and
+  unlinks any segments whose messages were never consumed
+  (:func:`release_message` again).
+
+All processes report to one ``multiprocessing`` resource tracker, which
+is the backstop of last resort for hard-killed runs.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..core.kvset import KeyValueSet, pack_parts, unpack_parts
+
+__all__ = [
+    "SHM_MIN_BYTES",
+    "EXCHANGE_TRANSPORTS",
+    "encode_batch",
+    "decode_batch",
+    "ensure_shared_tracker",
+    "release_segment",
+    "release_message",
+]
+
+
+def ensure_shared_tracker() -> None:
+    """Start the ``multiprocessing`` resource tracker in *this* process.
+
+    The driver calls this before forking/spawning ranks so every rank
+    inherits one shared tracker.  Otherwise each rank lazily spawns its
+    own on first segment use, and a segment created in rank A but
+    unlinked in rank B leaves A's private ledger unbalanced — the
+    shutdown backstop then warns about (already unlinked) "leaks".
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    except (ImportError, AttributeError, OSError):  # pragma: no cover
+        pass  # platform without a tracker; the backstop just isn't shared
+
+#: Batches smaller than this ride inline in the queue message: below
+#: ~32 KiB the shm_open/mmap/unlink round-trip costs more than the copy.
+SHM_MIN_BYTES = 32 * 1024
+
+#: Valid ``LocalExecutor(exchange=...)`` transports.
+EXCHANGE_TRANSPORTS = ("shm", "pickle")
+
+
+def encode_batch(
+    parts: Sequence[KeyValueSet],
+    transport: str = "shm",
+    min_shm_bytes: int = SHM_MIN_BYTES,
+) -> Tuple[Any, ...]:
+    """Encode one shuffle batch as a queue message (see module docs)."""
+    if transport == "pickle":
+        return ("pickle", list(parts))
+    if transport != "shm":
+        raise ValueError(
+            f"unknown exchange transport {transport!r}; "
+            f"expected one of {EXCHANGE_TRANSPORTS}"
+        )
+    manifest, chunks, nbytes = pack_parts(parts)
+    if nbytes >= min_shm_bytes:
+        try:
+            segment = shared_memory.SharedMemory(create=True, size=nbytes)
+        except OSError:
+            pass  # /dev/shm unavailable or full; fall through to inline
+        else:
+            offset = 0
+            for chunk in chunks:
+                segment.buf[offset : offset + chunk.nbytes] = chunk
+                offset += chunk.nbytes
+            name = segment.name
+            segment.close()  # sender's mapping only; the segment persists
+            return ("shm", name, nbytes, manifest)
+    return ("inline", manifest, b"".join(bytes(c) for c in chunks))
+
+
+def decode_batch(
+    message: Tuple[Any, ...],
+) -> Tuple[List[KeyValueSet], Optional[shared_memory.SharedMemory]]:
+    """Decode a queue message into ``(parts, segment_or_None)``.
+
+    For ``"shm"`` messages the parts are zero-copy views into the
+    returned segment; the caller must keep it alive until the data is
+    copied out, then :func:`release_segment` it.  Other transports
+    return ``None`` for the segment.
+    """
+    tag = message[0]
+    if tag == "pickle":
+        return list(message[1]), None
+    if tag == "inline":
+        _, manifest, data = message
+        return unpack_parts(manifest, data), None
+    if tag == "shm":
+        _, name, nbytes, manifest = message
+        segment = shared_memory.SharedMemory(name=name)
+        try:
+            # Slice to the payload size: POSIX rounds segments up to a
+            # page, so the mapping may be larger than what was written.
+            parts = unpack_parts(manifest, segment.buf[:nbytes])
+        except BaseException:
+            release_segment(segment)
+            raise
+        return parts, segment
+    raise ValueError(f"unknown exchange message tag {tag!r}")
+
+
+def release_segment(
+    segment: shared_memory.SharedMemory, unlink: bool = True
+) -> None:
+    """Close (and by default unlink) one received segment, tolerantly.
+
+    ``close`` raises :class:`BufferError` while zero-copy views are
+    still alive; the mapping then lives until process exit, but the
+    *name* is still unlinked so the segment cannot leak past the run.
+    """
+    try:
+        segment.close()
+    except BufferError:
+        pass
+    if unlink:
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass  # already unlinked by a cleanup race; nothing to leak
+
+
+def release_message(message: Tuple[Any, ...]) -> None:
+    """Unlink the segment behind an undelivered/undecoded queue message.
+
+    Used by a sender whose queue put failed and by the driver when it
+    drains the shuffle queues after a failed run.  Non-segment messages
+    are no-ops.
+    """
+    if not message or message[0] != "shm":
+        return
+    try:
+        segment = shared_memory.SharedMemory(name=message[1])
+    except FileNotFoundError:
+        return  # receiver (or a previous drain) already cleaned it up
+    release_segment(segment)

@@ -1,19 +1,29 @@
 """Real parallel execution on ``multiprocessing`` workers.
 
 One OS process per rank runs the full GPMR worker dataflow
-(:mod:`repro.exec.dataflow`).  The "network fabric" is pickle-over-pipe:
-each rank owns an inbound :class:`multiprocessing.Queue`; after its map
-phase a rank posts exactly one batch — ``(source_rank, parts)`` — to
-every destination's queue (including its own), then blocks until it has
-collected one batch from each source.  Receivers order batches by
-source rank, which makes the shuffle canonical and the whole run
-deterministic regardless of OS scheduling.
+(:mod:`repro.exec.dataflow`).  The "network fabric" is a
+``multiprocessing.Queue`` per rank used as a *control* channel: after
+its map phase a rank posts exactly one batch message — ``(source_rank,
+message)`` — to every destination's queue (including none to its own),
+then blocks until it has collected one batch from each source.  With
+the default ``exchange="shm"`` transport the message carries only the
+binary batch manifest plus the name of a shared-memory segment holding
+the raw key/value bytes (:mod:`repro.exec.exchange`); receivers map the
+arrays in place, so the shuffle no longer pickles or pipes the payload.
+``exchange="pickle"`` keeps the original pickled-list messages as a
+measurable baseline.  Receivers order batches by source rank, which
+makes the shuffle canonical and the whole run deterministic regardless
+of OS scheduling.
 
 Failure handling: a worker that raises ships its traceback to the
-driver over the result queue and still posts (empty) batches so peers
-cannot deadlock; the driver re-raises as :class:`WorkerFailure`.  A
-worker that dies hard (e.g. killed) is caught by the driver's liveness
-watch, which terminates the rest and raises.
+driver over the result queue and still posts (empty) batches to every
+peer it had not already posted to, so peers cannot deadlock and no peer
+ever receives two batches from the same source; the driver re-raises as
+:class:`WorkerFailure`.  A worker that dies hard (e.g. killed) is
+caught by the driver's liveness watch; a worker that exits *cleanly*
+without reporting a result is detected the same way instead of being
+waited out.  After any run the driver drains the shuffle queues and
+unlinks undelivered shared-memory segments.
 
 Timing is real wall-clock: each worker buckets its map / exchange
 (bin) / sort / reduce time into the same Figure-2 stages the sim
@@ -27,9 +37,17 @@ import multiprocessing as mp
 import queue as queue_mod
 import time
 import traceback
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from .dataflow import map_worker, merge_incoming, reduce_worker
+from .exchange import (
+    EXCHANGE_TRANSPORTS,
+    decode_batch,
+    encode_batch,
+    ensure_shared_tracker,
+    release_message,
+    release_segment,
+)
 from ..core.chunk import Chunk
 from ..core.executor import Executor, register_backend
 from ..core.job import MapReduceJob
@@ -74,43 +92,72 @@ def _worker_main(
     chunks: List[Chunk],
     shuffle_queues: List[mp.Queue],
     result_queue: mp.Queue,
+    exchange: str = "shm",
 ) -> None:
     """Entry point of one rank's process: map, exchange, sort, reduce."""
     stats = WorkerStats(rank=rank)
-    posted = False
+    posted: Set[int] = set()
+    segments = []
     try:
         t0 = time.perf_counter()
         mapped = map_worker(job, chunks, n_workers)
         stats.chunks_mapped = mapped.chunks_mapped
         stats.pairs_emitted_logical = mapped.pairs_emitted_logical
-        stats.bytes_sent_network = mapped.bytes_binned
+        stats.bytes_sent_network = mapped.bytes_remote(rank)
+        stats.bytes_kept_local = mapped.bytes_self(rank)
         t1 = time.perf_counter()
         stats.add("map", t1 - t0)
 
-        # Self-destined parts stay in-process; only remote batches ride
-        # the pickle-over-pipe fabric.
+        # Self-destined parts stay in-process; remote batches ride the
+        # exchange transport.  Posted destinations are tracked one by
+        # one so a failure mid-posting backfills only the peers that
+        # never got this rank's batch.
         for dest in range(n_workers):
-            if dest != rank:
-                shuffle_queues[dest].put((rank, mapped.batch_for(dest)))
-        posted = True
+            if dest == rank:
+                continue
+            message = encode_batch(mapped.batch_for(dest), transport=exchange)
+            try:
+                shuffle_queues[dest].put((rank, message))
+            except BaseException:
+                release_message(message)  # never delivered; unlink now
+                raise
+            posted.add(dest)
 
         batches: List[Tuple[int, List[KeyValueSet]]] = [
             (rank, mapped.batch_for(rank))
         ]
         for _ in range(n_workers - 1):
-            batches.append(shuffle_queues[rank].get())
+            src, message = shuffle_queues[rank].get()
+            parts, segment = decode_batch(message)
+            if segment is not None:
+                segments.append(segment)
+            batches.append((src, parts))
         incoming = merge_incoming(batches)
+        del batches
         t2 = time.perf_counter()
         stats.add("bin", t2 - t1)
 
         output = reduce_worker(job, incoming, stats=stats)
+        # The reduce concatenated every incoming part into fresh
+        # arrays; the zero-copy views are dead and the segments can go.
+        del incoming
+        while segments:
+            release_segment(segments.pop())
         result_queue.put((rank, None, output, stats))
     except BaseException:
-        if not posted:
-            # Unblock peers waiting on this rank's batch.
-            for dest in range(n_workers):
-                if dest != rank:
-                    shuffle_queues[dest].put((rank, []))
+        # Unblock only the peers still waiting on this rank's batch —
+        # re-posting to an already-served peer would make it count two
+        # batches from one source and merge nondeterministically.
+        for dest in range(n_workers):
+            if dest != rank and dest not in posted:
+                try:
+                    shuffle_queues[dest].put(
+                        (rank, encode_batch([], transport=exchange))
+                    )
+                except BaseException:
+                    pass  # queue gone too; the driver's watch covers it
+        while segments:
+            release_segment(segments.pop())
         result_queue.put((rank, traceback.format_exc(), None, stats))
 
 
@@ -125,11 +172,18 @@ class LocalExecutor(Executor):
         initial_distribution: str = "round_robin",
         start_method: Optional[str] = None,
         timeout_seconds: float = 300.0,
+        exchange: str = "shm",
     ) -> None:
         super().__init__(n_workers)
         self.initial_distribution = initial_distribution
         self.start_method = start_method or _default_start_method()
         self.timeout_seconds = float(timeout_seconds)
+        if exchange not in EXCHANGE_TRANSPORTS:
+            raise ValueError(
+                f"unknown exchange transport {exchange!r}; "
+                f"expected one of {EXCHANGE_TRANSPORTS}"
+            )
+        self.exchange = exchange
 
     def run(
         self,
@@ -142,8 +196,12 @@ class LocalExecutor(Executor):
             all_chunks, self.n_workers, self.initial_distribution
         )
         ctx = mp.get_context(self.start_method)
+        if self.exchange == "shm":
+            # One tracker for the whole rank tree — see exchange docs.
+            ensure_shared_tracker()
         # mp.Queue writes through a feeder thread, so puts never block
-        # on pipe capacity — no exchange deadlock however large a batch.
+        # on pipe capacity — no exchange deadlock however large a batch
+        # (and under "shm" the message is tiny regardless).
         shuffle_queues = [ctx.Queue() for _ in range(self.n_workers)]
         result_queue = ctx.Queue()
 
@@ -158,6 +216,7 @@ class LocalExecutor(Executor):
                     per_worker[rank],
                     shuffle_queues,
                     result_queue,
+                    self.exchange,
                 ),
                 name=f"gpmr-local-r{rank}",
                 daemon=True,
@@ -171,14 +230,15 @@ class LocalExecutor(Executor):
         worker_stats: List[Optional[WorkerStats]] = [None] * self.n_workers
         failures: List[Tuple[int, str]] = []
         deadline = time.monotonic() + self.timeout_seconds
-        pending = self.n_workers
+        pending = {rank for rank in range(self.n_workers)}
+        silent_since: Optional[float] = None
         try:
             while pending:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     raise TimeoutError(
                         f"local backend timed out after {self.timeout_seconds}s "
-                        f"with {pending} worker(s) outstanding"
+                        f"with {len(pending)} worker(s) outstanding"
                     )
                 try:
                     rank, error, output, stats = result_queue.get(
@@ -188,8 +248,30 @@ class LocalExecutor(Executor):
                     failure = dead_worker_failure(procs)
                     if failure is not None and result_queue.empty():
                         raise failure
+                    # A worker that exited *cleanly* (code 0) without
+                    # posting a result will never satisfy the loop:
+                    # surface it as a failure instead of running out
+                    # the full job timeout.  One extra empty poll cycle
+                    # of grace covers a result still in flight through
+                    # the queue's feeder pipe.
+                    silent = sorted(
+                        r for r in pending
+                        if not procs[r].is_alive() and procs[r].exitcode == 0
+                    )
+                    if silent and result_queue.empty():
+                        if silent_since is None:
+                            silent_since = time.monotonic()
+                        elif time.monotonic() - silent_since > 1.0:
+                            raise WorkerFailure(
+                                silent[0],
+                                f"worker rank(s) {silent} exited cleanly "
+                                "without posting a result",
+                            )
+                    else:
+                        silent_since = None
                     continue
-                pending -= 1
+                pending.discard(rank)
+                silent_since = None
                 if error is not None:
                     failures.append((rank, error))
                 else:
@@ -201,6 +283,7 @@ class LocalExecutor(Executor):
                     p.terminate()
             for p in procs:
                 p.join(timeout=5.0)
+            self._drain_undelivered(shuffle_queues)
             for q in shuffle_queues + [result_queue]:
                 q.cancel_join_thread()
 
@@ -217,6 +300,25 @@ class LocalExecutor(Executor):
                      for r, s in enumerate(worker_stats)],
         )
         return JobResult(stats=stats, outputs=outputs)
+
+    @staticmethod
+    def _drain_undelivered(shuffle_queues: List[mp.Queue]) -> None:
+        """Unlink segments behind messages no worker ever consumed.
+
+        On the happy path the queues are empty; after a failure they
+        may still hold batches whose shared-memory segments would
+        otherwise outlive the run.
+        """
+        for q in shuffle_queues:
+            while True:
+                try:
+                    _, message = q.get_nowait()
+                except (queue_mod.Empty, OSError, EOFError, ValueError):
+                    break
+                try:
+                    release_message(message)
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
 
 
 register_backend(LocalExecutor.name, LocalExecutor)

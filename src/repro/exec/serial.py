@@ -55,7 +55,8 @@ class SerialExecutor(Executor):
             w.add("map", time.perf_counter() - t0)
             w.chunks_mapped = out.chunks_mapped
             w.pairs_emitted_logical = out.pairs_emitted_logical
-            w.bytes_sent_network = out.bytes_binned
+            w.bytes_sent_network = out.bytes_remote(rank)
+            w.bytes_kept_local = out.bytes_self(rank)
             mapped.append(out)
             stats.append(w)
 

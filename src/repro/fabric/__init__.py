@@ -4,7 +4,12 @@ Where the sim *models* the paper's MPI interconnect and the ``local``
 backend fakes it with in-node queues, this package is an actual wire:
 
 * :mod:`repro.fabric.wire` — length-prefixed, version-checked framed
-  messaging (the protocol both planes speak);
+  messaging (the protocol both planes speak): pickled frames for the
+  control plane, raw-bytes frames for the data plane;
+* :mod:`repro.fabric.stream` — the data plane's batch encoding: binary
+  KVSet codec manifests plus chunked ``BATCH_DATA`` streaming (batches
+  larger than ``max_frame_bytes`` stream instead of failing) with an
+  optional zlib gate;
 * :mod:`repro.fabric.coordinator` — the driver side: rank registration,
   assignment broadcast, barrier, result collection, failure detection;
 * :mod:`repro.fabric.endpoint` — the rank side, including the
@@ -18,6 +23,7 @@ n)``) runs the shared :mod:`repro.exec` dataflow over this fabric.
 
 from .coordinator import ClusterTimeout, Coordinator, RankFailure
 from .endpoint import RankEndpoint, run_rank
+from .stream import recv_batch, send_batch
 from .wire import (
     DEFAULT_MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -29,7 +35,9 @@ from .wire import (
     TruncatedFrame,
     parse_address,
     recv_frame,
+    recv_raw_frame,
     send_frame,
+    send_raw_frame,
 )
 
 __all__ = [
@@ -48,5 +56,9 @@ __all__ = [
     "DEFAULT_MAX_FRAME_BYTES",
     "send_frame",
     "recv_frame",
+    "send_raw_frame",
+    "recv_raw_frame",
+    "send_batch",
+    "recv_batch",
     "parse_address",
 ]

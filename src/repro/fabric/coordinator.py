@@ -90,6 +90,7 @@ class Coordinator:
         timeout_seconds: float = 120.0,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         liveness_probe: Optional[Callable[[], None]] = None,
+        compress_exchange: bool = False,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -97,6 +98,8 @@ class Coordinator:
         self.timeout_seconds = float(timeout_seconds)
         self.max_frame_bytes = int(max_frame_bytes)
         self.liveness_probe = liveness_probe
+        #: ranks zlib-deflate their shuffle chunks (shipped via ASSIGN)
+        self.compress_exchange = bool(compress_exchange)
         self._listener = socket.create_server(
             (host, port), backlog=max(self.n_workers, 8)
         )
@@ -219,6 +222,7 @@ class Coordinator:
                         "chunks": list(per_worker_chunks[rank]),
                         "peers": peers,
                         "n_workers": self.n_workers,
+                        "compress_exchange": self.compress_exchange,
                     },
                     max_frame_bytes=self.max_frame_bytes,
                 )

@@ -9,12 +9,15 @@ pickle-over-pipe queues replaced by framed TCP:
 
 * **exchange** is the same one-batch-per-(src, dst) protocol: after its
   map phase a rank opens one connection to every peer's shuffle
-  listener, sends exactly one ``BATCH`` frame ``{src, parts}``, and
-  accepts exactly ``n-1`` inbound batches.  Self-destined parts never
-  touch the wire.  Outbound sends run on one thread per destination
-  (the TCP analogue of ``mp.Queue``'s feeder thread) so a rank is
-  always able to drain inbound batches while its own sends are still
-  in flight — no send/recv interleaving deadlock at any batch size.
+  listener, streams exactly one batch — a raw-codec ``BATCH`` header
+  frame plus chunked ``BATCH_DATA`` frames, see
+  :mod:`repro.fabric.stream` — and accepts exactly ``n-1`` inbound
+  batches.  Self-destined parts never touch the wire, and batches
+  larger than ``max_frame_bytes`` stream through it instead of dying.
+  Outbound sends run on one thread per destination (the TCP analogue
+  of ``mp.Queue``'s feeder thread) so a rank is always able to drain
+  inbound batches while its own sends are still in flight — no
+  send/recv interleaving deadlock at any batch size.
 * **timing** buckets real wall-clock into the same Figure-2 stages
   (map / bin / sort / reduce) the sim charges modeled time to.
 
@@ -34,10 +37,10 @@ import time
 import traceback
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from .stream import recv_batch, send_batch
 from .wire import (
     MSG_ASSIGN,
     MSG_BARRIER,
-    MSG_BATCH,
     MSG_ERROR,
     MSG_HELLO,
     MSG_RESULT,
@@ -84,6 +87,9 @@ class RankEndpoint:
         self._control: Optional[socket.socket] = None
         self.n_workers: Optional[int] = None
         self.peers: Dict[int, Tuple[str, int]] = {}
+        #: zlib-deflate outbound shuffle chunks (the driver's choice,
+        #: learned from ASSIGN; receivers accept either form always)
+        self.compress_exchange = False
 
     # -- control plane -----------------------------------------------------
     def connect(self) -> None:
@@ -112,6 +118,7 @@ class RankEndpoint:
         )
         self.n_workers = int(assign["n_workers"])
         self.peers = {int(r): tuple(a) for r, a in assign["peers"].items()}
+        self.compress_exchange = bool(assign.get("compress_exchange", False))
         # The job travels as a nested blob, pickled once for all ranks.
         return pickle.loads(assign["job_pickle"]), list(assign["chunks"])
 
@@ -148,11 +155,12 @@ class RankEndpoint:
         with socket.create_connection(
             self.peers[dest], timeout=self.timeout_seconds
         ) as sock:
-            send_frame(
+            send_batch(
                 sock,
-                MSG_BATCH,
-                {"src": self.rank, "parts": list(parts)},
+                self.rank,
+                parts,
                 max_frame_bytes=self.max_frame_bytes,
+                compress=self.compress_exchange,
             )
 
     def exchange(
@@ -205,15 +213,14 @@ class RankEndpoint:
             try:
                 with conn:
                     conn.settimeout(self.timeout_seconds)
-                    _, batch = recv_frame(
-                        conn, max_frame_bytes=self.max_frame_bytes,
-                        expect=MSG_BATCH,
+                    src, parts = recv_batch(
+                        conn, max_frame_bytes=self.max_frame_bytes
                     )
             except ProtocolVersionError:
                 raise  # a version-skewed peer is a real failure
             except (ProtocolError, PeerDisconnected, socket.timeout):
                 continue  # stray connection (scanner, health check); drop it
-            batches.append((int(batch["src"]), list(batch["parts"])))
+            batches.append((int(src), parts))
 
         for t in senders:
             t.join(timeout=self.timeout_seconds)
@@ -246,7 +253,8 @@ class RankEndpoint:
             mapped = map_worker(job, chunks, self.n_workers)
             stats.chunks_mapped = mapped.chunks_mapped
             stats.pairs_emitted_logical = mapped.pairs_emitted_logical
-            stats.bytes_sent_network = mapped.bytes_binned
+            stats.bytes_sent_network = mapped.bytes_remote(self.rank)
+            stats.bytes_kept_local = mapped.bytes_self(self.rank)
             t1 = time.perf_counter()
             stats.add("map", t1 - t0)
 

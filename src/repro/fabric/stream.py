@@ -1,0 +1,174 @@
+"""Streamed raw-buffer shuffle batches: the fabric's data plane.
+
+Under protocol v1 a shuffle batch was one pickled ``MSG_BATCH`` frame,
+which meant (a) every byte was pickled and copied on both ends and
+(b) a batch bigger than ``max_frame_bytes`` simply could not be sent.
+This module re-encodes the data plane on the binary KVSet codec
+(:mod:`repro.core.kvset`) with *chunked streaming*:
+
+* one ``MSG_BATCH`` header frame — a small raw struct carrying the
+  source rank, flags, the total payload size, and the batch manifest
+  (per-part codec headers, order-preserving, no pickle);
+* zero or more ``MSG_BATCH_DATA`` frames, each holding one bounded
+  chunk of the raw key/value bytes.  Chunks are sized to fit inside
+  ``max_frame_bytes``, so a batch of any size streams through a small
+  frame bound instead of raising :class:`FrameTooLarge`.
+
+Compression is a per-chunk gate: with ``compress=True`` each chunk is
+zlib-deflated and sent compressed *only when that actually shrinks it*
+(each DATA frame says which form it carries), so incompressible data
+never pays the inflation. The receiver honours whatever arrives —
+the flag tunes the sender, not the protocol.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import zlib
+from typing import List, Sequence, Tuple
+
+from .wire import (
+    DEFAULT_MAX_FRAME_BYTES,
+    MSG_BATCH,
+    MSG_BATCH_DATA,
+    FrameTooLarge,
+    ProtocolError,
+    recv_raw_frame,
+    send_raw_frame,
+)
+from ..core.kvset import CodecError, KeyValueSet, pack_parts, unpack_parts
+
+__all__ = ["DEFAULT_CHUNK_BYTES", "send_batch", "recv_batch"]
+
+#: Target raw-chunk size for streamed sends; the real chunk is the
+#: smaller of this and what ``max_frame_bytes`` leaves room for.
+DEFAULT_CHUNK_BYTES = 1 << 20
+
+#: BATCH header frame payload: src(I) flags(B) total_nbytes(Q)
+#: manifest_len(I) — manifest bytes follow.
+_BATCH_HEADER = struct.Struct("!IB3xQI")
+
+#: BATCH_DATA frame payload: raw_len(Q) flags(B) — body follows.
+#: flags bit 0: body is zlib-compressed.
+_DATA_HEADER = struct.Struct("!QB3x")
+
+_FLAG_ZLIB = 1
+
+
+def _chunk_bytes(max_frame_bytes: int) -> int:
+    """Largest raw chunk a DATA frame can carry under the bound.
+
+    Compressed bodies replace raw ones only when smaller, so the raw
+    chunk size is the worst case and must fit with the chunk header.
+    """
+    room = max_frame_bytes - _DATA_HEADER.size
+    if room < 1:
+        raise FrameTooLarge(
+            f"max_frame_bytes={max_frame_bytes} leaves no room for "
+            "streamed batch chunks"
+        )
+    return min(DEFAULT_CHUNK_BYTES, room)
+
+
+def _iter_chunks(buffers: Sequence[memoryview], chunk_bytes: int):
+    """Yield bounded-size pieces of the batch payload, in order."""
+    for buf in buffers:
+        for offset in range(0, buf.nbytes, chunk_bytes):
+            yield buf[offset : offset + chunk_bytes]
+
+
+def send_batch(
+    sock: socket.socket,
+    src: int,
+    parts: Sequence[KeyValueSet],
+    *,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    compress: bool = False,
+) -> int:
+    """Stream one shuffle batch; returns payload bytes put on the wire."""
+    manifest, buffers, total_nbytes = pack_parts(parts)
+    chunk_bytes = _chunk_bytes(max_frame_bytes)
+    header = _BATCH_HEADER.pack(
+        src, _FLAG_ZLIB if compress else 0, total_nbytes, len(manifest)
+    )
+    sent = send_raw_frame(
+        sock, MSG_BATCH, header + manifest, max_frame_bytes=max_frame_bytes
+    )
+    for chunk in _iter_chunks(buffers, chunk_bytes):
+        body = chunk
+        flags = 0
+        if compress:
+            deflated = zlib.compress(chunk)  # takes the view; no copy
+            if len(deflated) < chunk.nbytes:
+                body, flags = deflated, _FLAG_ZLIB
+        sent += send_raw_frame(
+            sock,
+            MSG_BATCH_DATA,
+            _DATA_HEADER.pack(chunk.nbytes, flags) + bytes(body),
+            max_frame_bytes=max_frame_bytes,
+        )
+    return sent
+
+
+def recv_batch(
+    sock: socket.socket,
+    *,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> Tuple[int, List[KeyValueSet]]:
+    """Receive one streamed batch; returns ``(source_rank, parts)``.
+
+    Reassembles the DATA chunks into one buffer and decodes the parts
+    as zero-copy views into it (the reduce path's concatenation is the
+    only copy the payload takes after the socket).
+    """
+    _, payload = recv_raw_frame(
+        sock, max_frame_bytes=max_frame_bytes, expect=MSG_BATCH
+    )
+    if len(payload) < _BATCH_HEADER.size:
+        raise ProtocolError(f"BATCH header truncated at {len(payload)} B")
+    src, _flags, total_nbytes, manifest_len = _BATCH_HEADER.unpack_from(payload)
+    manifest = payload[_BATCH_HEADER.size :]
+    if len(manifest) != manifest_len:
+        raise ProtocolError(
+            f"BATCH manifest holds {len(manifest)} B, header declares "
+            f"{manifest_len}"
+        )
+    # Accumulate arriving chunks instead of pre-allocating
+    # total_nbytes: the declared size is an unauthenticated 64-bit wire
+    # field, and the wire layer's contract is that nothing is allocated
+    # beyond what actually arrives (each frame is <= max_frame_bytes).
+    received = []
+    offset = 0
+    while offset < total_nbytes:
+        _, frame = recv_raw_frame(
+            sock, max_frame_bytes=max_frame_bytes, expect=MSG_BATCH_DATA
+        )
+        if len(frame) < _DATA_HEADER.size:
+            raise ProtocolError(f"BATCH_DATA header truncated at {len(frame)} B")
+        raw_len, flags = _DATA_HEADER.unpack_from(frame)
+        if raw_len == 0:
+            # The sender never emits empty chunks; accepting them would
+            # let a broken peer spin this loop without progress.
+            raise ProtocolError("zero-length batch chunk")
+        body = frame[_DATA_HEADER.size :]
+        if flags & _FLAG_ZLIB:
+            try:
+                body = zlib.decompress(body)
+            except zlib.error as exc:
+                raise ProtocolError(f"corrupt compressed batch chunk: {exc}") from exc
+        if len(body) != raw_len:
+            raise ProtocolError(
+                f"batch chunk carries {len(body)} B, declares {raw_len}"
+            )
+        if offset + raw_len > total_nbytes:
+            raise ProtocolError("batch chunks overrun the declared payload size")
+        received.append(body)
+        offset += raw_len
+    try:
+        return src, unpack_parts(manifest, b"".join(received))
+    except CodecError as exc:
+        # A manifest that disagrees with the delivered payload is a
+        # peer/protocol problem, not a local one: classify it so the
+        # exchange loop treats the connection as corrupt.
+        raise ProtocolError(f"undecodable batch payload: {exc}") from exc

@@ -10,10 +10,14 @@ Every message on a fabric socket is one *frame*::
 The header is fixed (16 bytes, network byte order) and versioned, so a
 rank launched from a different repo revision fails fast with
 :class:`ProtocolVersionError` instead of desynchronising mid-shuffle.
-Payloads are pickled Python objects (jobs, chunk lists, ``KeyValueSet``
-batches); the length prefix makes message boundaries explicit on the
-byte stream, and an enforced ``max_frame_bytes`` bound rejects
-corrupted or hostile lengths before any allocation happens.
+Control-plane payloads (jobs, chunk lists, results) are pickled Python
+objects (:func:`send_frame` / :func:`recv_frame`); data-plane payloads
+are *raw bytes* (:func:`send_raw_frame` / :func:`recv_raw_frame`) —
+the shuffle's ``BATCH`` traffic rides the binary KVSet codec via
+:mod:`repro.fabric.stream`, never pickle.  The length prefix makes
+message boundaries explicit on the byte stream, and an enforced
+``max_frame_bytes`` bound rejects corrupted or hostile lengths before
+any allocation happens.
 
 EOF handling distinguishes two cases the coordinator cares about:
 
@@ -22,9 +26,9 @@ EOF handling distinguishes two cases the coordinator cares about:
 * a socket that closes *inside* a frame raises :class:`TruncatedFrame`
   (the peer died mid-send, or the stream corrupted).
 
-**Trust model**: payloads are pickles, and unpickling attacker-supplied
-bytes is code execution — the frame bound guards allocation, not
-authenticity.  Like the MPI interconnect it reproduces, the fabric
+**Trust model**: control-plane payloads are pickles, and unpickling
+attacker-supplied bytes is code execution — the frame bound guards
+allocation, not authenticity.  Like the MPI interconnect it reproduces, the fabric
 assumes a *private, trusted network*: bind ``127.0.0.1`` (the default)
 or an isolated cluster interface, never an internet-facing address.
 An authenticated (HMAC-challenge) handshake is a roadmap item.
@@ -49,6 +53,7 @@ __all__ = [
     "MSG_RESULT",
     "MSG_ERROR",
     "MSG_BATCH",
+    "MSG_BATCH_DATA",
     "FabricError",
     "ProtocolError",
     "ProtocolVersionError",
@@ -57,11 +62,15 @@ __all__ = [
     "PeerDisconnected",
     "send_frame",
     "recv_frame",
+    "send_raw_frame",
+    "recv_raw_frame",
     "parse_address",
 ]
 
-#: Bump on any incompatible header/message change.
-PROTOCOL_VERSION = 1
+#: Bump on any incompatible header/message change.  v2: BATCH frames
+#: switched from one pickled payload to a raw binary-codec header frame
+#: followed by streamed BATCH_DATA chunk frames.
+PROTOCOL_VERSION = 2
 
 MAGIC = b"GPMR"
 
@@ -80,7 +89,8 @@ MSG_BARRIER = 4  #: rank -> coordinator: reached the named barrier
 MSG_RESUME = 5   #: coordinator -> rank: all ranks arrived, proceed
 MSG_RESULT = 6   #: rank -> coordinator: {rank, output, stats}
 MSG_ERROR = 7    #: rank -> coordinator: {rank, traceback}
-MSG_BATCH = 8    #: rank -> rank: one shuffle batch {src, parts}
+MSG_BATCH = 8    #: rank -> rank: shuffle batch header (raw codec manifest)
+MSG_BATCH_DATA = 9  #: rank -> rank: one streamed chunk of batch payload
 
 MSG_NAMES = {
     MSG_HELLO: "HELLO",
@@ -91,6 +101,7 @@ MSG_NAMES = {
     MSG_RESULT: "RESULT",
     MSG_ERROR: "ERROR",
     MSG_BATCH: "BATCH",
+    MSG_BATCH_DATA: "BATCH_DATA",
 }
 
 
@@ -136,39 +147,41 @@ def _recv_exact(sock: socket.socket, n: int, *, at_boundary: bool) -> bytes:
     return bytes(buf)
 
 
-def send_frame(
+def send_raw_frame(
     sock: socket.socket,
     msg_type: int,
-    payload: Any,
+    payload,
     *,
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
 ) -> int:
-    """Pickle ``payload`` and send it as one framed message.
+    """Send one framed message whose payload is raw bytes, as-is.
 
-    Returns the number of payload bytes put on the wire (the fabric's
-    real network-traffic accounting).
+    The data plane's primitive: no pickling.  Returns the number of
+    payload bytes put on the wire (the fabric's real network-traffic
+    accounting).
     """
-    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-    if len(blob) > max_frame_bytes:
+    payload = payload if isinstance(payload, (bytes, bytearray)) else bytes(payload)
+    if len(payload) > max_frame_bytes:
         raise FrameTooLarge(
-            f"refusing to send {len(blob)} B {MSG_NAMES.get(msg_type, msg_type)} "
-            f"frame (max_frame_bytes={max_frame_bytes})"
+            f"refusing to send {len(payload)} B "
+            f"{MSG_NAMES.get(msg_type, msg_type)} frame "
+            f"(max_frame_bytes={max_frame_bytes})"
         )
-    header = HEADER.pack(MAGIC, PROTOCOL_VERSION, msg_type, len(blob))
+    header = HEADER.pack(MAGIC, PROTOCOL_VERSION, msg_type, len(payload))
     try:
-        sock.sendall(header + blob)
+        sock.sendall(header + payload)
     except (ConnectionResetError, BrokenPipeError) as exc:
         raise PeerDisconnected(f"send failed: {exc}") from exc
-    return len(blob)
+    return len(payload)
 
 
-def recv_frame(
+def recv_raw_frame(
     sock: socket.socket,
     *,
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
     expect: Optional[int] = None,
-) -> Tuple[int, Any]:
-    """Receive one frame; returns ``(msg_type, payload)``.
+) -> Tuple[int, bytes]:
+    """Receive one frame; returns ``(msg_type, payload_bytes)``.
 
     With ``expect``, a frame of any other type is a
     :class:`ProtocolError` (fail fast on desynchronised peers).
@@ -187,13 +200,42 @@ def recv_frame(
             f"declared payload of {length} B exceeds "
             f"max_frame_bytes={max_frame_bytes}"
         )
-    payload = pickle.loads(_recv_exact(sock, length, at_boundary=False))
+    payload = _recv_exact(sock, length, at_boundary=False)
     if expect is not None and msg_type != expect:
         raise ProtocolError(
             f"expected {MSG_NAMES.get(expect, expect)} frame, "
             f"got {MSG_NAMES.get(msg_type, msg_type)}"
         )
     return msg_type, payload
+
+
+def send_frame(
+    sock: socket.socket,
+    msg_type: int,
+    payload: Any,
+    *,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> int:
+    """Pickle ``payload`` and send it as one framed message.
+
+    The control plane's primitive (HELLO/ASSIGN/RESULT/...); shuffle
+    batches use :mod:`repro.fabric.stream` raw frames instead.
+    """
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return send_raw_frame(sock, msg_type, blob, max_frame_bytes=max_frame_bytes)
+
+
+def recv_frame(
+    sock: socket.socket,
+    *,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    expect: Optional[int] = None,
+) -> Tuple[int, Any]:
+    """Receive one pickled-payload frame; returns ``(msg_type, payload)``."""
+    msg_type, payload = recv_raw_frame(
+        sock, max_frame_bytes=max_frame_bytes, expect=expect
+    )
+    return msg_type, pickle.loads(payload)
 
 
 def parse_address(spec: str) -> Tuple[str, int]:

@@ -15,10 +15,17 @@ import threading
 import time
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.apps.sparse_int_occurrence import sio_dataset, sio_job
-from repro.core import make_executor
+from repro.core import (
+    KeyValueSet,
+    Mapper,
+    MapReduceJob,
+    RoundRobinPartitioner,
+    make_executor,
+)
 from repro.exec import ClusterExecutor
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -146,3 +153,64 @@ def test_cluster_frame_bound_is_enforced_end_to_end():
     ex = ClusterExecutor(2, max_frame_bytes=512, timeout_seconds=15.0)
     with pytest.raises(Exception, match="frame|max_frame_bytes|failed"):
         ex.run(job, dataset=ds)
+
+
+class _FanoutMapper(Mapper):
+    """Emits 32 pairs per input element: shuffle volume >> input volume,
+    so the exchange batches blow past a frame bound the (small) control
+    frames — ASSIGN in, reduced RESULT out — fit comfortably within."""
+
+    def map_chunk(self, chunk):
+        data = np.asarray(chunk.data).astype(np.uint32)
+        keys = (np.repeat(data, 32) * np.uint32(2654435761)) % np.uint32(1 << 14)
+        return KeyValueSet(
+            keys=keys,
+            values=np.ones(len(keys), dtype=np.int32),
+            scale=chunk.scale,
+        )
+
+    def map_cost(self, chunk):  # pragma: no cover - never priced
+        return []
+
+
+def test_cluster_batch_larger_than_frame_bound_streams():
+    """Protocol v1 died with FrameTooLarge when one shuffle batch beat
+    max_frame_bytes; the streamed data plane must complete the run —
+    bit-identically — through a bound the batches exceed many times."""
+    from repro.apps.sparse_int_occurrence import SIOReducer
+
+    ds = sio_dataset(16_000, chunk_elements=4_000, key_space=1 << 14, seed=21)
+    job = MapReduceJob(
+        name="fanout",
+        mapper=_FanoutMapper(),
+        reducer=SIOReducer(),
+        partitioner=RoundRobinPartitioner(),
+    ).with_config(enable_stealing=False)
+    # 16000 * 32 pairs * 8 B over a 2x2 exchange: each (src, dst) batch
+    # carries ~1 MiB against a 128 KiB frame bound, while the reduced
+    # outputs (<= 8192 keys per rank) stay inside it.
+    bound = 1 << 17
+    got = ClusterExecutor(
+        2, max_frame_bytes=bound, timeout_seconds=60.0
+    ).run(job, dataset=ds)
+    assert got.stats.total_network_bytes > 4 * bound  # batches really big
+    ref = make_executor("serial", 2).run(job, dataset=ds)
+    for a, b in zip(ref.outputs, got.outputs):
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert np.array_equal(a.keys, b.keys)
+            assert a.values.tobytes() == b.values.tobytes()
+
+
+def test_cluster_compressed_exchange_parity():
+    """The zlib gate changes the wire encoding, never the results."""
+    job, ds = _job_and_dataset(seed=9)
+    got = ClusterExecutor(
+        3, compress_exchange=True, timeout_seconds=60.0
+    ).run(job, dataset=ds)
+    ref = make_executor("serial", 3).run(job, dataset=ds)
+    for a, b in zip(ref.outputs, got.outputs):
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert np.array_equal(a.keys, b.keys)
+            assert a.values.tobytes() == b.values.tobytes()

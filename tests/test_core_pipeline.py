@@ -279,8 +279,19 @@ def test_sampled_run_matches_sampled_reference():
     np.testing.assert_array_equal(result_counts(result), reference_counts(sampled))
     # Logical pair count reflects full scale.
     assert result.stats.total_pairs_logical == 64_000
-    # And the sampled run's network bytes match the full run's (logical).
+    # And the sampled run's exchange bytes match the full run's
+    # (logical).  The self/remote split halves each share, so the same
+    # sampling noise doubles in relative terms on the network-only
+    # figure — compare the total tightly, the remote share a bit looser.
     full_res = GPMRRuntime(n_gpus=2).run(count_job(), full)
+    assert (
+        result.stats.total_network_bytes
+        + result.stats.total_local_exchange_bytes
+    ) == pytest.approx(
+        full_res.stats.total_network_bytes
+        + full_res.stats.total_local_exchange_bytes,
+        rel=0.01,
+    )
     assert result.stats.total_network_bytes == pytest.approx(
-        full_res.stats.total_network_bytes, rel=0.01
+        full_res.stats.total_network_bytes, rel=0.02
     )

@@ -1,0 +1,173 @@
+"""The binary KVSet codec, tested in isolation.
+
+Every exchange hot path (shared-memory local shuffle, streamed fabric
+frames) rides ``KeyValueSet.to_buffers``/``from_buffers`` and the
+batch-level ``pack_parts``/``unpack_parts``, so the codec must be
+bit-exact across dtypes, shapes, and scales, zero-copy on decode, and
+loud about malformed bytes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kvset import (
+    CodecError,
+    KeyValueSet,
+    pack_parts,
+    unpack_parts,
+)
+from repro.exec.dataflow import merge_incoming, reduce_worker
+
+
+def _round_trip(kv: KeyValueSet) -> KeyValueSet:
+    header, buffers = kv.to_buffers()
+    return KeyValueSet.from_buffers(header, buffers)
+
+
+def _assert_bit_identical(a: KeyValueSet, b: KeyValueSet) -> None:
+    assert a.keys.dtype == b.keys.dtype
+    assert a.values.dtype == b.values.dtype
+    assert a.values.shape == b.values.shape
+    assert a.keys.tobytes() == b.keys.tobytes()
+    assert a.values.tobytes() == b.values.tobytes()
+    assert a.scale == b.scale
+
+
+def test_round_trip_default_dtypes():
+    kv = KeyValueSet(
+        keys=np.arange(1000, dtype=np.uint32),
+        values=np.linspace(-1.0, 1.0, 1000),
+        scale=16.0,
+    )
+    _assert_bit_identical(kv, _round_trip(kv))
+
+
+def test_round_trip_empty_kvset():
+    """An empty set keeps its dtypes and width through the codec."""
+    kv = KeyValueSet.empty(
+        key_dtype=np.int64, value_dtype=np.float32, value_width=3, scale=2.0
+    )
+    got = _round_trip(kv)
+    _assert_bit_identical(kv, got)
+    assert len(got) == 0
+    assert got.value_width == 3
+
+
+def test_round_trip_2d_fixed_width_values():
+    kv = KeyValueSet(
+        keys=np.arange(7, dtype=np.uint32),
+        values=np.arange(7 * 5, dtype=np.float64).reshape(7, 5),
+    )
+    got = _round_trip(kv)
+    _assert_bit_identical(kv, got)
+    assert got.value_width == 5
+
+
+@pytest.mark.parametrize(
+    "key_dtype,value_dtype",
+    [(np.int64, np.int16), (np.uint8, np.float32), (np.uint64, np.int32)],
+)
+def test_round_trip_non_default_dtypes(key_dtype, value_dtype):
+    rng = np.random.default_rng(7)
+    kv = KeyValueSet(
+        keys=rng.integers(0, 100, 64).astype(key_dtype),
+        values=rng.integers(0, 100, 64).astype(value_dtype),
+    )
+    _assert_bit_identical(kv, _round_trip(kv))
+
+
+def test_round_trip_non_contiguous_input():
+    """Strided views are made contiguous at encode, not corrupted."""
+    keys = np.arange(64, dtype=np.uint32)[::2]
+    values = np.arange(64, dtype=np.float64)[::2]
+    kv = KeyValueSet(keys=keys, values=values)
+    got = _round_trip(kv)
+    assert np.array_equal(got.keys, keys)
+    assert got.values.tobytes() == np.ascontiguousarray(values).tobytes()
+
+
+def test_decode_is_zero_copy():
+    kv = KeyValueSet(
+        keys=np.arange(16, dtype=np.uint32), values=np.ones(16)
+    )
+    manifest, chunks, nbytes = pack_parts([kv])
+    data = b"".join(bytes(c) for c in chunks)
+    assert len(data) == nbytes
+    (got,) = unpack_parts(manifest, data)
+    # Views into the caller's buffer, not fresh allocations.
+    assert not got.keys.flags.owndata
+    assert not got.values.flags.owndata
+    _assert_bit_identical(kv, got)
+
+
+def test_pack_parts_preserves_order_and_heterogeneous_layouts():
+    parts = [
+        KeyValueSet(keys=np.arange(5, dtype=np.uint32), values=np.arange(5.0)),
+        KeyValueSet.empty(value_width=2),
+        KeyValueSet(
+            keys=np.arange(3, dtype=np.int64),
+            values=np.arange(6, dtype=np.float32).reshape(3, 2),
+            scale=4.0,
+        ),
+    ]
+    manifest, chunks, nbytes = pack_parts(parts)
+    got = unpack_parts(manifest, b"".join(bytes(c) for c in chunks))
+    assert len(got) == 3
+    for original, decoded in zip(parts, got):
+        _assert_bit_identical(original, decoded)
+
+
+def test_mixed_scale_concat_rejected_through_exchange_path():
+    """Scales survive the codec, so the concat guard still fires after
+    a batch has been through encode/decode — the exchange cannot
+    silently merge differently-scaled samples."""
+    parts = [
+        KeyValueSet(keys=np.arange(4, dtype=np.uint32), values=np.ones(4),
+                    scale=1.0),
+        KeyValueSet(keys=np.arange(4, dtype=np.uint32), values=np.ones(4),
+                    scale=2.0),
+    ]
+    manifest, chunks, _ = pack_parts(parts)
+    decoded = unpack_parts(manifest, b"".join(bytes(c) for c in chunks))
+    assert [p.scale for p in decoded] == [1.0, 2.0]
+    with pytest.raises(ValueError, match="mixed scales"):
+        KeyValueSet.concat(decoded)
+    # ...and through the real reduce path a worker runs after exchange.
+    from repro.apps.sparse_int_occurrence import sio_job
+
+    incoming = merge_incoming([(0, [decoded[0]]), (1, [decoded[1]])])
+    with pytest.raises(ValueError, match="mixed scales"):
+        reduce_worker(sio_job(key_space=16), incoming)
+
+
+def test_header_corruption_is_detected():
+    kv = KeyValueSet(keys=np.arange(4, dtype=np.uint32), values=np.ones(4))
+    header, buffers = kv.to_buffers()
+    with pytest.raises(CodecError, match="magic"):
+        KeyValueSet.from_buffers(b"XX" + header[2:], buffers)
+    with pytest.raises(CodecError, match="truncated"):
+        KeyValueSet.from_buffers(header[:5], buffers)
+    bad_version = header[:2] + bytes([99]) + header[3:]
+    with pytest.raises(CodecError, match="v99"):
+        KeyValueSet.from_buffers(bad_version, buffers)
+
+
+def test_buffer_length_mismatch_is_detected():
+    kv = KeyValueSet(keys=np.arange(4, dtype=np.uint32), values=np.ones(4))
+    header, buffers = kv.to_buffers()
+    with pytest.raises(CodecError, match="key buffer"):
+        KeyValueSet.from_buffers(header, [buffers[0][:-1], buffers[1]])
+    with pytest.raises(CodecError, match="value buffer"):
+        KeyValueSet.from_buffers(header, [buffers[0], buffers[1][:-8]])
+
+
+def test_manifest_corruption_is_detected():
+    kv = KeyValueSet(keys=np.arange(4, dtype=np.uint32), values=np.ones(4))
+    manifest, chunks, _ = pack_parts([kv])
+    data = b"".join(bytes(c) for c in chunks)
+    with pytest.raises(CodecError, match="magic"):
+        unpack_parts(b"XXXX" + manifest[4:], data)
+    with pytest.raises(CodecError, match="promises more"):
+        unpack_parts(manifest, data[:-4])
+    with pytest.raises(CodecError, match="trailing"):
+        unpack_parts(manifest + b"\x00\x00", data)
