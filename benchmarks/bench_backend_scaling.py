@@ -22,7 +22,12 @@ for the same job:
 
 Besides wall-clock speedups the bench reports **exchange throughput**
 (network-destined shuffle bytes per second of exposed bin time) per
-backend — the column that shows the zero-copy win directly.
+backend — the column that shows the zero-copy win directly — and a
+**load-balanced** section: the sim runs the same job with stealing
+enabled from an imbalanced ``single`` placement, and each real backend
+replays the recorded steal schedule (``schedule=``), so the stealing
+wall-clock columns sit next to the pinned round-robin ones and the
+replayed runs stay bit-validated against the sim.
 
 Smoke mode shrinks the dataset to a functional payload; speedup shapes
 are advisory there (process start-up dominates toy sizes).
@@ -82,7 +87,30 @@ def _measure():
         n: make_executor("sim", n).run(job, dataset=ds).elapsed
         for n in WORKER_COUNTS
     }
-    return ds, wall, exchange, modeled
+
+    # Load-balanced rows: sim records a steal schedule from an
+    # imbalanced placement; the real backends replay it chunk-for-chunk
+    # (the steal-parity contract keeps the outputs bit-identical, so
+    # these columns time *scheduling*, not different answers).
+    steal_job = sio_job(key_space=1 << 16)  # stealing on (default)
+    steal_wall = {}   # (label, n) -> seconds
+    steal_counts = {} # n -> steals in the replayed schedule
+    for n in WORKER_COUNTS:
+        recorded = make_executor(
+            "sim", n, initial_distribution="single"
+        ).run(steal_job, dataset=ds)
+        trace = recorded.schedule
+        steal_counts[n] = trace.total_steals
+        for label, backend, kwargs in VARIANTS:
+            if label == "local/pickle":
+                continue  # the exchange baseline adds nothing here
+            t0 = time.perf_counter()
+            result = make_executor(backend, n, **kwargs).run(
+                steal_job, dataset=ds, schedule=trace
+            )
+            steal_wall[(label, n)] = time.perf_counter() - t0
+            assert result.stats.total_steals == trace.total_steals
+    return ds, wall, exchange, modeled, steal_wall, steal_counts
 
 
 def _throughput(exchange, label, n):
@@ -91,7 +119,7 @@ def _throughput(exchange, label, n):
     return nbytes / max(seconds, 1e-9)
 
 
-def _render(ds, wall, exchange, modeled):
+def _render(ds, wall, exchange, modeled, steal_wall, steal_counts):
     def speedup(label, n):
         return wall[(label, 1)] / wall[(label, n)]
 
@@ -125,14 +153,32 @@ def _render(ds, wall, exchange, modeled):
             f"{_throughput(exchange, 'local', n) / 1e6:>11.1f} "
             f"{_throughput(exchange, 'cluster', n) / 1e6:>13.1f}"
         )
+    lines += [
+        "",
+        "load-balanced — sim-recorded steal schedule (single placement) "
+        "replayed on the real backends, bit-validated vs the sim",
+        f"{'n':>3} {'steals':>7} {'serial_ms':>10} {'local_ms':>10} "
+        f"{'cluster_ms':>11}",
+    ]
+    for n in WORKER_COUNTS:
+        lines.append(
+            f"{n:>3} "
+            f"{steal_counts[n]:>7d} "
+            f"{steal_wall[('serial', n)] * 1e3:>10.1f} "
+            f"{steal_wall[('local', n)] * 1e3:>10.1f} "
+            f"{steal_wall[('cluster', n)] * 1e3:>11.1f}"
+        )
     return "\n".join(lines)
 
 
 def test_backend_scaling(benchmark, save_result, check):
-    ds, wall, exchange, modeled = benchmark.pedantic(
+    ds, wall, exchange, modeled, steal_wall, steal_counts = benchmark.pedantic(
         _measure, rounds=1, iterations=1
     )
-    save_result("backend_scaling", _render(ds, wall, exchange, modeled))
+    save_result(
+        "backend_scaling",
+        _render(ds, wall, exchange, modeled, steal_wall, steal_counts),
+    )
 
     local_x = wall[("local", 1)] / wall[("local", 4)]
     cluster_x = wall[("cluster", 1)] / wall[("cluster", 4)]
@@ -175,4 +221,13 @@ def test_backend_scaling(benchmark, save_result, check):
     check(
         wall[("serial", 4)] < 2.0 * wall[("serial", 1)],
         "serial wall time is ~independent of n_workers",
+    )
+    # The load-balanced rows exist and actually balanced something: at
+    # 4 workers the single-rank placement forces the other three ranks
+    # to steal, and replaying that schedule costs the same order of
+    # wall-clock as the pinned run (it moves the same bytes).
+    check(steal_counts[4] > 0, "sim schedule at n=4 contains steals")
+    check(
+        steal_wall[("local", 4)] < 10 * wall[("local", 4)],
+        "replayed steal schedule stays within 10x of the pinned run",
     )

@@ -361,9 +361,12 @@ def run_kmc(
     dataset: KMeansDataset,
     use_accumulation: bool = True,
     backend: str = "sim",
+    schedule=None,
     **executor_kwargs,
 ) -> JobResult:
     """Convenience: run one KMC iteration on ``n_gpus`` workers."""
     return make_executor(backend, n_gpus, **executor_kwargs).run(
-        kmc_job(dataset, use_accumulation=use_accumulation), dataset
+        kmc_job(dataset, use_accumulation=use_accumulation),
+        dataset,
+        schedule=schedule,
     )

@@ -290,9 +290,10 @@ def run_lr(
     dataset: RegressionDataset,
     use_accumulation: bool = True,
     backend: str = "sim",
+    schedule=None,
     **executor_kwargs,
 ) -> JobResult:
     """Convenience: run LR on ``n_gpus`` workers of ``backend``."""
     return make_executor(backend, n_gpus, **executor_kwargs).run(
-        lr_job(use_accumulation=use_accumulation), dataset
+        lr_job(use_accumulation=use_accumulation), dataset, schedule=schedule
     )

@@ -35,6 +35,7 @@ from ..core import (
     Mapper,
     PipelineConfig,
     RoundRobinPartitioner,
+    ScheduleTrace,
     make_executor,
 )
 from ..core.runtime import JobResult
@@ -241,13 +242,32 @@ def _phase2_chunks(dataset: MatrixDataset, phase1: JobResult) -> List[Chunk]:
 
 
 def run_matmul(
-    n_gpus: int, dataset: MatrixDataset, backend: str = "sim", **executor_kwargs
+    n_gpus: int,
+    dataset: MatrixDataset,
+    backend: str = "sim",
+    schedule=None,
+    **executor_kwargs,
 ) -> MMResult:
-    """Run the full two-phase MM job; returns the assembled product."""
+    """Run the full two-phase MM job; returns the assembled product.
+
+    MM runs two MapReduce jobs, so its replay knob takes a *pair* of
+    traces — ``schedule=(phase1_trace, phase2_trace)`` (either may be
+    None to fall back to static placement for that phase).
+    """
+    if schedule is None:
+        sched1 = sched2 = None
+    elif isinstance(schedule, ScheduleTrace):
+        # A bare trace would silently unpack as grants; fail loudly.
+        raise TypeError(
+            "MM runs two MapReduce jobs; pass "
+            "schedule=(phase1_trace, phase2_trace), not a single trace"
+        )
+    else:
+        sched1, sched2 = schedule
     ex = make_executor(backend, n_gpus, **executor_kwargs)
-    phase1 = ex.run(mm_phase1_job(dataset), dataset)
+    phase1 = ex.run(mm_phase1_job(dataset), dataset, schedule=sched1)
     chunks = _phase2_chunks(dataset, phase1)
-    phase2 = ex.run(mm_phase2_job(dataset), chunks=chunks)
+    phase2 = ex.run(mm_phase2_job(dataset), chunks=chunks, schedule=sched2)
 
     t = dataset.tile_actual
     grid = dataset.grid

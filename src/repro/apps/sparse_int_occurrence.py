@@ -203,9 +203,13 @@ def sio_mars_workload(dataset: IntegerDataset) -> MarsWorkload:
 
 
 def run_sio(
-    n_gpus: int, dataset: IntegerDataset, backend: str = "sim", **executor_kwargs
+    n_gpus: int,
+    dataset: IntegerDataset,
+    backend: str = "sim",
+    schedule=None,
+    **executor_kwargs,
 ) -> JobResult:
     """Convenience: run SIO on ``n_gpus`` workers of ``backend``."""
     return make_executor(backend, n_gpus, **executor_kwargs).run(
-        sio_job(dataset.key_space), dataset
+        sio_job(dataset.key_space), dataset, schedule=schedule
     )

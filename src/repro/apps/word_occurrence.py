@@ -292,8 +292,12 @@ def wo_mars_workload(dataset: TextDataset) -> MarsWorkload:
 
 
 def run_wo(
-    n_gpus: int, dataset: TextDataset, backend: str = "sim", **job_kwargs
+    n_gpus: int,
+    dataset: TextDataset,
+    backend: str = "sim",
+    schedule=None,
+    **job_kwargs,
 ) -> JobResult:
     """Convenience: run WO on ``n_gpus`` workers of ``backend``."""
     job = wo_job(n_gpus, n_words=len(dataset.dictionary), **job_kwargs)
-    return make_executor(backend, n_gpus).run(job, dataset)
+    return make_executor(backend, n_gpus).run(job, dataset, schedule=schedule)

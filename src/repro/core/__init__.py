@@ -51,7 +51,13 @@ from .partitioner import (
 from .pipeline import Worker
 from .reducer import Reducer
 from .runtime import GPMRRuntime, JobResult
-from .scheduler import Assignment, ChunkScheduler
+from .scheduler import (
+    Assignment,
+    ChunkScheduler,
+    ReplayScheduler,
+    ScheduleGrant,
+    ScheduleTrace,
+)
 from .sorter import ComparisonSorter, RadixSorter, Sorter
 from .stats import STAGES, JobStats, WorkerStats
 
@@ -86,6 +92,9 @@ __all__ = [
     "KeyValueSet",
     "Chunk",
     "ChunkScheduler",
+    "ReplayScheduler",
+    "ScheduleGrant",
+    "ScheduleTrace",
     "Assignment",
     "Worker",
     "Binner",

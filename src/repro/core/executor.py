@@ -41,6 +41,7 @@ from .runtime import (
     distribute_chunks,
     resolve_chunks,
 )
+from .scheduler import ScheduleTrace
 from ..workloads.base import Dataset
 
 __all__ = [
@@ -72,8 +73,16 @@ class Executor(ABC):
         job: MapReduceJob,
         dataset: Optional[Dataset] = None,
         chunks: Optional[Sequence[Chunk]] = None,
+        schedule: Optional[ScheduleTrace] = None,
     ) -> JobResult:
-        """Execute ``job`` over ``dataset`` (or explicit ``chunks``)."""
+        """Execute ``job`` over ``dataset`` (or explicit ``chunks``).
+
+        ``schedule`` replays a recorded chunk schedule
+        (:class:`~repro.core.scheduler.ScheduleTrace`) instead of the
+        backend's static placement: every backend maps the same chunks
+        on the same ranks in the same per-rank order the trace dictates,
+        which extends the bit-parity contract to load-balanced runs.
+        """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} n_workers={self.n_workers}>"
@@ -98,8 +107,11 @@ class SimExecutor(Executor):
         job: MapReduceJob,
         dataset: Optional[Dataset] = None,
         chunks: Optional[Sequence[Chunk]] = None,
+        schedule: Optional[ScheduleTrace] = None,
     ) -> JobResult:
-        return self.runtime.run(job, dataset=dataset, chunks=chunks)
+        return self.runtime.run(
+            job, dataset=dataset, chunks=chunks, schedule=schedule
+        )
 
 
 # ---------------------------------------------------------------------------

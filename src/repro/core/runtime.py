@@ -21,8 +21,11 @@ from .pipeline import Worker
 from .scheduler import (
     DISTRIBUTIONS,
     ChunkScheduler,
+    ReplayScheduler,
+    ScheduleTrace,
     distribute_chunks,
     resolve_chunks,
+    resolve_placement,
 )
 from .stats import JobStats
 from ..hw.node import build_nodes
@@ -38,6 +41,7 @@ __all__ = [
     "GPMRRuntime",
     "DISTRIBUTIONS",
     "resolve_chunks",
+    "resolve_placement",
     "distribute_chunks",
 ]
 
@@ -48,6 +52,10 @@ class JobResult:
 
     stats: JobStats
     outputs: List[Optional[KeyValueSet]]   #: per-rank reduce output
+    #: the chunk schedule this run followed: the sim always records one
+    #: (steals included); a real backend carries the trace it replayed,
+    #: or None for a plain static-distribution run
+    schedule: Optional[ScheduleTrace] = None
 
     @property
     def elapsed(self) -> float:
@@ -123,14 +131,24 @@ class GPMRRuntime:
         job: MapReduceJob,
         dataset: Optional[Dataset] = None,
         chunks: Optional[Sequence[Chunk]] = None,
+        schedule: Optional[ScheduleTrace] = None,
     ) -> JobResult:
-        """Execute ``job`` over ``dataset`` (or explicit ``chunks``)."""
+        """Execute ``job`` over ``dataset`` (or explicit ``chunks``).
+
+        With ``schedule`` the dynamic scheduler is swapped for a
+        :class:`ReplayScheduler`: chunks are granted in exactly the
+        traced order (steals, victims, and all), so a recorded
+        load-balanced run reproduces decision-for-decision.
+        """
         chunks = resolve_chunks(dataset, chunks)
 
         env, nodes, fabric, comm, gpus, rank_to_node = self._build()
-        scheduler = ChunkScheduler(
-            self.n_gpus, enable_stealing=job.config.enable_stealing
-        )
+        if schedule is not None:
+            scheduler = ReplayScheduler(self.n_gpus, schedule)
+        else:
+            scheduler = ChunkScheduler(
+                self.n_gpus, enable_stealing=job.config.enable_stealing
+            )
         scheduler.assign(chunks, self.initial_distribution)
 
         workers = [
@@ -149,10 +167,26 @@ class GPMRRuntime:
         done = env.all_of(procs)
         env.run(until=done)
 
+        # The scheduler's grant ledger and the pipeline's fetch ledger
+        # are written independently; they must agree per worker, or the
+        # recorded trace would not describe the run it came from.
+        for w in workers:
+            granted = scheduler.steals_by_worker[w.rank]
+            if granted != w.stats.chunks_stolen:
+                raise RuntimeError(
+                    f"steal ledgers disagree for worker {w.rank}: scheduler "
+                    f"granted {granted} steals, pipeline fetched "
+                    f"{w.stats.chunks_stolen}"
+                )
+
         stats = JobStats(
             job_name=job.name,
             n_gpus=self.n_gpus,
             elapsed=env.now,
             workers=[w.stats for w in workers],
         )
-        return JobResult(stats=stats, outputs=[w.result for w in workers])
+        return JobResult(
+            stats=stats,
+            outputs=[w.result for w in workers],
+            schedule=scheduler.trace,
+        )

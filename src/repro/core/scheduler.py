@@ -12,7 +12,7 @@ and thief live on different nodes.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, NamedTuple, Optional, Sequence
+from typing import Deque, Dict, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
 from .chunk import Chunk
 from ..workloads.base import Dataset
@@ -21,7 +21,11 @@ __all__ = [
     "Assignment",
     "ChunkScheduler",
     "DISTRIBUTIONS",
+    "ReplayScheduler",
+    "ScheduleGrant",
+    "ScheduleTrace",
     "resolve_chunks",
+    "resolve_placement",
     "distribute_chunks",
 ]
 
@@ -71,6 +75,25 @@ def distribute_chunks(
     return out
 
 
+def resolve_placement(
+    chunks: Sequence[Chunk],
+    n_workers: int,
+    how: str = "round_robin",
+    schedule: Optional["ScheduleTrace"] = None,
+) -> Tuple[List[List[Chunk]], List[int]]:
+    """Per-worker chunk lists plus steal ledger, for the real backends.
+
+    With a ``schedule`` the traced replay distribution wins (each
+    worker's chunks in traced grant order, steal counts from the
+    trace); otherwise the canonical static placement applies and
+    nothing was stolen.  This is the one placement decision the
+    serial/local/cluster executors share.
+    """
+    if schedule is not None:
+        return schedule.per_worker_chunks(chunks, n_workers)
+    return distribute_chunks(chunks, n_workers, how), [0] * n_workers
+
+
 class Assignment(NamedTuple):
     """A unit of work handed to a worker."""
 
@@ -83,8 +106,158 @@ class Assignment(NamedTuple):
         return self.victim != worker
 
 
+class ScheduleGrant(NamedTuple):
+    """One scheduler decision: ``chunk_id`` went to ``worker``.
+
+    ``was_steal`` is always ``victim != worker``; the victim rank is
+    kept as well because the sim prices a steal by where the chunk
+    lived (same-node vs. cross-node wire transfer).
+    """
+
+    worker: int
+    chunk_id: int
+    was_steal: bool
+    victim: int
+
+
+class ScheduleTrace:
+    """An ordered log of chunk grants — a replayable schedule.
+
+    The sim's :class:`ChunkScheduler` grows one of these as it hands
+    out work; :class:`ReplayScheduler` (sim) and the real backends'
+    replay distribution consume it to reproduce a load-balanced run
+    decision-for-decision.  The trace is small (three ints and a bool
+    per chunk), picklable, and wire-friendly via
+    :meth:`to_records`/:meth:`from_records`.
+    """
+
+    def __init__(self, grants: Iterable[ScheduleGrant] = ()) -> None:
+        self.grants: List[ScheduleGrant] = [ScheduleGrant(*g) for g in grants]
+
+    # -- recording ---------------------------------------------------------
+    def record(self, worker: int, chunk_id: int, victim: int) -> ScheduleGrant:
+        grant = ScheduleGrant(
+            worker=int(worker),
+            chunk_id=int(chunk_id),
+            was_steal=victim != worker,
+            victim=int(victim),
+        )
+        self.grants.append(grant)
+        return grant
+
+    # -- container protocol ------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.grants)
+
+    def __iter__(self) -> Iterator[ScheduleGrant]:
+        return iter(self.grants)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ScheduleTrace):
+            return NotImplemented
+        return self.grants == other.grants
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ScheduleTrace {len(self.grants)} grants, {self.total_steals} steals>"
+
+    # -- ledgers -----------------------------------------------------------
+    @property
+    def total_steals(self) -> int:
+        return sum(1 for g in self.grants if g.was_steal)
+
+    def for_worker(self, worker: int) -> List[ScheduleGrant]:
+        """This worker's grants, in its map order."""
+        return [g for g in self.grants if g.worker == worker]
+
+    def chunk_counts(self, n_workers: int) -> List[int]:
+        """Chunks mapped per worker under this schedule."""
+        counts = [0] * n_workers
+        for g in self.grants:
+            counts[g.worker] += 1
+        return counts
+
+    def steals_by_worker(self, n_workers: int) -> List[int]:
+        """Chunks each worker obtained by stealing under this schedule."""
+        steals = [0] * n_workers
+        for g in self.grants:
+            if g.was_steal:
+                steals[g.worker] += 1
+        return steals
+
+    # -- wire form ---------------------------------------------------------
+    def to_records(self) -> List[Tuple[int, int, bool, int]]:
+        """Plain-tuple form (what the cluster ASSIGN frame carries)."""
+        return [tuple(g) for g in self.grants]
+
+    @classmethod
+    def from_records(cls, records: Iterable[Sequence]) -> "ScheduleTrace":
+        return cls(ScheduleGrant(*r) for r in records)
+
+    # -- replay ------------------------------------------------------------
+    def _index_chunks(self, chunks: Sequence[Chunk], n_workers: int) -> Dict[int, Chunk]:
+        """Validate the trace against a chunk set; map id -> chunk.
+
+        The trace must cover exactly the given chunks (each granted
+        once) and name only in-range workers/victims — anything else
+        means the caller is replaying the wrong job's schedule.
+        """
+        by_id: Dict[int, Chunk] = {}
+        for chunk in chunks:
+            if chunk.index in by_id:
+                raise ValueError(
+                    f"chunk ids must be unique to replay a schedule; "
+                    f"id {chunk.index} appears twice"
+                )
+            by_id[chunk.index] = chunk
+        seen: set = set()
+        for g in self.grants:
+            if not 0 <= g.worker < n_workers or not 0 <= g.victim < n_workers:
+                raise ValueError(
+                    f"trace grant {g} names a rank outside 0..{n_workers - 1}"
+                )
+            if g.was_steal != (g.victim != g.worker):
+                raise ValueError(f"trace grant {g} has an inconsistent steal flag")
+            if g.chunk_id not in by_id:
+                raise ValueError(
+                    f"trace grants chunk {g.chunk_id}, which is not in the job"
+                )
+            if g.chunk_id in seen:
+                raise ValueError(f"trace grants chunk {g.chunk_id} twice")
+            seen.add(g.chunk_id)
+        if len(seen) != len(by_id):
+            missing = sorted(set(by_id) - seen)
+            raise ValueError(
+                f"trace does not cover chunk(s) {missing}; a replayed "
+                "schedule must grant every chunk exactly once"
+            )
+        return by_id
+
+    def per_worker_chunks(
+        self, chunks: Sequence[Chunk], n_workers: int
+    ) -> Tuple[List[List[Chunk]], List[int]]:
+        """Replay distribution for the real (static-assignment) backends.
+
+        Returns ``(per_worker, stolen)``: each worker's chunk list in
+        traced grant order, plus how many of its chunks were steals —
+        the ledger the replaying backend reports as ``chunks_stolen``.
+        """
+        by_id = self._index_chunks(chunks, n_workers)
+        per_worker: List[List[Chunk]] = [[] for _ in range(n_workers)]
+        stolen = [0] * n_workers
+        for g in self.grants:
+            per_worker[g.worker].append(by_id[g.chunk_id])
+            if g.was_steal:
+                stolen[g.worker] += 1
+        return per_worker, stolen
+
+
 class ChunkScheduler:
-    """Per-worker chunk queues with longest-queue-first stealing."""
+    """Per-worker chunk queues with longest-queue-first stealing.
+
+    Every grant is recorded into :attr:`trace`, so any run — load
+    balanced or not — leaves behind a schedule the other backends can
+    replay bit-for-bit.
+    """
 
     #: a victim must have at least this many chunks queued to be robbed
     #: ("other GPUs have much more work to do").
@@ -97,6 +270,8 @@ class ChunkScheduler:
         self.enable_stealing = enable_stealing
         self._queues: List[Deque[Chunk]] = [deque() for _ in range(n_workers)]
         self.steals = 0
+        self.steals_by_worker: List[int] = [0] * n_workers
+        self.trace = ScheduleTrace()
 
     # -- loading ---------------------------------------------------------
     def assign_round_robin(self, chunks: Sequence[Chunk]) -> None:
@@ -132,7 +307,9 @@ class ChunkScheduler:
             raise ValueError(f"worker {worker} out of range")
         q = self._queues[worker]
         if q:
-            return Assignment(chunk=q.popleft(), victim=worker)
+            chunk = q.popleft()
+            self.trace.record(worker, chunk.index, worker)
+            return Assignment(chunk=chunk, victim=worker)
         if not self.enable_stealing:
             return None
         victim = max(
@@ -140,6 +317,73 @@ class ChunkScheduler:
         )
         if len(self._queues[victim]) >= self.MIN_VICTIM_QUEUE:
             self.steals += 1
+            self.steals_by_worker[worker] += 1
             # Steal from the tail: the victim is about to work the head.
-            return Assignment(chunk=self._queues[victim].pop(), victim=victim)
+            chunk = self._queues[victim].pop()
+            self.trace.record(worker, chunk.index, victim)
+            return Assignment(chunk=chunk, victim=victim)
         return None
+
+
+class ReplayScheduler:
+    """Hand out chunks in exactly the order a recorded trace dictates.
+
+    Drop-in for :class:`ChunkScheduler` in the sim runtime: the same
+    ``assign``/``request`` surface and the same ``steals`` ledgers, but
+    every decision comes from the trace instead of queue state.  Each
+    ``request(worker)`` returns that worker's next traced grant — with
+    the recorded victim, so steal pricing replays identically — and
+    ``None`` once its traced grants are exhausted.  All chunks are
+    resident from ``assign`` time on, so a worker's next grant is
+    always ready and a request never has to block.
+    """
+
+    def __init__(self, n_workers: int, schedule: ScheduleTrace) -> None:
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        self.n_workers = n_workers
+        self.schedule = schedule
+        #: the grants actually re-issued (== ``schedule`` after a full run)
+        self.trace = ScheduleTrace()
+        self.steals = 0
+        self.steals_by_worker: List[int] = [0] * n_workers
+        self._pending: List[Deque[ScheduleGrant]] = [
+            deque() for _ in range(n_workers)
+        ]
+        self._chunks: Dict[int, Chunk] = {}
+        self._assigned = False
+
+    # -- loading ---------------------------------------------------------
+    def assign(self, chunks: Sequence[Chunk], how: str = "round_robin") -> None:
+        """Validate and index the chunk set; ``how`` is ignored — the
+        trace, not a placement policy, decides who maps what."""
+        self._chunks = self.schedule._index_chunks(chunks, self.n_workers)
+        for w in range(self.n_workers):
+            self._pending[w].clear()
+        for grant in self.schedule:
+            self._pending[grant.worker].append(grant)
+        self._assigned = True
+
+    # -- inspection ------------------------------------------------------
+    def queue_len(self, worker: int) -> int:
+        return len(self._pending[worker])
+
+    @property
+    def remaining(self) -> int:
+        return sum(len(q) for q in self._pending)
+
+    # -- dispatch --------------------------------------------------------
+    def request(self, worker: int) -> Optional[Assignment]:
+        """The worker's next traced grant, or None when it is done."""
+        if not (0 <= worker < self.n_workers):
+            raise ValueError(f"worker {worker} out of range")
+        if not self._assigned:
+            raise RuntimeError("request() before assign()")
+        if not self._pending[worker]:
+            return None
+        grant = self._pending[worker].popleft()
+        if grant.was_steal:
+            self.steals += 1
+            self.steals_by_worker[worker] += 1
+        self.trace.record(worker, grant.chunk_id, grant.victim)
+        return Assignment(chunk=self._chunks[grant.chunk_id], victim=grant.victim)

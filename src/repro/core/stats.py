@@ -97,6 +97,13 @@ class JobStats:
     def total_steals(self) -> int:
         return sum(w.chunks_stolen for w in self.workers)
 
+    @property
+    def steals_by_worker(self) -> List[int]:
+        """Per-worker steal ledger, in rank order — the per-GPU view of
+        the scheduler's load balancing (matches a recorded
+        :class:`~repro.core.scheduler.ScheduleTrace` grant-for-grant)."""
+        return [w.chunks_stolen for w in sorted(self.workers, key=lambda w: w.rank)]
+
     def describe(self) -> str:
         """One-paragraph human summary."""
         fr = self.stage_fractions

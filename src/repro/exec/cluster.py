@@ -39,7 +39,8 @@ from ..core.chunk import Chunk
 from ..core.executor import Executor, register_backend
 from ..core.job import MapReduceJob
 from ..core.kvset import KeyValueSet
-from ..core.runtime import JobResult, distribute_chunks, resolve_chunks
+from ..core.runtime import JobResult, resolve_chunks, resolve_placement
+from ..core.scheduler import ScheduleTrace
 from ..core.stats import JobStats, WorkerStats
 from ..fabric import (
     DEFAULT_MAX_FRAME_BYTES,
@@ -116,10 +117,11 @@ class ClusterExecutor(Executor):
         job: MapReduceJob,
         dataset: Optional[Dataset] = None,
         chunks: Optional[Sequence[Chunk]] = None,
+        schedule: Optional[ScheduleTrace] = None,
     ) -> JobResult:
         all_chunks = resolve_chunks(dataset, chunks)
-        per_worker = distribute_chunks(
-            all_chunks, self.n_workers, self.initial_distribution
+        per_worker, stolen = resolve_placement(
+            all_chunks, self.n_workers, self.initial_distribution, schedule
         )
 
         procs: List[mp.process.BaseProcess] = []
@@ -168,7 +170,9 @@ class ClusterExecutor(Executor):
                     p.start()
             try:
                 coordinator.wait_for_ranks()
-                coordinator.broadcast_assignments(job, per_worker)
+                coordinator.broadcast_assignments(
+                    job, per_worker, chunks_stolen=stolen
+                )
                 coordinator.barrier("start")
                 collected = coordinator.collect_results()
             except RankFailure as exc:
@@ -204,6 +208,7 @@ class ClusterExecutor(Executor):
                 workers=worker_stats,
             ),
             outputs=outputs,
+            schedule=schedule,
         )
 
 

@@ -52,7 +52,8 @@ from ..core.chunk import Chunk
 from ..core.executor import Executor, register_backend
 from ..core.job import MapReduceJob
 from ..core.kvset import KeyValueSet
-from ..core.runtime import JobResult, distribute_chunks, resolve_chunks
+from ..core.runtime import JobResult, resolve_chunks, resolve_placement
+from ..core.scheduler import ScheduleTrace
 from ..core.stats import JobStats, WorkerStats
 from ..workloads.base import Dataset
 
@@ -93,9 +94,16 @@ def _worker_main(
     shuffle_queues: List[mp.Queue],
     result_queue: mp.Queue,
     exchange: str = "shm",
+    chunks_stolen: int = 0,
 ) -> None:
-    """Entry point of one rank's process: map, exchange, sort, reduce."""
+    """Entry point of one rank's process: map, exchange, sort, reduce.
+
+    ``chunks_stolen`` is the replayed steal ledger: when the driver
+    distributes chunks from a recorded schedule, the rank reports how
+    many of its chunks that schedule says it stole.
+    """
     stats = WorkerStats(rank=rank)
+    stats.chunks_stolen = chunks_stolen
     posted: Set[int] = set()
     segments = []
     try:
@@ -190,10 +198,11 @@ class LocalExecutor(Executor):
         job: MapReduceJob,
         dataset: Optional[Dataset] = None,
         chunks: Optional[Sequence[Chunk]] = None,
+        schedule: Optional[ScheduleTrace] = None,
     ) -> JobResult:
         all_chunks = resolve_chunks(dataset, chunks)
-        per_worker = distribute_chunks(
-            all_chunks, self.n_workers, self.initial_distribution
+        per_worker, stolen = resolve_placement(
+            all_chunks, self.n_workers, self.initial_distribution, schedule
         )
         ctx = mp.get_context(self.start_method)
         if self.exchange == "shm":
@@ -217,6 +226,7 @@ class LocalExecutor(Executor):
                     shuffle_queues,
                     result_queue,
                     self.exchange,
+                    stolen[rank],
                 ),
                 name=f"gpmr-local-r{rank}",
                 daemon=True,
@@ -299,7 +309,7 @@ class LocalExecutor(Executor):
             workers=[s if s is not None else WorkerStats(rank=r)
                      for r, s in enumerate(worker_stats)],
         )
-        return JobResult(stats=stats, outputs=outputs)
+        return JobResult(stats=stats, outputs=outputs, schedule=schedule)
 
     @staticmethod
     def _drain_undelivered(shuffle_queues: List[mp.Queue]) -> None:

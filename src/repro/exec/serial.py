@@ -16,7 +16,8 @@ from ..core.chunk import Chunk
 from ..core.executor import Executor, register_backend
 from ..core.job import MapReduceJob
 from ..core.kvset import KeyValueSet
-from ..core.runtime import JobResult, distribute_chunks, resolve_chunks
+from ..core.runtime import JobResult, resolve_chunks, resolve_placement
+from ..core.scheduler import ScheduleTrace
 from ..core.stats import JobStats, WorkerStats
 from ..workloads.base import Dataset
 
@@ -39,10 +40,11 @@ class SerialExecutor(Executor):
         job: MapReduceJob,
         dataset: Optional[Dataset] = None,
         chunks: Optional[Sequence[Chunk]] = None,
+        schedule: Optional[ScheduleTrace] = None,
     ) -> JobResult:
         all_chunks = resolve_chunks(dataset, chunks)
-        per_worker = distribute_chunks(
-            all_chunks, self.n_workers, self.initial_distribution
+        per_worker, stolen = resolve_placement(
+            all_chunks, self.n_workers, self.initial_distribution, schedule
         )
 
         t_start = time.perf_counter()
@@ -54,6 +56,7 @@ class SerialExecutor(Executor):
             out = map_worker(job, per_worker[rank], self.n_workers)
             w.add("map", time.perf_counter() - t0)
             w.chunks_mapped = out.chunks_mapped
+            w.chunks_stolen = stolen[rank]
             w.pairs_emitted_logical = out.pairs_emitted_logical
             w.bytes_sent_network = out.bytes_remote(rank)
             w.bytes_kept_local = out.bytes_self(rank)
@@ -77,6 +80,7 @@ class SerialExecutor(Executor):
                 workers=stats,
             ),
             outputs=outputs,
+            schedule=schedule,
         )
 
 

@@ -199,7 +199,10 @@ class Coordinator:
 
     # -- 2. assignment broadcast -------------------------------------------
     def broadcast_assignments(
-        self, job: Any, per_worker_chunks: Sequence[Sequence[Any]]
+        self,
+        job: Any,
+        per_worker_chunks: Sequence[Sequence[Any]],
+        chunks_stolen: Optional[Sequence[int]] = None,
     ) -> None:
         """Ship the job, each rank's chunks, and the peer directory.
 
@@ -207,9 +210,18 @@ class Coordinator:
         *once* and embedded as a blob in every rank's ASSIGN frame —
         only the chunk list varies per rank, so startup cost stays
         O(job + chunks), not O(n_workers * job).
+
+        ``chunks_stolen`` is the replayed schedule's per-rank steal
+        ledger: when the driver distributes chunks from a recorded
+        :class:`~repro.core.scheduler.ScheduleTrace`, each rank learns
+        from its ASSIGN frame how many of its chunks were steals and
+        reports that in its stats — externally launched ranks included,
+        so the ledger survives the wire like everything else.
         """
         if len(per_worker_chunks) != self.n_workers:
             raise ValueError("need exactly one chunk list per rank")
+        if chunks_stolen is not None and len(chunks_stolen) != self.n_workers:
+            raise ValueError("need exactly one steal count per rank")
         job_blob = pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL)
         peers = dict(self.shuffle_peers)
         for rank in range(self.n_workers):
@@ -223,6 +235,9 @@ class Coordinator:
                         "peers": peers,
                         "n_workers": self.n_workers,
                         "compress_exchange": self.compress_exchange,
+                        "chunks_stolen": (
+                            int(chunks_stolen[rank]) if chunks_stolen else 0
+                        ),
                     },
                     max_frame_bytes=self.max_frame_bytes,
                 )

@@ -90,6 +90,9 @@ class RankEndpoint:
         #: zlib-deflate outbound shuffle chunks (the driver's choice,
         #: learned from ASSIGN; receivers accept either form always)
         self.compress_exchange = False
+        #: how many of this rank's assigned chunks a replayed schedule
+        #: says were steals (learned from ASSIGN; 0 on static runs)
+        self.chunks_stolen = 0
 
     # -- control plane -----------------------------------------------------
     def connect(self) -> None:
@@ -119,6 +122,7 @@ class RankEndpoint:
         self.n_workers = int(assign["n_workers"])
         self.peers = {int(r): tuple(a) for r, a in assign["peers"].items()}
         self.compress_exchange = bool(assign.get("compress_exchange", False))
+        self.chunks_stolen = int(assign.get("chunks_stolen", 0))
         # The job travels as a nested blob, pickled once for all ranks.
         return pickle.loads(assign["job_pickle"]), list(assign["chunks"])
 
@@ -252,6 +256,7 @@ class RankEndpoint:
             t0 = time.perf_counter()
             mapped = map_worker(job, chunks, self.n_workers)
             stats.chunks_mapped = mapped.chunks_mapped
+            stats.chunks_stolen = self.chunks_stolen
             stats.pairs_emitted_logical = mapped.pairs_emitted_logical
             stats.bytes_sent_network = mapped.bytes_remote(self.rank)
             stats.bytes_kept_local = mapped.bytes_self(self.rank)

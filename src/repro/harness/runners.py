@@ -22,29 +22,36 @@ class AppRun:
     backend: str = "sim"
 
 
-def run_app(app: str, dataset, n_gpus: int, backend: str = "sim") -> AppRun:
+def run_app(
+    app: str, dataset, n_gpus: int, backend: str = "sim", schedule=None
+) -> AppRun:
     """Run ``app`` over ``dataset`` on ``n_gpus`` workers of ``backend``.
 
     With the default ``"sim"`` backend ``elapsed`` is modeled cluster
     time; with a real backend (``"local"`` / ``"serial"`` /
     ``"cluster"``) it is measured wall-clock time.
+
+    ``schedule`` replays a recorded chunk schedule
+    (:class:`~repro.core.scheduler.ScheduleTrace`; for the two-phase MM
+    app, a ``(phase1, phase2)`` pair of traces) so a load-balanced sim
+    run can be re-executed chunk-for-chunk on a real backend.
     """
     if app == "MM":
-        result = run_matmul(n_gpus, dataset, backend=backend)
+        result = run_matmul(n_gpus, dataset, backend=backend, schedule=schedule)
         stats = result.stats
         elapsed = result.elapsed
         size = dataset.m
     elif app == "SIO":
-        r = run_sio(n_gpus, dataset, backend=backend)
+        r = run_sio(n_gpus, dataset, backend=backend, schedule=schedule)
         stats, elapsed, size = r.stats, r.elapsed, dataset.n_elements
     elif app == "WO":
-        r = run_wo(n_gpus, dataset, backend=backend)
+        r = run_wo(n_gpus, dataset, backend=backend, schedule=schedule)
         stats, elapsed, size = r.stats, r.elapsed, dataset.n_chars
     elif app == "KMC":
-        r = run_kmc(n_gpus, dataset, backend=backend)
+        r = run_kmc(n_gpus, dataset, backend=backend, schedule=schedule)
         stats, elapsed, size = r.stats, r.elapsed, dataset.n_points
     elif app == "LR":
-        r = run_lr(n_gpus, dataset, backend=backend)
+        r = run_lr(n_gpus, dataset, backend=backend, schedule=schedule)
         stats, elapsed, size = r.stats, r.elapsed, dataset.n_points
     else:
         raise ValueError(f"unknown app {app!r}")

@@ -217,6 +217,37 @@ def test_stealing_balances_single_node_distribution():
     # Thieves actually mapped chunks.
     mapped = [w.chunks_mapped for w in result.stats.workers]
     assert sum(mapped[1:]) > 0
+    # The scheduler's steal count is surfaced per worker: the owner of
+    # the initial queue steals nothing, every thief's ledger is its own
+    # stolen-chunk count, and the total is the scheduler's total.
+    per_worker = result.stats.steals_by_worker
+    assert per_worker[0] == 0
+    assert sum(per_worker) == result.stats.total_steals
+    assert all(s >= 0 for s in per_worker)
+    assert [w.chunks_stolen for w in result.stats.workers] == per_worker
+
+
+def test_sim_run_emits_replayable_schedule_trace():
+    """Every sim run records its grant log; the trace's ledgers match
+    the per-worker stats exactly (grant-for-grant bookkeeping)."""
+    ds = make_dataset(n=40_000, chunk=2_000)
+    rt = GPMRRuntime(n_gpus=4, initial_distribution="single")
+    result = rt.run(count_job(), ds)
+    trace = result.schedule
+    assert trace is not None
+    assert len(trace) == result.stats.total_chunks
+    assert trace.total_steals == result.stats.total_steals > 0
+    assert trace.steals_by_worker(4) == result.stats.steals_by_worker
+    assert trace.chunk_counts(4) == [
+        w.chunks_mapped for w in result.stats.workers
+    ]
+    # Replaying the trace reproduces the run, modeled time included.
+    again = GPMRRuntime(n_gpus=4, initial_distribution="single").run(
+        count_job(), ds, schedule=trace
+    )
+    np.testing.assert_array_equal(result_counts(again), reference_counts(ds))
+    assert again.elapsed == result.elapsed
+    assert again.schedule == trace
 
 
 def test_stealing_disabled_respects_config():

@@ -1,0 +1,230 @@
+"""Property-style tests of the chunk scheduler and schedule replay.
+
+The dynamic scheduler's invariants (longest-queue-first victims, the
+steal threshold, ledger accuracy, exhaustion) are checked over many
+randomized queue shapes, and the record/replay contract is pinned:
+a recorded :class:`ScheduleTrace` replayed through a
+:class:`ReplayScheduler` must reproduce the grant sequence exactly —
+same workers, same chunks, same victims, same steal ledgers.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    Chunk,
+    ChunkScheduler,
+    ReplayScheduler,
+    ScheduleGrant,
+    ScheduleTrace,
+)
+
+
+def make_chunks(n, start=0):
+    return [
+        Chunk(index=start + i, data=None, logical_items=1, logical_bytes=8)
+        for i in range(n)
+    ]
+
+
+def drain(scheduler, n_workers, order=None):
+    """Drive workers until every request returns None; returns grants.
+
+    ``order`` is the request schedule: a sequence of worker ranks that
+    keep requesting in round-robin rotation until all are exhausted.
+    """
+    ranks = list(order if order is not None else range(n_workers))
+    grants = []
+    done = set()
+    while len(done) < len(ranks):
+        for w in ranks:
+            if w in done:
+                continue
+            a = scheduler.request(w)
+            if a is None:
+                done.add(w)
+            else:
+                grants.append((w, a))
+    return grants
+
+
+# -- dynamic scheduler invariants --------------------------------------------
+
+@pytest.mark.parametrize("seed", range(10))
+def test_steal_always_takes_the_longest_queue(seed):
+    """Whenever an idle worker steals, the victim had (one of) the
+    longest queues at that moment, and was at/above the threshold."""
+    rng = random.Random(seed)
+    n = rng.randint(2, 6)
+    s = ChunkScheduler(n)
+    next_id = 0
+    for w in range(n):
+        chunks = make_chunks(rng.randint(0, 8), start=next_id)
+        next_id += len(chunks)
+        for c in chunks:
+            s.push(w, c)
+
+    thief = rng.randrange(n)
+    while s.queue_len(thief):  # make the thief idle first
+        s.request(thief)
+    lengths_before = [s.queue_len(w) for w in range(n)]
+    a = s.request(thief)
+    if a is None:
+        # No steal possible: every queue was under the threshold.
+        assert max(lengths_before) < ChunkScheduler.MIN_VICTIM_QUEUE
+    else:
+        assert a.stolen_by(thief)
+        assert lengths_before[a.victim] == max(lengths_before)
+        assert lengths_before[a.victim] >= ChunkScheduler.MIN_VICTIM_QUEUE
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_steals_ledger_accuracy_and_exhaustion_with_stealing(seed):
+    """Random drains: every chunk granted exactly once, the global and
+    per-worker steal counters equal the stolen assignments observed,
+    and the recorded trace mirrors the grants one-for-one."""
+    rng = random.Random(100 + seed)
+    n = rng.randint(2, 5)
+    chunks = make_chunks(rng.randint(1, 24))
+    s = ChunkScheduler(n)
+    s.assign(chunks, rng.choice(("round_robin", "blocks", "single")))
+
+    order = list(range(n))
+    rng.shuffle(order)
+    grants = drain(s, n, order)
+
+    granted_ids = [a.chunk.index for _, a in grants]
+    assert sorted(granted_ids) == [c.index for c in chunks]
+    assert s.remaining == 0
+
+    observed_steals = [0] * n
+    for w, a in grants:
+        if a.stolen_by(w):
+            observed_steals[w] += 1
+    assert s.steals == sum(observed_steals)
+    assert s.steals_by_worker == observed_steals
+
+    # The trace is the grant log, verbatim.
+    assert [(g.worker, g.chunk_id, g.was_steal, g.victim) for g in s.trace] == [
+        (w, a.chunk.index, a.stolen_by(w), a.victim) for w, a in grants
+    ]
+    assert s.trace.total_steals == s.steals
+    assert s.trace.steals_by_worker(n) == observed_steals
+    assert sum(s.trace.chunk_counts(n)) == len(chunks)
+
+
+def test_exhaustion_without_stealing_strands_remote_queues():
+    """With stealing off, a worker drains only its own queue: an idle
+    worker gets None even while peers still hold work."""
+    s = ChunkScheduler(2, enable_stealing=False)
+    s.assign(make_chunks(6), "single")  # everything on worker 0
+    assert s.request(1) is None
+    assert s.queue_len(0) == 6
+    for _ in range(6):
+        assert s.request(0) is not None
+    assert s.request(0) is None
+    assert s.steals == 0
+    assert s.steals_by_worker == [0, 0]
+    assert len(s.trace) == 6 and s.trace.total_steals == 0
+
+
+def test_threshold_leaves_last_chunks_unstolen():
+    """A victim holding fewer than MIN_VICTIM_QUEUE chunks is not
+    robbed, so its final chunk is always its own."""
+    s = ChunkScheduler(2)
+    s.push(0, make_chunks(1)[0])
+    assert s.request(1) is None  # below threshold: no steal
+    a = s.request(0)
+    assert a is not None and not a.stolen_by(0)
+
+
+# -- record -> replay round-trip ----------------------------------------------
+
+@pytest.mark.parametrize("seed", range(8))
+def test_trace_round_trip_replays_identical_grant_order(seed):
+    """record -> replay: the ReplayScheduler re-issues the exact grant
+    sequence per worker (chunks, victims, steal flags) and ends with
+    the same ledgers."""
+    rng = random.Random(200 + seed)
+    n = rng.randint(2, 5)
+    chunks = make_chunks(rng.randint(2, 20))
+    recorder = ChunkScheduler(n)
+    recorder.assign(chunks, rng.choice(("round_robin", "blocks", "single")))
+    order = list(range(n))
+    rng.shuffle(order)
+    drain(recorder, n, order)
+
+    replayer = ReplayScheduler(n, recorder.trace)
+    replayer.assign(chunks)
+    # A different request interleaving must not change per-worker order.
+    rng.shuffle(order)
+    drain(replayer, n, order)
+
+    for w in range(n):
+        assert replayer.trace.for_worker(w) == recorder.trace.for_worker(w)
+    assert replayer.steals == recorder.steals
+    assert replayer.steals_by_worker == recorder.steals_by_worker
+    assert replayer.remaining == 0
+
+
+def test_trace_wire_round_trip():
+    trace = ScheduleTrace()
+    trace.record(0, 7, 0)
+    trace.record(1, 3, 0)  # a steal from worker 0
+    records = trace.to_records()
+    assert records == [(0, 7, False, 0), (1, 3, True, 0)]
+    assert ScheduleTrace.from_records(records) == trace
+    assert ScheduleTrace.from_records(records).grants[1] == ScheduleGrant(
+        worker=1, chunk_id=3, was_steal=True, victim=0
+    )
+
+
+def test_replay_rejects_wrong_chunk_sets():
+    chunks = make_chunks(3)
+    recorder = ChunkScheduler(2)
+    recorder.assign(chunks)
+    drain(recorder, 2)
+    trace = recorder.trace
+
+    with pytest.raises(ValueError, match="does not cover"):
+        ReplayScheduler(2, trace).assign(make_chunks(4))
+    with pytest.raises(ValueError, match="not in the job"):
+        ReplayScheduler(2, trace).assign(make_chunks(3, start=100))
+    with pytest.raises(ValueError, match="unique"):
+        ReplayScheduler(2, trace).assign(make_chunks(3) + [make_chunks(1)[0]])
+
+    bad_rank = ScheduleTrace.from_records([(5, 0, False, 5)])
+    with pytest.raises(ValueError, match="outside"):
+        ReplayScheduler(2, bad_rank).assign(make_chunks(1))
+    bad_flag = ScheduleTrace.from_records([(0, 0, True, 0)])
+    with pytest.raises(ValueError, match="inconsistent steal flag"):
+        ReplayScheduler(2, bad_flag).assign(make_chunks(1))
+    twice = ScheduleTrace.from_records([(0, 0, False, 0), (1, 0, True, 0)])
+    with pytest.raises(ValueError, match="twice"):
+        ReplayScheduler(2, twice).assign(make_chunks(1))
+
+
+def test_replay_requires_assign_first():
+    trace = ScheduleTrace.from_records([(0, 0, False, 0)])
+    r = ReplayScheduler(1, trace)
+    with pytest.raises(RuntimeError, match="before assign"):
+        r.request(0)
+    with pytest.raises(ValueError, match="out of range"):
+        r.request(9)
+
+
+def test_replay_distribution_matches_trace():
+    """per_worker_chunks (the real backends' replay path) splits the
+    chunk set exactly as the trace dictates, steal ledger included."""
+    chunks = make_chunks(8)
+    recorder = ChunkScheduler(3)
+    recorder.assign(chunks, "single")
+    drain(recorder, 3)
+    per_worker, stolen = recorder.trace.per_worker_chunks(chunks, 3)
+    for w in range(3):
+        assert [c.index for c in per_worker[w]] == [
+            g.chunk_id for g in recorder.trace.for_worker(w)
+        ]
+    assert stolen == recorder.steals_by_worker
+    assert sum(len(p) for p in per_worker) == len(chunks)

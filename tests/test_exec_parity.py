@@ -10,7 +10,9 @@ produces — whether the shuffle rides in-node pipes or a real wire.
 
 Stealing is disabled for the strict parity runs: the parity contract
 pins the deterministic round-robin chunk placement, while sim stealing
-re-routes chunks based on modeled timing.
+re-routes chunks based on modeled timing.  The load-balanced
+counterpart lives in ``test_steal_parity.py``: sim-recorded steal
+schedules replayed bit-for-bit on the real backends.
 """
 
 import multiprocessing as mp

@@ -206,6 +206,94 @@ def test_batch_compression_round_trips(pair, compressible):
         assert result["sent"] < raw_nbytes / 2
 
 
+def test_zero_key_batch_streams(pair):
+    """A batch whose parts hold zero pairs (a rank that binned nothing
+    for a peer still posts its one batch) round-trips: the manifest
+    carries the empty parts, no DATA frames flow."""
+    a, b = pair
+    parts = [
+        KeyValueSet.empty(scale=2.0),
+        KeyValueSet.empty(key_dtype=np.int64, value_dtype=np.float32,
+                          value_width=3, scale=2.0),
+    ]
+    send_batch(a, 5, parts)
+    src, got = recv_batch(b)
+    assert src == 5
+    _assert_parts_identical(got, parts)
+    assert all(len(p) == 0 for p in got)
+
+
+def test_batch_exactly_at_frame_bound_streams(pair):
+    """A payload that lands exactly on the per-frame chunk room must
+    ride in one full DATA frame — the boundary case between 'fits' and
+    'splits' is off-by-one territory."""
+    from repro.fabric.stream import _DATA_HEADER
+
+    bound = 4096
+    room = bound - _DATA_HEADER.size  # the largest raw chunk one frame carries
+    # Buffers are chunked independently; size the pair count so the
+    # key buffer is exactly one full frame and the value buffer (8 B
+    # per value) exactly two — every DATA frame lands on the bound.
+    assert room % 4 == 0
+    n_pairs = room // 4
+    parts = [
+        KeyValueSet(
+            keys=np.arange(n_pairs, dtype=np.uint32),
+            values=np.linspace(0.0, 1.0, n_pairs),
+        )
+    ]
+    assert parts[0].keys.nbytes == room
+    assert parts[0].values.nbytes == 2 * room
+
+    a, b = pair
+    result = {}
+    sender = threading.Thread(
+        target=lambda: result.update(
+            sent=send_batch(a, 1, parts, max_frame_bytes=bound)
+        ),
+        daemon=True,
+    )
+    sender.start()
+    src, got = recv_batch(b, max_frame_bytes=bound)
+    sender.join(timeout=10.0)
+    assert src == 1
+    _assert_parts_identical(got, parts)
+
+
+def test_incompressible_chunk_ships_raw_through_compression_gate(pair):
+    """zlib inflates tiny high-entropy chunks; with ``compress=True``
+    the per-chunk gate must fall back to the raw form — and the wire
+    byte count proves it did."""
+    from repro.fabric.stream import _BATCH_HEADER, _DATA_HEADER
+    from repro.core.kvset import pack_parts
+
+    rng = np.random.default_rng(7)
+    parts = [
+        KeyValueSet(
+            keys=rng.integers(0, 1 << 32, 4, dtype=np.uint32),
+            values=rng.standard_normal(4),
+        )
+    ]
+    manifest, _buffers, payload_nbytes = pack_parts(parts)
+    import zlib
+    whole = parts[0].keys.tobytes() + parts[0].values.tobytes()
+    assert len(zlib.compress(whole)) > len(whole), "payload must be incompressible"
+
+    a, b = pair
+    sent = send_batch(a, 3, parts, compress=True)
+    src, got = recv_batch(b)
+    assert src == 3
+    _assert_parts_identical(got, parts)
+    # Exactly the raw bytes rode the wire: one header frame (struct +
+    # manifest) plus DATA frames carrying the *uncompressed* chunks.
+    # keys and values are separate buffers, so two DATA frames.
+    expected = (
+        _BATCH_HEADER.size + len(manifest)
+        + 2 * _DATA_HEADER.size + payload_nbytes
+    )
+    assert sent == expected
+
+
 def test_unusably_small_frame_bound_is_loud(pair):
     a, _ = pair
     with pytest.raises(FrameTooLarge, match="no room"):
