@@ -22,12 +22,16 @@ for the same job:
 
 Besides wall-clock speedups the bench reports **exchange throughput**
 (network-destined shuffle bytes per second of exposed bin time) per
-backend — the column that shows the zero-copy win directly — and a
+backend — the column that shows the zero-copy win directly — plus the
+cluster backend's **frames-per-batch** (how few wire frames the
+coalescing data plane needs per (src, dst) shuffle batch) and a
 **load-balanced** section: the sim runs the same job with stealing
-enabled from an imbalanced ``single`` placement, and each real backend
-replays the recorded steal schedule (``schedule=``), so the stealing
-wall-clock columns sit next to the pinned round-robin ones and the
-replayed runs stay bit-validated against the sim.
+enabled from an imbalanced ``single`` placement, each real backend
+replays the recorded steal schedule (``schedule=``), and — new with
+the pull-based chunk service — each real backend also steals
+**natively** (idle ranks pulling chunks from the driver at runtime),
+so replayed-sim-schedule and native-steal wall-clock columns sit side
+by side and both stay bit-validated against the sim.
 
 Smoke mode shrinks the dataset to a functional payload; speedup shapes
 are advisory there (process start-up dominates toy sizes).
@@ -73,6 +77,7 @@ def _measure():
     job = sio_job(key_space=1 << 16).with_config(enable_stealing=False)
     wall = {}       # (label, n) -> seconds
     exchange = {}   # (label, n) -> (network_bytes, bin_seconds)
+    frames = {}     # (label, n) -> total exchange wire frames (cluster)
     for label, backend, kwargs in VARIANTS:
         for n in WORKER_COUNTS:
             t0 = time.perf_counter()
@@ -83,6 +88,7 @@ def _measure():
                 result.stats.total_network_bytes,
                 result.stats.stage_totals["bin"],
             )
+            frames[(label, n)] = result.stats.total_shuffle_frames
     modeled = {
         n: make_executor("sim", n).run(job, dataset=ds).elapsed
         for n in WORKER_COUNTS
@@ -110,7 +116,25 @@ def _measure():
             )
             steal_wall[(label, n)] = time.perf_counter() - t0
             assert result.stats.total_steals == trace.total_steals
-    return ds, wall, exchange, modeled, steal_wall, steal_counts
+
+    # Native rows: the same imbalanced start, but no replayed schedule
+    # — each real backend's ranks pull chunks from the driver's chunk
+    # service and steal at runtime, recording their own ScheduleTrace.
+    native_wall = {}    # (label, n) -> seconds
+    native_steals = {}  # (label, n) -> steals the backend decided itself
+    for n in WORKER_COUNTS:
+        for label, backend, kwargs in VARIANTS:
+            if label == "local/pickle":
+                continue
+            t0 = time.perf_counter()
+            result = make_executor(
+                backend, n, initial_distribution="single", **kwargs
+            ).run(steal_job, dataset=ds)
+            native_wall[(label, n)] = time.perf_counter() - t0
+            assert result.schedule is not None
+            native_steals[(label, n)] = result.schedule.total_steals
+    return (ds, wall, exchange, frames, modeled, steal_wall, steal_counts,
+            native_wall, native_steals)
 
 
 def _throughput(exchange, label, n):
@@ -119,7 +143,8 @@ def _throughput(exchange, label, n):
     return nbytes / max(seconds, 1e-9)
 
 
-def _render(ds, wall, exchange, modeled, steal_wall, steal_counts):
+def _render(ds, wall, exchange, frames, modeled, steal_wall, steal_counts,
+            native_wall, native_steals):
     def speedup(label, n):
         return wall[(label, 1)] / wall[(label, n)]
 
@@ -143,41 +168,60 @@ def _render(ds, wall, exchange, modeled, steal_wall, steal_counts):
     lines += [
         "",
         "exchange throughput — network-destined shuffle MB per second of "
-        "exposed bin time",
-        f"{'n':>3} {'lpickle_MBps':>13} {'local_MBps':>11} {'cluster_MBps':>13}",
+        "exposed bin time; frames/batch = coalesced wire frames per "
+        "(src, dst) cluster batch",
+        f"{'n':>3} {'lpickle_MBps':>13} {'local_MBps':>11} "
+        f"{'cluster_MBps':>13} {'frames/batch':>13}",
     ]
     for n in WORKER_COUNTS[1:]:  # n=1 shuffles nothing over the fabric
+        n_batches = n * (n - 1)
         lines.append(
             f"{n:>3} "
             f"{_throughput(exchange, 'local/pickle', n) / 1e6:>13.1f} "
             f"{_throughput(exchange, 'local', n) / 1e6:>11.1f} "
-            f"{_throughput(exchange, 'cluster', n) / 1e6:>13.1f}"
+            f"{_throughput(exchange, 'cluster', n) / 1e6:>13.1f} "
+            f"{frames[('cluster', n)] / n_batches:>13.1f}"
         )
     lines += [
         "",
-        "load-balanced — sim-recorded steal schedule (single placement) "
-        "replayed on the real backends, bit-validated vs the sim",
+        "load-balanced — single placement, stealing on: replayed = "
+        "sim-recorded schedule re-executed; native = ranks pull chunks "
+        "from the driver's service and steal at runtime (both "
+        "bit-validated vs the sim)",
         f"{'n':>3} {'steals':>7} {'serial_ms':>10} {'local_ms':>10} "
-        f"{'cluster_ms':>11}",
+        f"{'cluster_ms':>11} {'nat_steals(s/l/c)':>18} {'serial_nat':>11} "
+        f"{'local_nat':>10} {'cluster_nat':>12}",
     ]
     for n in WORKER_COUNTS:
+        # Each backend decides its own native schedule; report all
+        # three steal counts, not just one standing in for the row.
+        nat = "/".join(
+            str(native_steals[(label, n)])
+            for label in ("serial", "local", "cluster")
+        )
         lines.append(
             f"{n:>3} "
             f"{steal_counts[n]:>7d} "
             f"{steal_wall[('serial', n)] * 1e3:>10.1f} "
             f"{steal_wall[('local', n)] * 1e3:>10.1f} "
-            f"{steal_wall[('cluster', n)] * 1e3:>11.1f}"
+            f"{steal_wall[('cluster', n)] * 1e3:>11.1f} "
+            f"{nat:>18} "
+            f"{native_wall[('serial', n)] * 1e3:>11.1f} "
+            f"{native_wall[('local', n)] * 1e3:>10.1f} "
+            f"{native_wall[('cluster', n)] * 1e3:>12.1f}"
         )
     return "\n".join(lines)
 
 
 def test_backend_scaling(benchmark, save_result, check):
-    ds, wall, exchange, modeled, steal_wall, steal_counts = benchmark.pedantic(
+    (ds, wall, exchange, frames, modeled, steal_wall, steal_counts,
+     native_wall, native_steals) = benchmark.pedantic(
         _measure, rounds=1, iterations=1
     )
     save_result(
         "backend_scaling",
-        _render(ds, wall, exchange, modeled, steal_wall, steal_counts),
+        _render(ds, wall, exchange, frames, modeled, steal_wall,
+                steal_counts, native_wall, native_steals),
     )
 
     local_x = wall[("local", 1)] / wall[("local", 4)]
@@ -192,6 +236,10 @@ def test_backend_scaling(benchmark, save_result, check):
             "sim_predicted_speedup_4": round(sim_x, 3),
             "local_shm_exchange_MBps_4": round(shm_bps / 1e6, 1),
             "local_pickle_exchange_MBps_4": round(pickle_bps / 1e6, 1),
+            "cluster_frames_per_batch_4": round(
+                frames[("cluster", 4)] / 12, 1
+            ),
+            "local_native_steals_4": native_steals[("local", 4)],
         }
     )
 
@@ -230,4 +278,21 @@ def test_backend_scaling(benchmark, save_result, check):
     check(
         steal_wall[("local", 4)] < 10 * wall[("local", 4)],
         "replayed steal schedule stays within 10x of the pinned run",
+    )
+    # Native stealing really happened (idle ranks pulled work from the
+    # single loaded rank at runtime) and costs the same order of
+    # wall-clock as replaying a sim-recorded schedule.
+    check(
+        native_steals[("local", 4)] > 0,
+        "local backend steals natively from a single placement",
+    )
+    check(
+        native_wall[("local", 4)] < 10 * steal_wall[("local", 4)],
+        "native stealing stays within 10x of the replayed schedule",
+    )
+    # Batch coalescing keeps the cluster exchange's frame count low:
+    # each (src, dst) batch of many small parts rides few DATA frames.
+    check(
+        frames[("cluster", 4)] / 12 < 64,
+        "coalescing keeps cluster frames-per-batch small",
     )

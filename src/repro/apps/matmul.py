@@ -201,6 +201,7 @@ class MMResult:
                 m.bytes_d2h += src.bytes_d2h
                 m.bytes_sent_network += src.bytes_sent_network
                 m.bytes_kept_local += src.bytes_kept_local
+                m.shuffle_frames_sent += src.shuffle_frames_sent
             merged_workers.append(m)
         return JobStats(
             job_name="matmul",

@@ -21,6 +21,7 @@ sort.
 
 from __future__ import annotations
 
+import time
 from typing import List
 
 import numpy as np
@@ -55,9 +56,20 @@ PAIR_BYTES = 8  # 4-byte key + 4-byte count
 
 
 class SIOMapper(Mapper):
-    """Each thread reads two integers and emits ``<I, 1>`` for each."""
+    """Each thread reads two integers and emits ``<I, 1>`` for each.
+
+    ``sleep_per_chunk`` (seconds, default 0) is a load-balancing test
+    hook: an artificial per-chunk delay that widens the window in which
+    idle peers can steal from a loaded rank.  It slows the *functional*
+    map only — the modeled kernel cost is unchanged.
+    """
+
+    def __init__(self, sleep_per_chunk: float = 0.0) -> None:
+        self.sleep_per_chunk = float(sleep_per_chunk)
 
     def map_chunk(self, chunk: Chunk) -> KeyValueSet:
+        if self.sleep_per_chunk:
+            time.sleep(self.sleep_per_chunk)
         data = chunk.data
         return KeyValueSet(
             keys=data.astype(np.uint32),
@@ -122,11 +134,15 @@ def sio_dataset(
     )
 
 
-def sio_job(key_space: int = 1 << 28) -> MapReduceJob:
-    """The SIO pipeline: plain map -> partition -> sort -> reduce."""
+def sio_job(key_space: int = 1 << 28, map_sleep_seconds: float = 0.0) -> MapReduceJob:
+    """The SIO pipeline: plain map -> partition -> sort -> reduce.
+
+    ``map_sleep_seconds`` feeds :class:`SIOMapper`'s per-chunk delay
+    hook (load-balancing tests only; 0 for real runs).
+    """
     return MapReduceJob(
         name="sparse-integer-occurrence",
-        mapper=SIOMapper(),
+        mapper=SIOMapper(sleep_per_chunk=map_sleep_seconds),
         reducer=SIOReducer(),
         partitioner=RoundRobinPartitioner(),
         key_bytes=4,

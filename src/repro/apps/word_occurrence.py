@@ -296,8 +296,15 @@ def run_wo(
     dataset: TextDataset,
     backend: str = "sim",
     schedule=None,
+    executor_kwargs=None,
     **job_kwargs,
 ) -> JobResult:
-    """Convenience: run WO on ``n_gpus`` workers of ``backend``."""
+    """Convenience: run WO on ``n_gpus`` workers of ``backend``.
+
+    ``**job_kwargs`` configure :func:`wo_job`; ``executor_kwargs`` (a
+    dict) go to the backend factory.
+    """
     job = wo_job(n_gpus, n_words=len(dataset.dictionary), **job_kwargs)
-    return make_executor(backend, n_gpus).run(job, dataset, schedule=schedule)
+    return make_executor(backend, n_gpus, **(executor_kwargs or {})).run(
+        job, dataset, schedule=schedule
+    )

@@ -54,6 +54,7 @@ from .runtime import GPMRRuntime, JobResult
 from .scheduler import (
     Assignment,
     ChunkScheduler,
+    ChunkService,
     ReplayScheduler,
     ScheduleGrant,
     ScheduleTrace,
@@ -92,6 +93,7 @@ __all__ = [
     "KeyValueSet",
     "Chunk",
     "ChunkScheduler",
+    "ChunkService",
     "ReplayScheduler",
     "ScheduleGrant",
     "ScheduleTrace",

@@ -20,11 +20,14 @@ that dataflow executes:
   local ranks by default, or accepts remote ranks started with
   ``python -m repro.fabric.launch``).
 
-Every backend implements the same canonical semantics (deterministic
-chunk distribution, source-major shuffle order, identical sort/reduce
-maths), so a job produces **bit-identical** per-rank outputs on all of
-them — the cross-validation contract ``tests/test_exec_parity.py``
-enforces.
+Every backend implements the same canonical semantics (pull-based
+chunk distribution through one shared
+:class:`~repro.core.scheduler.ChunkService`, source-major shuffle
+order, identical sort/reduce maths), so a job produces
+**bit-identical** per-rank outputs on all of them — the
+cross-validation contract ``tests/test_exec_parity.py`` enforces, and
+``tests/test_dynamic_steal.py`` extends to natively load-balanced runs
+via record-on-real / replay-on-sim.
 """
 
 from __future__ import annotations
@@ -77,11 +80,16 @@ class Executor(ABC):
     ) -> JobResult:
         """Execute ``job`` over ``dataset`` (or explicit ``chunks``).
 
-        ``schedule`` replays a recorded chunk schedule
-        (:class:`~repro.core.scheduler.ScheduleTrace`) instead of the
-        backend's static placement: every backend maps the same chunks
-        on the same ranks in the same per-rank order the trace dictates,
-        which extends the bit-parity contract to load-balanced runs.
+        Chunk distribution is pull-based on every backend: workers
+        request chunks at runtime from a shared
+        :class:`~repro.core.scheduler.ChunkService`, so idle workers
+        steal from the longest queue and the run records the resulting
+        :class:`~repro.core.scheduler.ScheduleTrace` as
+        ``JobResult.schedule``.  ``schedule`` replays a recorded trace
+        instead: every backend grants the same chunks to the same ranks
+        in the same per-rank order the trace dictates, which extends
+        the bit-parity contract to load-balanced runs in both
+        directions (record on sim / replay on real, and vice versa).
         """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

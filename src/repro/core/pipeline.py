@@ -22,7 +22,7 @@ from .binner import Binner
 from .chunk import Chunk
 from .job import MapReduceJob
 from .kvset import KeyValueSet
-from .scheduler import Assignment, ChunkScheduler
+from .scheduler import Assignment, ChunkService
 from .stats import WorkerStats
 from ..hw.gpu import GPU
 from ..hw.node import Node
@@ -44,7 +44,7 @@ class Worker:
         node: Node,
         comm: Communicator,
         job: MapReduceJob,
-        scheduler: ChunkScheduler,
+        scheduler: ChunkService,
     ) -> None:
         self.env = env
         self.rank = rank

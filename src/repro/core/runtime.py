@@ -20,12 +20,10 @@ from .kvset import KeyValueSet
 from .pipeline import Worker
 from .scheduler import (
     DISTRIBUTIONS,
-    ChunkScheduler,
-    ReplayScheduler,
+    ChunkService,
     ScheduleTrace,
     distribute_chunks,
     resolve_chunks,
-    resolve_placement,
 )
 from .stats import JobStats
 from ..hw.node import build_nodes
@@ -41,7 +39,6 @@ __all__ = [
     "GPMRRuntime",
     "DISTRIBUTIONS",
     "resolve_chunks",
-    "resolve_placement",
     "distribute_chunks",
 ]
 
@@ -52,9 +49,10 @@ class JobResult:
 
     stats: JobStats
     outputs: List[Optional[KeyValueSet]]   #: per-rank reduce output
-    #: the chunk schedule this run followed: the sim always records one
-    #: (steals included); a real backend carries the trace it replayed,
-    #: or None for a plain static-distribution run
+    #: the chunk schedule this run followed.  Every backend records one
+    #: — the sim from its modeled scheduler, the real backends from the
+    #: live pull service (steals included); a replayed run carries the
+    #: trace it was given.
     schedule: Optional[ScheduleTrace] = None
 
     @property
@@ -135,21 +133,25 @@ class GPMRRuntime:
     ) -> JobResult:
         """Execute ``job`` over ``dataset`` (or explicit ``chunks``).
 
-        With ``schedule`` the dynamic scheduler is swapped for a
-        :class:`ReplayScheduler`: chunks are granted in exactly the
-        traced order (steals, victims, and all), so a recorded
-        load-balanced run reproduces decision-for-decision.
+        Chunk handout goes through the shared
+        :class:`~repro.core.scheduler.ChunkService` — the same pull
+        authority every real backend uses.  With ``schedule`` the
+        service replays the recorded trace instead of stealing live:
+        chunks are granted in exactly the traced order (steals,
+        victims, and all), so a recorded load-balanced run reproduces
+        decision-for-decision.
         """
         chunks = resolve_chunks(dataset, chunks)
 
         env, nodes, fabric, comm, gpus, rank_to_node = self._build()
-        if schedule is not None:
-            scheduler = ReplayScheduler(self.n_gpus, schedule)
-        else:
-            scheduler = ChunkScheduler(
-                self.n_gpus, enable_stealing=job.config.enable_stealing
-            )
-        scheduler.assign(chunks, self.initial_distribution)
+        service = ChunkService(
+            chunks,
+            self.n_gpus,
+            initial_distribution=self.initial_distribution,
+            enable_stealing=job.config.enable_stealing,
+            schedule=schedule,
+            context=job.name,
+        )
 
         workers = [
             Worker(
@@ -159,7 +161,7 @@ class GPMRRuntime:
                 node=nodes[rank_to_node[r]],
                 comm=comm,
                 job=job,
-                scheduler=scheduler,
+                scheduler=service,
             )
             for r in range(self.n_gpus)
         ]
@@ -167,17 +169,10 @@ class GPMRRuntime:
         done = env.all_of(procs)
         env.run(until=done)
 
-        # The scheduler's grant ledger and the pipeline's fetch ledger
+        # The service's grant ledger and the pipeline's fetch ledger
         # are written independently; they must agree per worker, or the
         # recorded trace would not describe the run it came from.
-        for w in workers:
-            granted = scheduler.steals_by_worker[w.rank]
-            if granted != w.stats.chunks_stolen:
-                raise RuntimeError(
-                    f"steal ledgers disagree for worker {w.rank}: scheduler "
-                    f"granted {granted} steals, pipeline fetched "
-                    f"{w.stats.chunks_stolen}"
-                )
+        service.validate_ledgers([w.stats for w in workers])
 
         stats = JobStats(
             job_name=job.name,
@@ -188,5 +183,5 @@ class GPMRRuntime:
         return JobResult(
             stats=stats,
             outputs=[w.result for w in workers],
-            schedule=scheduler.trace,
+            schedule=service.trace,
         )

@@ -4,13 +4,22 @@
 its work in its local queue and other GPUs have much more work to do,
 we shift chunks between the local queues."  The scheduler keeps one
 deque per worker, hands out local work first, and otherwise steals from
-the *longest* queue.  The caller (pipeline) prices the steal: chunk
-serialisation on the victim's CPU plus the wire transfer when victim
-and thief live on different nodes.
+the *longest* queue.  The sim's caller (pipeline) prices the steal:
+chunk serialisation on the victim's CPU plus the wire transfer when
+victim and thief live on different nodes.
+
+:class:`ChunkService` is the backend-agnostic face of all of this: one
+thread-safe driver-side pull authority wrapping either the dynamic
+:class:`ChunkScheduler` or a trace-replaying :class:`ReplayScheduler`,
+serving the sim's event loop, the serial backend's interleaved rank
+loop, the local backend's service thread, and the cluster
+coordinator's ``CHUNK_REQ`` frames alike — with every grant recorded
+into a replayable :class:`ScheduleTrace`.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Deque, Dict, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
@@ -20,12 +29,12 @@ from ..workloads.base import Dataset
 __all__ = [
     "Assignment",
     "ChunkScheduler",
+    "ChunkService",
     "DISTRIBUTIONS",
     "ReplayScheduler",
     "ScheduleGrant",
     "ScheduleTrace",
     "resolve_chunks",
-    "resolve_placement",
     "distribute_chunks",
 ]
 
@@ -75,25 +84,6 @@ def distribute_chunks(
     return out
 
 
-def resolve_placement(
-    chunks: Sequence[Chunk],
-    n_workers: int,
-    how: str = "round_robin",
-    schedule: Optional["ScheduleTrace"] = None,
-) -> Tuple[List[List[Chunk]], List[int]]:
-    """Per-worker chunk lists plus steal ledger, for the real backends.
-
-    With a ``schedule`` the traced replay distribution wins (each
-    worker's chunks in traced grant order, steal counts from the
-    trace); otherwise the canonical static placement applies and
-    nothing was stolen.  This is the one placement decision the
-    serial/local/cluster executors share.
-    """
-    if schedule is not None:
-        return schedule.per_worker_chunks(chunks, n_workers)
-    return distribute_chunks(chunks, n_workers, how), [0] * n_workers
-
-
 class Assignment(NamedTuple):
     """A unit of work handed to a worker."""
 
@@ -123,11 +113,12 @@ class ScheduleGrant(NamedTuple):
 class ScheduleTrace:
     """An ordered log of chunk grants — a replayable schedule.
 
-    The sim's :class:`ChunkScheduler` grows one of these as it hands
-    out work; :class:`ReplayScheduler` (sim) and the real backends'
-    replay distribution consume it to reproduce a load-balanced run
-    decision-for-decision.  The trace is small (three ints and a bool
-    per chunk), picklable, and wire-friendly via
+    Every backend's :class:`ChunkService` grows one of these as it
+    hands out work — live :class:`ChunkScheduler` grants on a native
+    run, re-issued :class:`ReplayScheduler` grants on a replay — so a
+    load-balanced run on *any* backend reproduces
+    decision-for-decision on any other.  The trace is small (three
+    ints and a bool per chunk), picklable, and wire-friendly via
     :meth:`to_records`/:meth:`from_records`.
     """
 
@@ -186,7 +177,7 @@ class ScheduleTrace:
 
     # -- wire form ---------------------------------------------------------
     def to_records(self) -> List[Tuple[int, int, bool, int]]:
-        """Plain-tuple form (what the cluster ASSIGN frame carries)."""
+        """Plain-tuple form (for persistence or non-pickle transports)."""
         return [tuple(g) for g in self.grants]
 
     @classmethod
@@ -194,62 +185,59 @@ class ScheduleTrace:
         return cls(ScheduleGrant(*r) for r in records)
 
     # -- replay ------------------------------------------------------------
-    def _index_chunks(self, chunks: Sequence[Chunk], n_workers: int) -> Dict[int, Chunk]:
+    def _index_chunks(
+        self,
+        chunks: Sequence[Chunk],
+        n_workers: int,
+        context: Optional[str] = None,
+    ) -> Dict[int, Chunk]:
         """Validate the trace against a chunk set; map id -> chunk.
 
         The trace must cover exactly the given chunks (each granted
         once) and name only in-range workers/victims — anything else
         means the caller is replaying the wrong job's schedule.
+        ``context`` (app/job name plus phase) prefixes every error, and
+        each grant complaint carries the offending grant *index*, so a
+        trace/backend mismatch is debuggable from the message alone.
         """
+        where = f"replaying schedule for {context}: " if context else ""
         by_id: Dict[int, Chunk] = {}
         for chunk in chunks:
             if chunk.index in by_id:
                 raise ValueError(
-                    f"chunk ids must be unique to replay a schedule; "
+                    f"{where}chunk ids must be unique to replay a schedule; "
                     f"id {chunk.index} appears twice"
                 )
             by_id[chunk.index] = chunk
-        seen: set = set()
-        for g in self.grants:
+        seen: Dict[int, int] = {}
+        for i, g in enumerate(self.grants):
             if not 0 <= g.worker < n_workers or not 0 <= g.victim < n_workers:
                 raise ValueError(
-                    f"trace grant {g} names a rank outside 0..{n_workers - 1}"
+                    f"{where}trace grant #{i} {g} names a rank outside "
+                    f"0..{n_workers - 1}"
                 )
             if g.was_steal != (g.victim != g.worker):
-                raise ValueError(f"trace grant {g} has an inconsistent steal flag")
+                raise ValueError(
+                    f"{where}trace grant #{i} {g} has an inconsistent steal flag"
+                )
             if g.chunk_id not in by_id:
                 raise ValueError(
-                    f"trace grants chunk {g.chunk_id}, which is not in the job"
+                    f"{where}trace grant #{i} grants chunk {g.chunk_id}, "
+                    "which is not in the job"
                 )
             if g.chunk_id in seen:
-                raise ValueError(f"trace grants chunk {g.chunk_id} twice")
-            seen.add(g.chunk_id)
+                raise ValueError(
+                    f"{where}trace grant #{i} grants chunk {g.chunk_id} twice "
+                    f"(first granted by grant #{seen[g.chunk_id]})"
+                )
+            seen[g.chunk_id] = i
         if len(seen) != len(by_id):
-            missing = sorted(set(by_id) - seen)
+            missing = sorted(set(by_id) - set(seen))
             raise ValueError(
-                f"trace does not cover chunk(s) {missing}; a replayed "
+                f"{where}trace does not cover chunk(s) {missing}; a replayed "
                 "schedule must grant every chunk exactly once"
             )
         return by_id
-
-    def per_worker_chunks(
-        self, chunks: Sequence[Chunk], n_workers: int
-    ) -> Tuple[List[List[Chunk]], List[int]]:
-        """Replay distribution for the real (static-assignment) backends.
-
-        Returns ``(per_worker, stolen)``: each worker's chunk list in
-        traced grant order, plus how many of its chunks were steals —
-        the ledger the replaying backend reports as ``chunks_stolen``.
-        """
-        by_id = self._index_chunks(chunks, n_workers)
-        per_worker: List[List[Chunk]] = [[] for _ in range(n_workers)]
-        stolen = [0] * n_workers
-        for g in self.grants:
-            per_worker[g.worker].append(by_id[g.chunk_id])
-            if g.was_steal:
-                stolen[g.worker] += 1
-        return per_worker, stolen
-
 
 class ChunkScheduler:
     """Per-worker chunk queues with longest-queue-first stealing.
@@ -338,11 +326,18 @@ class ReplayScheduler:
     always ready and a request never has to block.
     """
 
-    def __init__(self, n_workers: int, schedule: ScheduleTrace) -> None:
+    def __init__(
+        self,
+        n_workers: int,
+        schedule: ScheduleTrace,
+        context: Optional[str] = None,
+    ) -> None:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
         self.n_workers = n_workers
         self.schedule = schedule
+        #: label (app name / phase) prefixed onto validation errors
+        self.context = context
         #: the grants actually re-issued (== ``schedule`` after a full run)
         self.trace = ScheduleTrace()
         self.steals = 0
@@ -357,7 +352,9 @@ class ReplayScheduler:
     def assign(self, chunks: Sequence[Chunk], how: str = "round_robin") -> None:
         """Validate and index the chunk set; ``how`` is ignored — the
         trace, not a placement policy, decides who maps what."""
-        self._chunks = self.schedule._index_chunks(chunks, self.n_workers)
+        self._chunks = self.schedule._index_chunks(
+            chunks, self.n_workers, self.context
+        )
         for w in range(self.n_workers):
             self._pending[w].clear()
         for grant in self.schedule:
@@ -387,3 +384,103 @@ class ReplayScheduler:
             self.steals_by_worker[worker] += 1
         self.trace.record(worker, grant.chunk_id, grant.victim)
         return Assignment(chunk=self._chunks[grant.chunk_id], victim=grant.victim)
+
+
+class ChunkService:
+    """Driver-side authority over a job's chunks: the pull server.
+
+    Every backend's chunk distribution goes through one of these.  The
+    service owns the pending/owned chunk queues and answers each
+    worker's "next chunk?" request at runtime — local work first, then
+    a steal from the longest queue (:class:`ChunkScheduler`), or, when
+    a recorded ``schedule`` is supplied, exactly the traced grants
+    (:class:`ReplayScheduler`).  Either way every grant lands in a live
+    :class:`ScheduleTrace`, so any run — sim, serial, local, or cluster
+    — leaves behind a schedule the other backends can replay
+    bit-for-bit.
+
+    Requests are serialised under a lock: the sim calls :meth:`request`
+    from its single-threaded event loop, the serial backend from its
+    interleaved rank loop, the local backend from a driver-side service
+    thread answering worker queues, and the cluster backend from the
+    coordinator answering ``CHUNK_REQ`` control frames — all against
+    the same instance semantics.
+    """
+
+    def __init__(
+        self,
+        chunks: Sequence[Chunk],
+        n_workers: int,
+        initial_distribution: str = "round_robin",
+        enable_stealing: bool = True,
+        schedule: Optional[ScheduleTrace] = None,
+        context: Optional[str] = None,
+    ) -> None:
+        self.n_workers = int(n_workers)
+        self.context = context
+        #: True when grants come from a recorded trace, not live stealing
+        self.replaying = schedule is not None
+        if schedule is not None:
+            self._scheduler = ReplayScheduler(n_workers, schedule, context=context)
+        else:
+            self._scheduler = ChunkScheduler(
+                n_workers, enable_stealing=enable_stealing
+            )
+        self._scheduler.assign(chunks, initial_distribution)
+        self._lock = threading.Lock()
+
+    # -- dispatch ----------------------------------------------------------
+    def request(self, worker: int) -> Optional[Assignment]:
+        """The worker's next chunk (with its victim rank), or None when
+        the worker is done.  Thread-safe; grant order is total."""
+        with self._lock:
+            return self._scheduler.request(worker)
+
+    # -- ledgers -------------------------------------------------------------
+    @property
+    def trace(self) -> ScheduleTrace:
+        """The grants issued so far (the run's recorded schedule)."""
+        return self._scheduler.trace
+
+    @property
+    def steals(self) -> int:
+        return self._scheduler.steals
+
+    @property
+    def steals_by_worker(self) -> List[int]:
+        return list(self._scheduler.steals_by_worker)
+
+    @property
+    def remaining(self) -> int:
+        with self._lock:
+            return self._scheduler.remaining
+
+    def chunk_counts(self) -> List[int]:
+        """Chunks granted per worker so far."""
+        return self.trace.chunk_counts(self.n_workers)
+
+    def validate_ledgers(self, worker_stats: Iterable) -> None:
+        """Cross-check workers' reported ledgers against the grant log.
+
+        The service's trace and the workers' fetch ledgers are written
+        independently; they must agree per worker, or the recorded
+        trace would not describe the run it came from.  ``worker_stats``
+        is any iterable of objects with ``rank`` / ``chunks_mapped`` /
+        ``chunks_stolen`` (the backends' ``WorkerStats``).
+        """
+        where = f" [{self.context}]" if self.context else ""
+        counts = self.chunk_counts()
+        steals = self.steals_by_worker
+        for w in worker_stats:
+            if w.chunks_mapped != counts[w.rank]:
+                raise RuntimeError(
+                    f"chunk ledgers disagree for worker {w.rank}{where}: "
+                    f"service granted {counts[w.rank]} chunk(s), worker "
+                    f"mapped {w.chunks_mapped}"
+                )
+            if w.chunks_stolen != steals[w.rank]:
+                raise RuntimeError(
+                    f"steal ledgers disagree for worker {w.rank}{where}: "
+                    f"service granted {steals[w.rank]} steal(s), worker "
+                    f"fetched {w.chunks_stolen}"
+                )

@@ -11,7 +11,13 @@ backend is registered by :mod:`repro.core` itself.
 """
 
 from .cluster import ClusterExecutor
-from .dataflow import MapPhaseOutput, map_worker, merge_incoming, reduce_worker
+from .dataflow import (
+    MapPhaseOutput,
+    MapRunner,
+    map_worker,
+    merge_incoming,
+    reduce_worker,
+)
 from .local import LocalExecutor, WorkerFailure
 from .serial import SerialExecutor
 
@@ -21,6 +27,7 @@ __all__ = [
     "SerialExecutor",
     "WorkerFailure",
     "MapPhaseOutput",
+    "MapRunner",
     "map_worker",
     "merge_incoming",
     "reduce_worker",

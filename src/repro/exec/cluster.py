@@ -4,9 +4,13 @@
 code as the ``local`` backend, but every byte between ranks rides the
 :mod:`repro.fabric` wire instead of ``multiprocessing`` queues: ranks
 register with a driver-side :class:`~repro.fabric.Coordinator`, receive
-their job + chunk assignment as framed messages, shuffle peer-to-peer
-over TCP sockets, and report results (or remote tracebacks) back over
-their control connection.
+the job as a framed message, *pull* their chunks one at a time from the
+coordinator-hosted :class:`~repro.core.scheduler.ChunkService`
+(``CHUNK_REQ``/``CHUNK_GRANT`` control frames — an idle rank steals
+from the longest queue at runtime, and every run records the resulting
+:class:`~repro.core.scheduler.ScheduleTrace` as ``JobResult.schedule``),
+shuffle peer-to-peer over TCP sockets, and report results (or remote
+tracebacks) back over their control connection.
 
 By default the executor spawns one rank process per worker on this
 host, all over ``127.0.0.1`` — the test and single-node configuration.
@@ -39,8 +43,8 @@ from ..core.chunk import Chunk
 from ..core.executor import Executor, register_backend
 from ..core.job import MapReduceJob
 from ..core.kvset import KeyValueSet
-from ..core.runtime import JobResult, resolve_chunks, resolve_placement
-from ..core.scheduler import ScheduleTrace
+from ..core.runtime import JobResult, resolve_chunks
+from ..core.scheduler import ChunkService, ScheduleTrace
 from ..core.stats import JobStats, WorkerStats
 from ..fabric import (
     DEFAULT_MAX_FRAME_BYTES,
@@ -120,8 +124,15 @@ class ClusterExecutor(Executor):
         schedule: Optional[ScheduleTrace] = None,
     ) -> JobResult:
         all_chunks = resolve_chunks(dataset, chunks)
-        per_worker, stolen = resolve_placement(
-            all_chunks, self.n_workers, self.initial_distribution, schedule
+        # The driver hosts the pull authority; ranks reach it through
+        # the coordinator's CHUNK_REQ/CHUNK_GRANT control frames.
+        service = ChunkService(
+            all_chunks,
+            self.n_workers,
+            initial_distribution=self.initial_distribution,
+            enable_stealing=job.config.enable_stealing,
+            schedule=schedule,
+            context=job.name,
         )
 
         procs: List[mp.process.BaseProcess] = []
@@ -170,11 +181,9 @@ class ClusterExecutor(Executor):
                     p.start()
             try:
                 coordinator.wait_for_ranks()
-                coordinator.broadcast_assignments(
-                    job, per_worker, chunks_stolen=stolen
-                )
+                coordinator.broadcast_assignments(job)
                 coordinator.barrier("start")
-                collected = coordinator.collect_results()
+                collected = coordinator.collect_results(chunk_service=service)
             except RankFailure as exc:
                 raise WorkerFailure(exc.rank, exc.detail) from exc
             except PeerDisconnected as exc:
@@ -199,6 +208,18 @@ class ClusterExecutor(Executor):
                 stats if stats is not None else WorkerStats(rank=rank)
             )
 
+        # Every chunk must have been granted: a rank that reported a
+        # result without draining the service would silently drop work.
+        if service.remaining:
+            raise WorkerFailure(
+                -1,
+                f"all ranks reported results but {service.remaining} "
+                "chunk(s) were never granted",
+            )
+        # Ranks report the chunks/steals they pulled over the wire; the
+        # service logged what it granted.  The ledgers must agree.
+        service.validate_ledgers(worker_stats)
+
         elapsed = time.perf_counter() - t_start
         return JobResult(
             stats=JobStats(
@@ -208,7 +229,7 @@ class ClusterExecutor(Executor):
                 workers=worker_stats,
             ),
             outputs=outputs,
-            schedule=schedule,
+            schedule=schedule if schedule is not None else service.trace,
         )
 
 

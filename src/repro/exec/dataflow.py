@@ -36,7 +36,13 @@ from ..core.kvset import KeyValueSet
 from ..core.stats import WorkerStats
 from ..primitives import unique_segments
 
-__all__ = ["MapPhaseOutput", "map_worker", "merge_incoming", "reduce_worker"]
+__all__ = [
+    "MapPhaseOutput",
+    "MapRunner",
+    "map_worker",
+    "merge_incoming",
+    "reduce_worker",
+]
 
 
 @dataclass
@@ -81,51 +87,88 @@ def _emit(
             out.bytes_binned_by_dest[dest] += part.nbytes_logical
 
 
-def map_worker(
-    job: MapReduceJob, chunks: Sequence[Chunk], n_workers: int
-) -> MapPhaseOutput:
-    """Run one rank's full map phase over its assigned chunks."""
-    out = MapPhaseOutput(
-        parts=[[] for _ in range(n_workers)],
-        bytes_binned_by_dest=[0] * n_workers,
-    )
-    accum_state: Optional[KeyValueSet] = None
-    combine_buffer: List[KeyValueSet] = []
+class MapRunner:
+    """One rank's map phase, fed one chunk at a time.
 
-    for chunk in chunks:
+    The pull model's worker-side half: a worker requests a chunk from
+    the driver's :class:`~repro.core.scheduler.ChunkService`, feeds it
+    here, and repeats until the service says it is done; :meth:`finish`
+    then flushes the deferred accumulate/combine paths.  Feeding the
+    same chunk sequence always produces the same
+    :class:`MapPhaseOutput` as the one-shot :func:`map_worker`, which
+    is just this class over a precomputed list — that equivalence is
+    what lets a recorded pull schedule replay bit-for-bit on any
+    backend.
+    """
+
+    def __init__(self, job: MapReduceJob, n_workers: int) -> None:
+        self.job = job
+        self.n_workers = n_workers
+        self.out = MapPhaseOutput(
+            parts=[[] for _ in range(n_workers)],
+            bytes_binned_by_dest=[0] * n_workers,
+        )
+        self._accum_state: Optional[KeyValueSet] = None
+        self._combine_buffer: List[KeyValueSet] = []
+        self._finished = False
+
+    def feed(self, chunk: Chunk) -> None:
+        """Map one granted chunk (in grant order)."""
+        if self._finished:
+            raise RuntimeError("feed() after finish()")
+        job = self.job
         kv = job.mapper.map_chunk(chunk)
-        out.chunks_mapped += 1
-        out.pairs_emitted_logical += kv.logical_pairs
+        self.out.chunks_mapped += 1
+        self.out.pairs_emitted_logical += kv.logical_pairs
 
         if job.accumulator is not None:
-            if accum_state is None:
-                accum_state = job.accumulator.initial_state(kv.scale)
-            accum_state = job.accumulator.accumulate(accum_state, kv)
-            continue
+            if self._accum_state is None:
+                self._accum_state = job.accumulator.initial_state(kv.scale)
+            self._accum_state = job.accumulator.accumulate(self._accum_state, kv)
+            return
 
         if job.partial_reducer is not None:
             kv = job.partial_reducer.partial_reduce(kv)
 
         if job.combiner is not None:
             if len(kv):
-                combine_buffer.append(kv)
-            continue
+                self._combine_buffer.append(kv)
+            return
 
-        _emit(job, kv, out, n_workers)
+        _emit(job, kv, self.out, self.n_workers)
 
-    if job.accumulator is not None:
-        state = (
-            accum_state
-            if accum_state is not None
-            else job.accumulator.initial_state(1.0)
-        )
-        _emit(job, state, out, n_workers)
+    def finish(self) -> MapPhaseOutput:
+        """Flush the accumulate/combine paths; returns the map output.
 
-    if job.combiner is not None and combine_buffer:
-        merged = KeyValueSet.concat(combine_buffer)
-        _emit(job, job.combiner.combine(merged), out, n_workers)
+        A worker that mapped *no* chunks still emits the accumulator's
+        initial state, as the sim pipeline does.
+        """
+        if self._finished:
+            return self.out
+        self._finished = True
+        job = self.job
+        if job.accumulator is not None:
+            state = (
+                self._accum_state
+                if self._accum_state is not None
+                else job.accumulator.initial_state(1.0)
+            )
+            _emit(job, state, self.out, self.n_workers)
+        if job.combiner is not None and self._combine_buffer:
+            merged = KeyValueSet.concat(self._combine_buffer)
+            _emit(job, job.combiner.combine(merged), self.out, self.n_workers)
+            self._combine_buffer = []
+        return self.out
 
-    return out
+
+def map_worker(
+    job: MapReduceJob, chunks: Sequence[Chunk], n_workers: int
+) -> MapPhaseOutput:
+    """Run one rank's full map phase over a precomputed chunk list."""
+    runner = MapRunner(job, n_workers)
+    for chunk in chunks:
+        runner.feed(chunk)
+    return runner.finish()
 
 
 def merge_incoming(

@@ -1,19 +1,30 @@
 """Real parallel execution on ``multiprocessing`` workers.
 
 One OS process per rank runs the full GPMR worker dataflow
-(:mod:`repro.exec.dataflow`).  The "network fabric" is a
-``multiprocessing.Queue`` per rank used as a *control* channel: after
-its map phase a rank posts exactly one batch message — ``(source_rank,
-message)`` — to every destination's queue (including none to its own),
-then blocks until it has collected one batch from each source.  With
-the default ``exchange="shm"`` transport the message carries only the
-binary batch manifest plus the name of a shared-memory segment holding
-the raw key/value bytes (:mod:`repro.exec.exchange`); receivers map the
-arrays in place, so the shuffle no longer pickles or pipes the payload.
-``exchange="pickle"`` keeps the original pickled-list messages as a
-measurable baseline.  Receivers order batches by source rank, which
-makes the shuffle canonical and the whole run deterministic regardless
-of OS scheduling.
+(:mod:`repro.exec.dataflow`).  Chunk distribution is **pull-based**:
+instead of receiving a precomputed chunk list, each rank requests
+chunks at runtime from a driver-side
+:class:`~repro.core.scheduler.ChunkService` — a service thread answers
+``(rank)`` requests arriving on a shared queue with per-rank grant
+messages carrying ``(chunk, victim)``.  An idle rank therefore steals
+work from the longest queue *while the run executes* (the paper's
+dynamic load balancing, for real), every grant lands in a recorded
+:class:`~repro.core.scheduler.ScheduleTrace` returned as
+``JobResult.schedule``, and a supplied ``schedule=`` makes the service
+replay a recorded trace grant-for-grant instead.
+
+The "network fabric" is a ``multiprocessing.Queue`` per rank used as a
+*control* channel: after its map phase a rank posts exactly one batch
+message — ``(source_rank, message)`` — to every destination's queue
+(including none to its own), then blocks until it has collected one
+batch from each source.  With the default ``exchange="shm"`` transport
+the message carries only the binary batch manifest plus the name of a
+shared-memory segment holding the raw key/value bytes
+(:mod:`repro.exec.exchange`); receivers map the arrays in place, so the
+shuffle no longer pickles or pipes the payload.  ``exchange="pickle"``
+keeps the original pickled-list messages as a measurable baseline.
+Receivers order batches by source rank, which makes the shuffle
+canonical and the run deterministic for a given schedule.
 
 Failure handling: a worker that raises ships its traceback to the
 driver over the result queue and still posts (empty) batches to every
@@ -35,11 +46,12 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import queue as queue_mod
+import threading
 import time
 import traceback
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
-from .dataflow import map_worker, merge_incoming, reduce_worker
+from .dataflow import MapRunner, merge_incoming, reduce_worker
 from .exchange import (
     EXCHANGE_TRANSPORTS,
     decode_batch,
@@ -52,8 +64,8 @@ from ..core.chunk import Chunk
 from ..core.executor import Executor, register_backend
 from ..core.job import MapReduceJob
 from ..core.kvset import KeyValueSet
-from ..core.runtime import JobResult, resolve_chunks, resolve_placement
-from ..core.scheduler import ScheduleTrace
+from ..core.runtime import JobResult, resolve_chunks
+from ..core.scheduler import ChunkService, ScheduleTrace
 from ..core.stats import JobStats, WorkerStats
 from ..workloads.base import Dataset
 
@@ -86,29 +98,127 @@ def dead_worker_failure(procs) -> Optional["WorkerFailure"]:
     return WorkerFailure(-1, f"worker process(es) died without reporting: {codes}")
 
 
+class _PullChunkSource:
+    """Worker-side half of the local pull protocol.
+
+    ``next()`` posts this rank on the shared request queue and blocks
+    for the service thread's grant on the rank's own grant queue —
+    ``(chunk, victim)`` or ``None`` once the service says the rank is
+    done.  ``stall_seconds`` sleeps before every request: the
+    fault-injection hook that makes this rank a straggler so tests can
+    watch its chunks get stolen.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        request_queue,
+        grant_queue,
+        stall_seconds: float = 0.0,
+    ) -> None:
+        self.rank = rank
+        self.request_queue = request_queue
+        self.grant_queue = grant_queue
+        self.stall_seconds = float(stall_seconds)
+
+    def next(self) -> Optional[Tuple[Chunk, int]]:
+        if self.stall_seconds:
+            time.sleep(self.stall_seconds)
+        self.request_queue.put(self.rank)
+        granted, chunk, victim = self.grant_queue.get()
+        if not granted:
+            return None
+        return chunk, victim
+
+
+class _ListChunkSource:
+    """A precomputed chunk list behind the pull interface.
+
+    Used by tests that drive :func:`_worker_main` directly, without a
+    live service; every chunk counts as the rank's own (victim ==
+    rank).
+    """
+
+    def __init__(self, chunks: Sequence[Chunk], rank: int) -> None:
+        self._chunks = list(chunks)
+        self.rank = rank
+        self._i = 0
+
+    def next(self) -> Optional[Tuple[Chunk, int]]:
+        if self._i >= len(self._chunks):
+            return None
+        chunk = self._chunks[self._i]
+        self._i += 1
+        return chunk, self.rank
+
+
+def _serve_chunks(
+    service: ChunkService,
+    request_queue,
+    grant_queues,
+    stop: threading.Event,
+    errors: List[BaseException],
+) -> None:
+    """Driver-side service thread: answer pull requests until stopped.
+
+    Grant messages are ``(granted, chunk, victim)`` — ``(False, None,
+    -1)`` tells the requesting rank it is done.  A service failure is
+    stashed in ``errors`` (the driver's collect loop re-raises it) and
+    the requester is released with "done" so it cannot block forever.
+    """
+    while not stop.is_set():
+        try:
+            rank = request_queue.get(timeout=0.1)
+        except (queue_mod.Empty, OSError, EOFError, ValueError):
+            continue
+        try:
+            assignment = service.request(rank)
+        except BaseException as exc:
+            errors.append(exc)
+            assignment = None
+        try:
+            if assignment is None:
+                grant_queues[rank].put((False, None, -1))
+            else:
+                grant_queues[rank].put(
+                    (True, assignment.chunk, assignment.victim)
+                )
+        except BaseException as exc:  # queue torn down mid-run
+            errors.append(exc)
+            return
+
+
 def _worker_main(
     rank: int,
     n_workers: int,
     job: MapReduceJob,
-    chunks: List[Chunk],
+    chunk_source,
     shuffle_queues: List[mp.Queue],
     result_queue: mp.Queue,
     exchange: str = "shm",
-    chunks_stolen: int = 0,
 ) -> None:
-    """Entry point of one rank's process: map, exchange, sort, reduce.
+    """Entry point of one rank's process: pull+map, exchange, sort, reduce.
 
-    ``chunks_stolen`` is the replayed steal ledger: when the driver
-    distributes chunks from a recorded schedule, the rank reports how
-    many of its chunks that schedule says it stole.
+    ``chunk_source`` is the rank's pull handle (``next() -> (chunk,
+    victim) | None``); the worker counts a steal whenever a grant's
+    victim is another rank, which the driver cross-checks against the
+    service's ledger after the run.
     """
     stats = WorkerStats(rank=rank)
-    stats.chunks_stolen = chunks_stolen
     posted: Set[int] = set()
     segments = []
     try:
         t0 = time.perf_counter()
-        mapped = map_worker(job, chunks, n_workers)
+        runner = MapRunner(job, n_workers)
+        while True:
+            nxt = chunk_source.next()
+            if nxt is None:
+                break
+            chunk, victim = nxt
+            if victim != rank:
+                stats.chunks_stolen += 1
+            runner.feed(chunk)
+        mapped = runner.finish()
         stats.chunks_mapped = mapped.chunks_mapped
         stats.pairs_emitted_logical = mapped.pairs_emitted_logical
         stats.bytes_sent_network = mapped.bytes_remote(rank)
@@ -170,7 +280,12 @@ def _worker_main(
 
 
 class LocalExecutor(Executor):
-    """Execute jobs for real on ``n_workers`` OS processes."""
+    """Execute jobs for real on ``n_workers`` OS processes.
+
+    ``stall_seconds`` (optional, ``{rank: seconds}``) injects a sleep
+    before each of that rank's chunk requests — a deliberate straggler
+    for load-balancing tests and benchmarks.
+    """
 
     name = "local"
 
@@ -181,6 +296,7 @@ class LocalExecutor(Executor):
         start_method: Optional[str] = None,
         timeout_seconds: float = 300.0,
         exchange: str = "shm",
+        stall_seconds: Optional[Mapping[int, float]] = None,
     ) -> None:
         super().__init__(n_workers)
         self.initial_distribution = initial_distribution
@@ -192,6 +308,7 @@ class LocalExecutor(Executor):
                 f"expected one of {EXCHANGE_TRANSPORTS}"
             )
         self.exchange = exchange
+        self.stall_seconds: Dict[int, float] = dict(stall_seconds or {})
 
     def run(
         self,
@@ -201,8 +318,15 @@ class LocalExecutor(Executor):
         schedule: Optional[ScheduleTrace] = None,
     ) -> JobResult:
         all_chunks = resolve_chunks(dataset, chunks)
-        per_worker, stolen = resolve_placement(
-            all_chunks, self.n_workers, self.initial_distribution, schedule
+        # Replay validation happens here, in the driver, before any
+        # process exists — a bad trace fails fast with full context.
+        service = ChunkService(
+            all_chunks,
+            self.n_workers,
+            initial_distribution=self.initial_distribution,
+            enable_stealing=job.config.enable_stealing,
+            schedule=schedule,
+            context=job.name,
         )
         ctx = mp.get_context(self.start_method)
         if self.exchange == "shm":
@@ -213,6 +337,19 @@ class LocalExecutor(Executor):
         # (and under "shm" the message is tiny regardless).
         shuffle_queues = [ctx.Queue() for _ in range(self.n_workers)]
         result_queue = ctx.Queue()
+        request_queue = ctx.Queue()
+        grant_queues = [ctx.Queue() for _ in range(self.n_workers)]
+
+        stop_service = threading.Event()
+        service_errors: List[BaseException] = []
+        server = threading.Thread(
+            target=_serve_chunks,
+            args=(service, request_queue, grant_queues, stop_service,
+                  service_errors),
+            name="gpmr-chunk-service",
+            daemon=True,
+        )
+        server.start()
 
         t_start = time.perf_counter()
         procs = [
@@ -222,11 +359,15 @@ class LocalExecutor(Executor):
                     rank,
                     self.n_workers,
                     job,
-                    per_worker[rank],
+                    _PullChunkSource(
+                        rank,
+                        request_queue,
+                        grant_queues[rank],
+                        self.stall_seconds.get(rank, 0.0),
+                    ),
                     shuffle_queues,
                     result_queue,
                     self.exchange,
-                    stolen[rank],
                 ),
                 name=f"gpmr-local-r{rank}",
                 daemon=True,
@@ -244,6 +385,8 @@ class LocalExecutor(Executor):
         silent_since: Optional[float] = None
         try:
             while pending:
+                if service_errors:
+                    raise service_errors[0]
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     raise TimeoutError(
@@ -288,18 +431,34 @@ class LocalExecutor(Executor):
                     outputs[rank] = output
                     worker_stats[rank] = stats
         finally:
+            stop_service.set()
             for p in procs:
                 if p.is_alive():
                     p.terminate()
             for p in procs:
                 p.join(timeout=5.0)
+            server.join(timeout=5.0)
             self._drain_undelivered(shuffle_queues)
-            for q in shuffle_queues + [result_queue]:
+            for q in shuffle_queues + grant_queues + [result_queue, request_queue]:
                 q.cancel_join_thread()
 
         if failures:
             rank, detail = failures[0]
             raise WorkerFailure(rank, detail)
+        # A service failure on the *last* grants can release every
+        # worker with "done" before the in-loop check sees it; re-check
+        # now so a run that silently dropped chunks can never return.
+        if service_errors:
+            raise service_errors[0]
+        if service.remaining:
+            raise RuntimeError(
+                f"chunk service finished with {service.remaining} chunk(s) "
+                "never granted"
+            )
+
+        # Workers report what they fetched; the service logged what it
+        # granted.  The two ledgers must agree rank for rank.
+        service.validate_ledgers([s for s in worker_stats if s is not None])
 
         elapsed = time.perf_counter() - t_start
         stats = JobStats(
@@ -309,7 +468,11 @@ class LocalExecutor(Executor):
             workers=[s if s is not None else WorkerStats(rank=r)
                      for r, s in enumerate(worker_stats)],
         )
-        return JobResult(stats=stats, outputs=outputs, schedule=schedule)
+        return JobResult(
+            stats=stats,
+            outputs=outputs,
+            schedule=schedule if schedule is not None else service.trace,
+        )
 
     @staticmethod
     def _drain_undelivered(shuffle_queues: List[mp.Queue]) -> None:

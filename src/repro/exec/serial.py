@@ -4,6 +4,14 @@
 ``multiprocessing`` backend with zero IPC — useful for debugging app
 kernels, for environments where spawning processes is off-limits, and
 as a fast third witness in the backend-parity tests.
+
+Chunk distribution is pull-based like every other backend: ranks take
+turns requesting one chunk at a time from the shared driver-side
+:class:`~repro.core.scheduler.ChunkService` (the serial analogue of
+concurrent workers pulling at matching rates), so a serial run with
+stealing enabled *generates* a deterministic load-balanced
+:class:`~repro.core.scheduler.ScheduleTrace` instead of only replaying
+one.
 """
 
 from __future__ import annotations
@@ -11,13 +19,13 @@ from __future__ import annotations
 import time
 from typing import List, Optional, Sequence
 
-from .dataflow import map_worker, merge_incoming, reduce_worker
+from .dataflow import MapRunner, merge_incoming, reduce_worker
 from ..core.chunk import Chunk
 from ..core.executor import Executor, register_backend
 from ..core.job import MapReduceJob
 from ..core.kvset import KeyValueSet
-from ..core.runtime import JobResult, resolve_chunks, resolve_placement
-from ..core.scheduler import ScheduleTrace
+from ..core.runtime import JobResult, resolve_chunks
+from ..core.scheduler import ChunkService, ScheduleTrace
 from ..core.stats import JobStats, WorkerStats
 from ..workloads.base import Dataset
 
@@ -43,25 +51,48 @@ class SerialExecutor(Executor):
         schedule: Optional[ScheduleTrace] = None,
     ) -> JobResult:
         all_chunks = resolve_chunks(dataset, chunks)
-        per_worker, stolen = resolve_placement(
-            all_chunks, self.n_workers, self.initial_distribution, schedule
+        service = ChunkService(
+            all_chunks,
+            self.n_workers,
+            initial_distribution=self.initial_distribution,
+            enable_stealing=job.config.enable_stealing,
+            schedule=schedule,
+            context=job.name,
         )
 
         t_start = time.perf_counter()
-        stats: List[WorkerStats] = []
+        stats = [WorkerStats(rank=r) for r in range(self.n_workers)]
+        runners = [MapRunner(job, self.n_workers) for _ in range(self.n_workers)]
+
+        # Interleaved pull: every active rank requests one chunk per
+        # round, in rank order.  This models equal-speed workers, keeps
+        # the generated schedule deterministic, and still exercises real
+        # stealing — a rank whose queue is empty robs the longest one.
+        active = set(range(self.n_workers))
+        while active:
+            for rank in range(self.n_workers):
+                if rank not in active:
+                    continue
+                assignment = service.request(rank)
+                if assignment is None:
+                    active.discard(rank)
+                    continue
+                t0 = time.perf_counter()
+                runners[rank].feed(assignment.chunk)
+                stats[rank].add("map", time.perf_counter() - t0)
+                if assignment.stolen_by(rank):
+                    stats[rank].chunks_stolen += 1
+
         mapped = []
         for rank in range(self.n_workers):
-            w = WorkerStats(rank=rank)
             t0 = time.perf_counter()
-            out = map_worker(job, per_worker[rank], self.n_workers)
-            w.add("map", time.perf_counter() - t0)
-            w.chunks_mapped = out.chunks_mapped
-            w.chunks_stolen = stolen[rank]
-            w.pairs_emitted_logical = out.pairs_emitted_logical
-            w.bytes_sent_network = out.bytes_remote(rank)
-            w.bytes_kept_local = out.bytes_self(rank)
+            out = runners[rank].finish()
+            stats[rank].add("map", time.perf_counter() - t0)
+            stats[rank].chunks_mapped = out.chunks_mapped
+            stats[rank].pairs_emitted_logical = out.pairs_emitted_logical
+            stats[rank].bytes_sent_network = out.bytes_remote(rank)
+            stats[rank].bytes_kept_local = out.bytes_self(rank)
             mapped.append(out)
-            stats.append(w)
 
         outputs: List[Optional[KeyValueSet]] = []
         for rank in range(self.n_workers):
@@ -72,6 +103,7 @@ class SerialExecutor(Executor):
                 reduce_worker(job, merge_incoming(batches), stats=stats[rank])
             )
 
+        service.validate_ledgers(stats)
         return JobResult(
             stats=JobStats(
                 job_name=job.name,
@@ -80,7 +112,7 @@ class SerialExecutor(Executor):
                 workers=stats,
             ),
             outputs=outputs,
-            schedule=schedule,
+            schedule=schedule if schedule is not None else service.trace,
         )
 
 

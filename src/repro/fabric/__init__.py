@@ -11,7 +11,9 @@ backend fakes it with in-node queues, this package is an actual wire:
   larger than ``max_frame_bytes`` stream instead of failing) with an
   optional zlib gate;
 * :mod:`repro.fabric.coordinator` — the driver side: rank registration,
-  assignment broadcast, barrier, result collection, failure detection;
+  job broadcast, barrier, runtime chunk service
+  (``CHUNK_REQ``/``CHUNK_GRANT`` — pull-based dynamic work stealing),
+  result collection, failure detection;
 * :mod:`repro.fabric.endpoint` — the rank side, including the
   one-batch-per-(src, dst) all-to-all shuffle over peer TCP sockets;
 * :mod:`repro.fabric.launch` — ``python -m repro.fabric.launch`` for

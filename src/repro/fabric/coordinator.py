@@ -9,15 +9,19 @@ control-plane phases, all over the framed wire protocol in
    and the address of its own shuffle listener; the coordinator answers
    ``WELCOME``.  Registration tolerates stragglers: ranks may dial in
    in any order, any time before the deadline.
-2. **Assignment broadcast** — ``ASSIGN`` ships the pickled job, the
-   rank's chunk list, and the full peer directory (rank -> shuffle
-   address), so the data plane needs no further coordinator round-trips.
+2. **Assignment broadcast** — ``ASSIGN`` ships the pickled job and the
+   full peer directory (rank -> shuffle address).  Chunks are *not* in
+   the frame: distribution is pull-based (phase 4).
 3. **Barrier** — every rank reports ``BARRIER``; once all have arrived
    the coordinator broadcasts ``RESUME``.  This pins a common start
    line so per-rank wall-clock stage timings are comparable.
-4. **Result collection** — the coordinator multiplexes over all rank
-   connections; each rank ends with exactly one ``RESULT`` (output +
-   stats) or ``ERROR`` (remote traceback) frame.
+4. **Chunk service + result collection** — the coordinator multiplexes
+   over all rank connections, answering each ``CHUNK_REQ`` from the
+   driver's :class:`~repro.core.scheduler.ChunkService` with a
+   ``CHUNK_GRANT`` (chunk + victim rank) or ``CHUNKS_DONE``; an idle
+   rank — spawned or externally launched — thereby steals chunks from
+   the longest queue at runtime.  Each rank ends with exactly one
+   ``RESULT`` (output + stats) or ``ERROR`` (remote traceback) frame.
 
 Peer failure is detected, never waited out: a rank connection that hits
 EOF before its result arrived raises :class:`RankFailure` immediately
@@ -36,6 +40,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from .wire import (
     MSG_ASSIGN,
     MSG_BARRIER,
+    MSG_CHUNK_GRANT,
+    MSG_CHUNK_REQ,
+    MSG_CHUNKS_DONE,
     MSG_ERROR,
     MSG_HELLO,
     MSG_RESULT,
@@ -198,30 +205,15 @@ class Coordinator:
             )
 
     # -- 2. assignment broadcast -------------------------------------------
-    def broadcast_assignments(
-        self,
-        job: Any,
-        per_worker_chunks: Sequence[Sequence[Any]],
-        chunks_stolen: Optional[Sequence[int]] = None,
-    ) -> None:
-        """Ship the job, each rank's chunks, and the peer directory.
+    def broadcast_assignments(self, job: Any) -> None:
+        """Ship the job and the peer directory — metadata only.
 
         The job (potentially megabytes of mapper state) is pickled
-        *once* and embedded as a blob in every rank's ASSIGN frame —
-        only the chunk list varies per rank, so startup cost stays
-        O(job + chunks), not O(n_workers * job).
-
-        ``chunks_stolen`` is the replayed schedule's per-rank steal
-        ledger: when the driver distributes chunks from a recorded
-        :class:`~repro.core.scheduler.ScheduleTrace`, each rank learns
-        from its ASSIGN frame how many of its chunks were steals and
-        reports that in its stats — externally launched ranks included,
-        so the ledger survives the wire like everything else.
+        *once* and embedded as a blob in every rank's ASSIGN frame.
+        Chunks do **not** travel here: ranks pull them one at a time
+        through CHUNK_REQ/CHUNK_GRANT during phase 4, so the frame
+        carries only what every rank needs before the barrier.
         """
-        if len(per_worker_chunks) != self.n_workers:
-            raise ValueError("need exactly one chunk list per rank")
-        if chunks_stolen is not None and len(chunks_stolen) != self.n_workers:
-            raise ValueError("need exactly one steal count per rank")
         job_blob = pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL)
         peers = dict(self.shuffle_peers)
         for rank in range(self.n_workers):
@@ -231,13 +223,9 @@ class Coordinator:
                     MSG_ASSIGN,
                     {
                         "job_pickle": job_blob,
-                        "chunks": list(per_worker_chunks[rank]),
                         "peers": peers,
                         "n_workers": self.n_workers,
                         "compress_exchange": self.compress_exchange,
-                        "chunks_stolen": (
-                            int(chunks_stolen[rank]) if chunks_stolen else 0
-                        ),
                     },
                     max_frame_bytes=self.max_frame_bytes,
                 )
@@ -293,17 +281,25 @@ class Coordinator:
                     rank, f"disconnected at barrier {name!r} release: {exc}"
                 ) from exc
 
-    # -- 4. result collection -----------------------------------------------
-    def collect_results(self) -> List[Tuple[int, Any, Any]]:
-        """Gather one RESULT frame per rank; fail fast on any ERROR.
+    # -- 4. chunk service + result collection --------------------------------
+    def collect_results(
+        self, chunk_service: Optional[Any] = None
+    ) -> List[Tuple[int, Any, Any]]:
+        """Serve chunk pulls and gather one RESULT frame per rank.
 
-        Returns ``(rank, output, stats)`` tuples in rank order.  The
-        first ERROR frame raises :class:`RankFailure` carrying the
-        remote traceback *immediately* — peers of the failed rank may
-        still be draining the shuffle, and a single failure must not
-        cost the run its full timeout.  A connection that drops before
-        reporting raises :class:`RankFailure` too — a hard-killed
-        worker is detected here, not waited out.
+        While results are outstanding the coordinator answers every
+        ``CHUNK_REQ`` from ``chunk_service`` (the driver's
+        :class:`~repro.core.scheduler.ChunkService`): the rank's next
+        chunk rides back as a ``CHUNK_GRANT`` carrying the victim rank
+        (so the worker can count its steals), or ``CHUNKS_DONE`` once
+        the service has nothing left for it.  Returns ``(rank, output,
+        stats)`` tuples in rank order.  The first ERROR frame raises
+        :class:`RankFailure` carrying the remote traceback
+        *immediately* — peers of the failed rank may still be draining
+        the shuffle, and a single failure must not cost the run its
+        full timeout.  A connection that drops before reporting raises
+        :class:`RankFailure` too — a hard-killed worker is detected
+        here, not waited out.
         """
         results: Dict[int, Tuple[int, Any, Any]] = {}
         deadline = self._deadline()
@@ -327,6 +323,9 @@ class Coordinator:
                             f"worker process disconnected before reporting "
                             f"a result ({exc})",
                         ) from exc
+                    if msg_type == MSG_CHUNK_REQ:
+                        self._answer_chunk_request(rank, chunk_service)
+                        continue
                     if msg_type == MSG_RESULT:
                         results[rank] = (
                             rank, payload["output"], payload["stats"]
@@ -340,3 +339,29 @@ class Coordinator:
                         )
                     sel.unregister(key.fileobj)
         return [results[r] for r in sorted(results)]
+
+    def _answer_chunk_request(self, rank: int, chunk_service: Optional[Any]) -> None:
+        """Reply to one rank's CHUNK_REQ with a grant or done."""
+        if chunk_service is None:
+            raise FabricError(
+                f"rank {rank} requested a chunk but no chunk service is "
+                "attached to this run"
+            )
+        assignment = chunk_service.request(rank)
+        try:
+            if assignment is None:
+                send_frame(
+                    self._conns[rank], MSG_CHUNKS_DONE, {},
+                    max_frame_bytes=self.max_frame_bytes,
+                )
+            else:
+                send_frame(
+                    self._conns[rank],
+                    MSG_CHUNK_GRANT,
+                    {"chunk": assignment.chunk, "victim": assignment.victim},
+                    max_frame_bytes=self.max_frame_bytes,
+                )
+        except PeerDisconnected as exc:
+            raise RankFailure(
+                rank, f"disconnected while being granted a chunk: {exc}"
+            ) from exc

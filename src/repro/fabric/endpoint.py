@@ -4,8 +4,16 @@ A :class:`RankEndpoint` is everything one worker rank needs to take
 part in a fabric run: a control connection to the coordinator and its
 own shuffle listener for the data plane.  The full worker flow
 (:meth:`run_job`) mirrors :mod:`repro.exec.local`'s ``_worker_main``
-exactly — map, all-to-all exchange, sort, reduce — with the
+exactly — pull+map, all-to-all exchange, sort, reduce — with the
 pickle-over-pipe queues replaced by framed TCP:
+
+* **chunks are pulled, not pushed**: after the start barrier the rank
+  requests work one chunk at a time over its control connection
+  (``CHUNK_REQ`` -> ``CHUNK_GRANT``/``CHUNKS_DONE``), feeding each
+  grant to an incremental :class:`~repro.exec.dataflow.MapRunner`.  A
+  grant whose victim is another rank is a *steal* the coordinator's
+  chunk service decided at runtime — dynamic load balancing over the
+  real wire, externally launched ranks included.
 
 * **exchange** is the same one-batch-per-(src, dst) protocol: after its
   map phase a rank opens one connection to every peer's shuffle
@@ -41,8 +49,12 @@ from .stream import recv_batch, send_batch
 from .wire import (
     MSG_ASSIGN,
     MSG_BARRIER,
+    MSG_CHUNK_GRANT,
+    MSG_CHUNK_REQ,
+    MSG_CHUNKS_DONE,
     MSG_ERROR,
     MSG_HELLO,
+    MSG_NAMES,
     MSG_RESULT,
     MSG_RESUME,
     MSG_WELCOME,
@@ -87,12 +99,14 @@ class RankEndpoint:
         self._control: Optional[socket.socket] = None
         self.n_workers: Optional[int] = None
         self.peers: Dict[int, Tuple[str, int]] = {}
+        #: wire frames this rank's outbound shuffle used (BATCH +
+        #: BATCH_DATA, summed over destinations) — the coalescing
+        #: effectiveness measure surfaced as WorkerStats.shuffle_frames_sent
+        self.frames_sent = 0
+        self._frames_lock = threading.Lock()
         #: zlib-deflate outbound shuffle chunks (the driver's choice,
         #: learned from ASSIGN; receivers accept either form always)
         self.compress_exchange = False
-        #: how many of this rank's assigned chunks a replayed schedule
-        #: says were steals (learned from ASSIGN; 0 on static runs)
-        self.chunks_stolen = 0
 
     # -- control plane -----------------------------------------------------
     def connect(self) -> None:
@@ -114,17 +128,43 @@ class RankEndpoint:
             welcome.get("max_frame_bytes", self.max_frame_bytes)
         )
 
-    def receive_assignment(self) -> Tuple[Any, List[Any]]:
-        """Block for ASSIGN; returns ``(job, chunks)`` and stores peers."""
+    def receive_assignment(self) -> Any:
+        """Block for ASSIGN; returns the job and stores the peer map.
+
+        Chunks are not in the frame — the rank pulls them one at a
+        time via :meth:`request_chunk` after the start barrier.
+        """
         _, assign = recv_frame(
             self._control, max_frame_bytes=self.max_frame_bytes, expect=MSG_ASSIGN
         )
         self.n_workers = int(assign["n_workers"])
         self.peers = {int(r): tuple(a) for r, a in assign["peers"].items()}
         self.compress_exchange = bool(assign.get("compress_exchange", False))
-        self.chunks_stolen = int(assign.get("chunks_stolen", 0))
         # The job travels as a nested blob, pickled once for all ranks.
-        return pickle.loads(assign["job_pickle"]), list(assign["chunks"])
+        return pickle.loads(assign["job_pickle"])
+
+    def request_chunk(self) -> Optional[Tuple[Any, int]]:
+        """Pull the rank's next chunk from the coordinator's service.
+
+        Returns ``(chunk, victim_rank)``, or ``None`` once the
+        coordinator answers CHUNKS_DONE.  A grant whose victim is not
+        this rank was stolen from that rank's queue at runtime.
+        """
+        send_frame(
+            self._control, MSG_CHUNK_REQ, {"rank": self.rank},
+            max_frame_bytes=self.max_frame_bytes,
+        )
+        msg_type, payload = recv_frame(
+            self._control, max_frame_bytes=self.max_frame_bytes
+        )
+        if msg_type == MSG_CHUNKS_DONE:
+            return None
+        if msg_type != MSG_CHUNK_GRANT:
+            raise FabricError(
+                f"expected CHUNK_GRANT or CHUNKS_DONE, got "
+                f"{MSG_NAMES.get(msg_type, msg_type)}"
+            )
+        return payload["chunk"], int(payload["victim"])
 
     def barrier(self, name: str = "start") -> None:
         """Report arrival at ``name`` and block until RESUME."""
@@ -156,6 +196,7 @@ class RankEndpoint:
 
     # -- data plane: the all-to-all exchange -------------------------------
     def _send_batch(self, dest: int, parts: Sequence[Any]) -> None:
+        counters: Dict[str, int] = {}
         with socket.create_connection(
             self.peers[dest], timeout=self.timeout_seconds
         ) as sock:
@@ -165,7 +206,10 @@ class RankEndpoint:
                 parts,
                 max_frame_bytes=self.max_frame_bytes,
                 compress=self.compress_exchange,
+                counters=counters,
             )
+        with self._frames_lock:
+            self.frames_sent += counters.get("frames", 0)
 
     def exchange(
         self, parts_for: Sequence[Sequence[Any]]
@@ -245,18 +289,26 @@ class RankEndpoint:
         # Imported here so repro.fabric stays importable without the
         # exec package (the wire layer is dependency-free).
         from ..core.stats import WorkerStats
-        from ..exec.dataflow import map_worker, merge_incoming, reduce_worker
+        from ..exec.dataflow import MapRunner, merge_incoming, reduce_worker
 
         stats = WorkerStats(rank=self.rank)
         posted = False
         try:
-            job, chunks = self.receive_assignment()
+            job = self.receive_assignment()
             self.barrier("start")
 
             t0 = time.perf_counter()
-            mapped = map_worker(job, chunks, self.n_workers)
+            runner = MapRunner(job, self.n_workers)
+            while True:
+                grant = self.request_chunk()
+                if grant is None:
+                    break
+                chunk, victim = grant
+                if victim != self.rank:
+                    stats.chunks_stolen += 1
+                runner.feed(chunk)
+            mapped = runner.finish()
             stats.chunks_mapped = mapped.chunks_mapped
-            stats.chunks_stolen = self.chunks_stolen
             stats.pairs_emitted_logical = mapped.pairs_emitted_logical
             stats.bytes_sent_network = mapped.bytes_remote(self.rank)
             stats.bytes_kept_local = mapped.bytes_self(self.rank)
@@ -268,6 +320,7 @@ class RankEndpoint:
             incoming = merge_incoming(batches)
             t2 = time.perf_counter()
             stats.add("bin", t2 - t1)
+            stats.shuffle_frames_sent = self.frames_sent
 
             output = reduce_worker(job, incoming, stats=stats)
             self.send_result(output, stats)

@@ -10,9 +10,11 @@ then on each host::
     python -m repro.fabric.launch --coordinator driver-host:5555 --rank 0
     python -m repro.fabric.launch --coordinator driver-host:5555 --rank 1 ...
 
-Each invocation registers with the coordinator, receives its job and
-chunk assignment over the wire, shuffles directly with its peers, and
-reports its result — no code or data staging on the worker hosts.
+Each invocation registers with the coordinator, receives its job over
+the wire, pulls chunks one at a time from the coordinator's chunk
+service (stealing from loaded peers at runtime like any other rank),
+shuffles directly with its peers, and reports its result — no code or
+data staging on the worker hosts.
 
 ``--listen-host`` binds the rank's shuffle listener (default
 ``0.0.0.0`` here, so peers on other hosts can reach it) and

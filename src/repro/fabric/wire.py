@@ -54,6 +54,9 @@ __all__ = [
     "MSG_ERROR",
     "MSG_BATCH",
     "MSG_BATCH_DATA",
+    "MSG_CHUNK_REQ",
+    "MSG_CHUNK_GRANT",
+    "MSG_CHUNKS_DONE",
     "FabricError",
     "ProtocolError",
     "ProtocolVersionError",
@@ -69,8 +72,11 @@ __all__ = [
 
 #: Bump on any incompatible header/message change.  v2: BATCH frames
 #: switched from one pickled payload to a raw binary-codec header frame
-#: followed by streamed BATCH_DATA chunk frames.
-PROTOCOL_VERSION = 2
+#: followed by streamed BATCH_DATA chunk frames.  v3: chunk
+#: distribution went pull-based — ASSIGN carries job/config metadata
+#: only, and ranks fetch their chunks at runtime via
+#: CHUNK_REQ/CHUNK_GRANT/CHUNKS_DONE control frames.
+PROTOCOL_VERSION = 3
 
 MAGIC = b"GPMR"
 
@@ -91,6 +97,9 @@ MSG_RESULT = 6   #: rank -> coordinator: {rank, output, stats}
 MSG_ERROR = 7    #: rank -> coordinator: {rank, traceback}
 MSG_BATCH = 8    #: rank -> rank: shuffle batch header (raw codec manifest)
 MSG_BATCH_DATA = 9  #: rank -> rank: one streamed chunk of batch payload
+MSG_CHUNK_REQ = 10    #: rank -> coordinator: give me my next chunk
+MSG_CHUNK_GRANT = 11  #: coordinator -> rank: {chunk, victim}
+MSG_CHUNKS_DONE = 12  #: coordinator -> rank: no more work for you
 
 MSG_NAMES = {
     MSG_HELLO: "HELLO",
@@ -102,6 +111,9 @@ MSG_NAMES = {
     MSG_ERROR: "ERROR",
     MSG_BATCH: "BATCH",
     MSG_BATCH_DATA: "BATCH_DATA",
+    MSG_CHUNK_REQ: "CHUNK_REQ",
+    MSG_CHUNK_GRANT: "CHUNK_GRANT",
+    MSG_CHUNKS_DONE: "CHUNKS_DONE",
 }
 
 

@@ -23,7 +23,12 @@ class AppRun:
 
 
 def run_app(
-    app: str, dataset, n_gpus: int, backend: str = "sim", schedule=None
+    app: str,
+    dataset,
+    n_gpus: int,
+    backend: str = "sim",
+    schedule=None,
+    **executor_kwargs,
 ) -> AppRun:
     """Run ``app`` over ``dataset`` on ``n_gpus`` workers of ``backend``.
 
@@ -33,25 +38,46 @@ def run_app(
 
     ``schedule`` replays a recorded chunk schedule
     (:class:`~repro.core.scheduler.ScheduleTrace`; for the two-phase MM
-    app, a ``(phase1, phase2)`` pair of traces) so a load-balanced sim
-    run can be re-executed chunk-for-chunk on a real backend.
+    app, a ``(phase1, phase2)`` pair of traces) so a load-balanced run
+    can be re-executed chunk-for-chunk on any backend.  Without it,
+    every backend *generates* a schedule — the real ones steal natively
+    at runtime — and records it on the result.
+
+    ``executor_kwargs`` go to the backend factory verbatim (e.g.
+    ``initial_distribution="single"`` to force an imbalanced start, or
+    the local backend's ``stall_seconds`` straggler injection).
     """
     if app == "MM":
-        result = run_matmul(n_gpus, dataset, backend=backend, schedule=schedule)
+        result = run_matmul(
+            n_gpus, dataset, backend=backend, schedule=schedule,
+            **executor_kwargs,
+        )
         stats = result.stats
         elapsed = result.elapsed
         size = dataset.m
     elif app == "SIO":
-        r = run_sio(n_gpus, dataset, backend=backend, schedule=schedule)
+        r = run_sio(
+            n_gpus, dataset, backend=backend, schedule=schedule,
+            **executor_kwargs,
+        )
         stats, elapsed, size = r.stats, r.elapsed, dataset.n_elements
     elif app == "WO":
-        r = run_wo(n_gpus, dataset, backend=backend, schedule=schedule)
+        r = run_wo(
+            n_gpus, dataset, backend=backend, schedule=schedule,
+            executor_kwargs=executor_kwargs,
+        )
         stats, elapsed, size = r.stats, r.elapsed, dataset.n_chars
     elif app == "KMC":
-        r = run_kmc(n_gpus, dataset, backend=backend, schedule=schedule)
+        r = run_kmc(
+            n_gpus, dataset, backend=backend, schedule=schedule,
+            **executor_kwargs,
+        )
         stats, elapsed, size = r.stats, r.elapsed, dataset.n_points
     elif app == "LR":
-        r = run_lr(n_gpus, dataset, backend=backend, schedule=schedule)
+        r = run_lr(
+            n_gpus, dataset, backend=backend, schedule=schedule,
+            **executor_kwargs,
+        )
         stats, elapsed, size = r.stats, r.elapsed, dataset.n_points
     else:
         raise ValueError(f"unknown app {app!r}")

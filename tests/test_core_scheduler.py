@@ -9,15 +9,18 @@ same workers, same chunks, same victims, same steal ledgers.
 """
 
 import random
+import threading
 
 import pytest
 
 from repro.core import (
     Chunk,
     ChunkScheduler,
+    ChunkService,
     ReplayScheduler,
     ScheduleGrant,
     ScheduleTrace,
+    WorkerStats,
 )
 
 
@@ -214,17 +217,166 @@ def test_replay_requires_assign_first():
         r.request(9)
 
 
-def test_replay_distribution_matches_trace():
-    """per_worker_chunks (the real backends' replay path) splits the
-    chunk set exactly as the trace dictates, steal ledger included."""
+def test_replay_errors_name_context_and_grant_index():
+    """Satellite: a trace/backend mismatch is debuggable from the
+    message alone — app/phase context plus the offending grant index."""
+    bad_rank = ScheduleTrace.from_records([(0, 0, False, 0), (5, 1, False, 5)])
+    with pytest.raises(ValueError, match="matmul-phase1"):
+        ReplayScheduler(2, bad_rank, context="matmul-phase1").assign(
+            make_chunks(2)
+        )
+    with pytest.raises(ValueError, match=r"grant #1 .* outside 0\.\.1"):
+        ReplayScheduler(2, bad_rank, context="matmul-phase1").assign(
+            make_chunks(2)
+        )
+
+    twice = ScheduleTrace.from_records(
+        [(0, 0, False, 0), (1, 1, True, 0), (1, 0, True, 0)]
+    )
+    with pytest.raises(
+        ValueError,
+        match=r"replaying schedule for wo: trace grant #2 grants chunk 0 "
+        r"twice \(first granted by grant #0\)",
+    ):
+        ReplayScheduler(2, twice, context="wo").assign(make_chunks(2))
+
+    missing = ScheduleTrace.from_records([(0, 0, False, 0)])
+    with pytest.raises(ValueError, match=r"sio.*does not cover chunk\(s\) \[1\]"):
+        twice_chunks = make_chunks(2)
+        ReplayScheduler(2, missing, context="sio").assign(twice_chunks)
+
+
+# -- chunk service (the pull server every backend shares) ---------------------
+
+def _drain_service(svc, n_workers):
+    """Round-robin pull until every worker is told it is done."""
+    grants = []
+    active = set(range(n_workers))
+    while active:
+        for w in range(n_workers):
+            if w not in active:
+                continue
+            a = svc.request(w)
+            if a is None:
+                active.discard(w)
+            else:
+                grants.append((w, a))
+    return grants
+
+
+def test_chunk_service_native_pull_covers_all_chunks_with_steals():
+    chunks = make_chunks(9)
+    svc = ChunkService(chunks, 3, initial_distribution="single")
+    grants = _drain_service(svc, 3)
+    assert sorted(a.chunk.index for _, a in grants) == list(range(9))
+    assert svc.remaining == 0
+    # Everything started on worker 0, so the interleaved pull steals.
+    assert svc.steals > 0
+    assert svc.trace.total_steals == svc.steals
+    assert sum(svc.chunk_counts()) == 9
+    observed = [0, 0, 0]
+    for w, a in grants:
+        if a.stolen_by(w):
+            observed[w] += 1
+    assert svc.steals_by_worker == observed
+
+
+def test_chunk_service_stealing_off_strands_remote_queues():
+    svc = ChunkService(
+        make_chunks(4), 2, initial_distribution="single",
+        enable_stealing=False,
+    )
+    assert svc.request(1) is None
+    assert all(svc.request(0) is not None for _ in range(4))
+    assert svc.steals == 0
+
+
+def test_chunk_service_replay_reissues_the_trace():
+    chunks = make_chunks(8)
+    recorder = ChunkService(chunks, 3, initial_distribution="single")
+    _drain_service(recorder, 3)
+    svc = ChunkService(chunks, 3, schedule=recorder.trace, context="sio")
+    assert svc.replaying
+    _drain_service(svc, 3)
+    assert svc.steals_by_worker == recorder.steals_by_worker
+    assert svc.chunk_counts() == recorder.chunk_counts()
+
+
+def test_chunk_service_concurrent_pulls_grant_each_chunk_once():
+    """The local/cluster drivers answer pulls from service threads; a
+    storm of concurrent requesters must still see every chunk granted
+    exactly once with accurate ledgers."""
+    chunks = make_chunks(60)
+    svc = ChunkService(chunks, 4, initial_distribution="single")
+    got = [[] for _ in range(4)]
+
+    def _pull(worker):
+        while True:
+            a = svc.request(worker)
+            if a is None:
+                return
+            got[worker].append(a)
+
+    threads = [
+        threading.Thread(target=_pull, args=(w,), daemon=True)
+        for w in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10.0)
+    granted = [a.chunk.index for per in got for a in per]
+    assert sorted(granted) == list(range(60))
+    assert svc.chunk_counts() == [len(per) for per in got]
+    assert svc.steals_by_worker == [
+        sum(1 for a in per if a.stolen_by(w)) for w, per in enumerate(got)
+    ]
+
+
+def test_chunk_service_validate_ledgers_catches_disagreement():
+    chunks = make_chunks(4)
+    svc = ChunkService(chunks, 2, context="sio")
+    _drain_service(svc, 2)
+    good = []
+    for rank in range(2):
+        w = WorkerStats(rank=rank)
+        w.chunks_mapped = svc.chunk_counts()[rank]
+        w.chunks_stolen = svc.steals_by_worker[rank]
+        good.append(w)
+    svc.validate_ledgers(good)  # agreeing ledgers pass
+
+    bad_count = WorkerStats(rank=0)
+    bad_count.chunks_mapped = good[0].chunks_mapped + 1
+    bad_count.chunks_stolen = good[0].chunks_stolen
+    with pytest.raises(RuntimeError, match=r"chunk ledgers disagree.*\[sio\]"):
+        svc.validate_ledgers([bad_count])
+
+    bad_steal = WorkerStats(rank=1)
+    bad_steal.chunks_mapped = good[1].chunks_mapped
+    bad_steal.chunks_stolen = good[1].chunks_stolen + 1
+    with pytest.raises(RuntimeError, match="steal ledgers disagree"):
+        svc.validate_ledgers([bad_steal])
+
+
+def test_replay_service_distribution_matches_trace():
+    """Record -> replay through the pull service: each worker's grant
+    sequence splits the chunk set exactly as the trace dictates, steal
+    ledger included."""
     chunks = make_chunks(8)
     recorder = ChunkScheduler(3)
     recorder.assign(chunks, "single")
     drain(recorder, 3)
-    per_worker, stolen = recorder.trace.per_worker_chunks(chunks, 3)
+    svc = ChunkService(chunks, 3, schedule=recorder.trace)
+    per_worker = [[] for _ in range(3)]
+    for w in range(3):
+        while True:
+            a = svc.request(w)
+            if a is None:
+                break
+            per_worker[w].append(a.chunk)
     for w in range(3):
         assert [c.index for c in per_worker[w]] == [
             g.chunk_id for g in recorder.trace.for_worker(w)
         ]
-    assert stolen == recorder.steals_by_worker
+    assert svc.steals_by_worker == recorder.steals_by_worker
     assert sum(len(p) for p in per_worker) == len(chunks)

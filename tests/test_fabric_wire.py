@@ -260,6 +260,37 @@ def test_batch_exactly_at_frame_bound_streams(pair):
     _assert_parts_identical(got, parts)
 
 
+def test_many_small_parts_coalesce_into_few_data_frames(pair):
+    """Batch coalescing: hundreds of tiny parts pack into a handful of
+    DATA frames instead of one-plus frames per buffer, and the
+    ``counters`` hook reports the per-batch frame count."""
+    a, b = pair
+    parts = [
+        KeyValueSet(
+            keys=np.arange(4, dtype=np.uint32) + i,
+            values=np.full(4, float(i)),
+        )
+        for i in range(200)
+    ]
+    counters = {}
+    result = {}
+    sender = threading.Thread(
+        target=lambda: result.update(
+            sent=send_batch(a, 2, parts, counters=counters)
+        ),
+        daemon=True,
+    )
+    sender.start()
+    src, got = recv_batch(b)
+    sender.join(timeout=10.0)
+    assert src == 2
+    _assert_parts_identical(got, parts)
+    # 200 parts x 2 buffers each would be 400 DATA frames uncoalesced;
+    # the whole ~10 KB payload packs into a single chunk.
+    assert counters["frames"] == 2  # 1 BATCH + 1 DATA
+    assert counters["bytes"] == result["sent"]
+
+
 def test_incompressible_chunk_ships_raw_through_compression_gate(pair):
     """zlib inflates tiny high-entropy chunks; with ``compress=True``
     the per-chunk gate must fall back to the raw form — and the wire
@@ -286,10 +317,10 @@ def test_incompressible_chunk_ships_raw_through_compression_gate(pair):
     _assert_parts_identical(got, parts)
     # Exactly the raw bytes rode the wire: one header frame (struct +
     # manifest) plus DATA frames carrying the *uncompressed* chunks.
-    # keys and values are separate buffers, so two DATA frames.
+    # The tiny key and value buffers coalesce into a single DATA frame.
     expected = (
         _BATCH_HEADER.size + len(manifest)
-        + 2 * _DATA_HEADER.size + payload_nbytes
+        + _DATA_HEADER.size + payload_nbytes
     )
     assert sent == expected
 
@@ -623,7 +654,7 @@ def test_broadcast_to_dead_rank_names_the_rank():
             # One ASSIGN payload cannot overrun the socket buffers, so
             # grow it until the dead peer's RST is felt mid-send.
             for _ in range(50):
-                coord.broadcast_assignments(b"x" * (1 << 20), [[]])
+                coord.broadcast_assignments(b"x" * (1 << 20))
                 time.sleep(0.02)
 
 

@@ -31,7 +31,7 @@ from repro.exec.exchange import (
     release_message,
     release_segment,
 )
-from repro.exec.local import _worker_main
+from repro.exec.local import _ListChunkSource, _worker_main
 
 
 def _big_batch():
@@ -162,7 +162,10 @@ def test_mid_posting_failure_backfills_only_unserved_peers(transport):
 
     own, served, result_queue = _ListQueue(), _ListQueue(), _ListQueue()
     queues = [own, served, _BoomQueue()]
-    _worker_main(0, 3, job, chunks[:1], queues, result_queue, transport)
+    _worker_main(
+        0, 3, job, _ListChunkSource(chunks[:1], 0), queues, result_queue,
+        transport,
+    )
 
     # Exactly one message for the served peer: the real batch.
     assert len(served.items) == 1
