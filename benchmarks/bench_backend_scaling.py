@@ -31,7 +31,11 @@ replays the recorded steal schedule (``schedule=``), and — new with
 the pull-based chunk service — each real backend also steals
 **natively** (idle ranks pulling chunks from the driver at runtime),
 so replayed-sim-schedule and native-steal wall-clock columns sit side
-by side and both stay bit-validated against the sim.
+by side and both stay bit-validated against the sim.  A final
+**killed-rank recovery** row prices fault tolerance: rank 1 SIGKILLs
+itself at its 2nd grant (`FaultPlan`), the driver reclaims its chunks
+and respawns it mid-job, and the recovered wall-clock sits next to
+the failure-free run it must stay bit-identical to.
 
 Smoke mode shrinks the dataset to a functional payload; speedup shapes
 are advisory there (process start-up dominates toy sizes).
@@ -41,7 +45,7 @@ import os
 import time
 
 from repro.apps.sparse_int_occurrence import sio_dataset, sio_job
-from repro.core import make_executor
+from repro.core import FaultPlan, make_executor
 from repro.harness import bench_smoke_enabled
 
 WORKER_COUNTS = (1, 2, 4)
@@ -133,8 +137,26 @@ def _measure():
             native_wall[(label, n)] = time.perf_counter() - t0
             assert result.schedule is not None
             native_steals[(label, n)] = result.schedule.total_steals
+
+    # Recovery rows: rank 1 SIGKILLs itself at its 2nd grant; the
+    # driver reclaims its un-posted chunks and respawns it mid-job
+    # (the cluster replacement rejoins the fabric), so the column is
+    # the wall-clock price of surviving a kill -9 vs the pinned run.
+    fault = FaultPlan(kill_rank_at_chunk={1: 2})
+    n_fault = max(WORKER_COUNTS)
+    recovery_wall = {}      # label -> seconds at n_fault workers
+    recovery_reclaims = {}  # label -> chunks reclaimed
+    for label, backend, kwargs in VARIANTS:
+        if label in ("serial", "local/pickle"):
+            continue
+        t0 = time.perf_counter()
+        result = make_executor(
+            backend, n_fault, fault_plan=fault, **kwargs
+        ).run(job, dataset=ds)
+        recovery_wall[label] = time.perf_counter() - t0
+        recovery_reclaims[label] = result.stats.chunks_reclaimed
     return (ds, wall, exchange, frames, modeled, steal_wall, steal_counts,
-            native_wall, native_steals)
+            native_wall, native_steals, recovery_wall, recovery_reclaims)
 
 
 def _throughput(exchange, label, n):
@@ -144,7 +166,7 @@ def _throughput(exchange, label, n):
 
 
 def _render(ds, wall, exchange, frames, modeled, steal_wall, steal_counts,
-            native_wall, native_steals):
+            native_wall, native_steals, recovery_wall, recovery_reclaims):
     def speedup(label, n):
         return wall[(label, 1)] / wall[(label, n)]
 
@@ -210,18 +232,40 @@ def _render(ds, wall, exchange, frames, modeled, steal_wall, steal_counts,
             f"{native_wall[('local', n)] * 1e3:>10.1f} "
             f"{native_wall[('cluster', n)] * 1e3:>12.1f}"
         )
+    n_fault = max(WORKER_COUNTS)
+    lines += [
+        "",
+        "killed-rank recovery — rank 1 SIGKILLed at its 2nd grant, "
+        "reclaimed + respawned mid-job; output stays bit-identical to "
+        "the failure-free run",
+        f"{'n':>3} {'local_ms':>10} {'local_rec_ms':>13} "
+        f"{'cluster_ms':>11} {'cluster_rec_ms':>15} {'reclaims(l/c)':>14}",
+        (
+            f"{n_fault:>3} "
+            f"{wall[('local', n_fault)] * 1e3:>10.1f} "
+            f"{recovery_wall['local'] * 1e3:>13.1f} "
+            f"{wall[('cluster', n_fault)] * 1e3:>11.1f} "
+            f"{recovery_wall['cluster'] * 1e3:>15.1f} "
+            + (
+                f"{recovery_reclaims['local']}/"
+                f"{recovery_reclaims['cluster']}"
+            ).rjust(14)
+        ),
+    ]
     return "\n".join(lines)
 
 
 def test_backend_scaling(benchmark, save_result, check):
     (ds, wall, exchange, frames, modeled, steal_wall, steal_counts,
-     native_wall, native_steals) = benchmark.pedantic(
+     native_wall, native_steals, recovery_wall,
+     recovery_reclaims) = benchmark.pedantic(
         _measure, rounds=1, iterations=1
     )
     save_result(
         "backend_scaling",
         _render(ds, wall, exchange, frames, modeled, steal_wall,
-                steal_counts, native_wall, native_steals),
+                steal_counts, native_wall, native_steals, recovery_wall,
+                recovery_reclaims),
     )
 
     local_x = wall[("local", 1)] / wall[("local", 4)]
@@ -240,6 +284,10 @@ def test_backend_scaling(benchmark, save_result, check):
                 frames[("cluster", 4)] / 12, 1
             ),
             "local_native_steals_4": native_steals[("local", 4)],
+            "local_recovery_ms_4": round(recovery_wall["local"] * 1e3, 1),
+            "cluster_recovery_ms_4": round(
+                recovery_wall["cluster"] * 1e3, 1
+            ),
         }
     )
 
@@ -289,6 +337,18 @@ def test_backend_scaling(benchmark, save_result, check):
     check(
         native_wall[("local", 4)] < 10 * steal_wall[("local", 4)],
         "native stealing stays within 10x of the replayed schedule",
+    )
+    # The kill really happened and the recovery path really ran —
+    # chunks were reclaimed on both real backends — and surviving it
+    # costs the same order of wall-clock as the failure-free run
+    # (one respawned process + a re-executed map phase, not a rerun).
+    check(
+        recovery_reclaims["local"] > 0 and recovery_reclaims["cluster"] > 0,
+        "killed rank's chunks were reclaimed on both real backends",
+    )
+    check(
+        recovery_wall["local"] < 20 * wall[("local", 4)],
+        "local kill recovery stays within 20x of the failure-free run",
     )
     # Batch coalescing keeps the cluster exchange's frame count low:
     # each (src, dst) batch of many small parts rides few DATA frames.

@@ -4,7 +4,16 @@ Each app module provides: the Mapper/Reducer implementations with their
 kernel cost descriptors, a ``*_job`` factory, a ``*_dataset`` factory,
 a ``*_validate`` oracle check, ``run_*`` conveniences, and the Phoenix
 and Mars workload descriptors used by Tables 2 and 3.
+
+Every ``run_*`` convenience shares one uniform signature —
+``run_x(n_gpus, dataset, *, backend="sim", schedule=None,
+<app-specific keywords>, **executor_kwargs)`` — and :data:`APPS` maps
+the paper's app names to those runners so harness code dispatches by
+registry instead of if/elif chains.
 """
+
+from dataclasses import dataclass
+from typing import Callable
 
 from .kmeans import (
     CenterPartitioner,
@@ -69,7 +78,31 @@ from .word_occurrence import (
     wo_validate,
 )
 
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One registry entry: how to run and size a benchmark app."""
+
+    #: the uniform ``run_*`` convenience for this app
+    runner: Callable
+    #: dataset -> problem size (the scaling plots' x-axis)
+    size_of: Callable
+
+
+#: The paper's five apps, by their Table-1 names.  Harness code
+#: dispatches through this instead of hard-coding the app list; adding
+#: an app means registering it here.
+APPS = {
+    "SIO": AppSpec(run_sio, lambda ds: ds.n_elements),
+    "WO": AppSpec(run_wo, lambda ds: ds.n_chars),
+    "KMC": AppSpec(run_kmc, lambda ds: ds.n_points),
+    "LR": AppSpec(run_lr, lambda ds: ds.n_points),
+    "MM": AppSpec(run_matmul, lambda ds: ds.m),
+}
+
 __all__ = [
+    "APPS", "AppSpec",
     # SIO
     "SIOMapper", "SIOReducer", "sio_job", "sio_dataset", "sio_validate",
     "sio_phoenix_workload", "sio_mars_workload", "run_sio",

@@ -359,9 +359,10 @@ def kmc_mars_workload(dataset: KMeansDataset) -> MarsWorkload:
 def run_kmc(
     n_gpus: int,
     dataset: KMeansDataset,
-    use_accumulation: bool = True,
+    *,
     backend: str = "sim",
     schedule=None,
+    use_accumulation: bool = True,
     **executor_kwargs,
 ) -> JobResult:
     """Convenience: run one KMC iteration on ``n_gpus`` workers."""

@@ -288,9 +288,10 @@ def lr_mars_workload(dataset: RegressionDataset) -> MarsWorkload:
 def run_lr(
     n_gpus: int,
     dataset: RegressionDataset,
-    use_accumulation: bool = True,
+    *,
     backend: str = "sim",
     schedule=None,
+    use_accumulation: bool = True,
     **executor_kwargs,
 ) -> JobResult:
     """Convenience: run LR on ``n_gpus`` workers of ``backend``."""

@@ -245,6 +245,7 @@ def _phase2_chunks(dataset: MatrixDataset, phase1: JobResult) -> List[Chunk]:
 def run_matmul(
     n_gpus: int,
     dataset: MatrixDataset,
+    *,
     backend: str = "sim",
     schedule=None,
     **executor_kwargs,

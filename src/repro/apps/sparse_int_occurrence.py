@@ -221,6 +221,7 @@ def sio_mars_workload(dataset: IntegerDataset) -> MarsWorkload:
 def run_sio(
     n_gpus: int,
     dataset: IntegerDataset,
+    *,
     backend: str = "sim",
     schedule=None,
     **executor_kwargs,

@@ -294,17 +294,27 @@ def wo_mars_workload(dataset: TextDataset) -> MarsWorkload:
 def run_wo(
     n_gpus: int,
     dataset: TextDataset,
+    *,
     backend: str = "sim",
     schedule=None,
-    executor_kwargs=None,
-    **job_kwargs,
+    use_accumulation: bool = True,
+    warp_reducer: bool = True,
+    partitioner_threshold: int = PARTITIONER_THRESHOLD,
+    **executor_kwargs,
 ) -> JobResult:
     """Convenience: run WO on ``n_gpus`` workers of ``backend``.
 
-    ``**job_kwargs`` configure :func:`wo_job`; ``executor_kwargs`` (a
-    dict) go to the backend factory.
+    The uniform runner signature shared by every app: ``backend`` /
+    ``schedule`` plus WO's own :func:`wo_job` knobs as keywords, with
+    ``**executor_kwargs`` going to the backend factory verbatim.
     """
-    job = wo_job(n_gpus, n_words=len(dataset.dictionary), **job_kwargs)
-    return make_executor(backend, n_gpus, **(executor_kwargs or {})).run(
+    job = wo_job(
+        n_gpus,
+        n_words=len(dataset.dictionary),
+        use_accumulation=use_accumulation,
+        warp_reducer=warp_reducer,
+        partitioner_threshold=partitioner_threshold,
+    )
+    return make_executor(backend, n_gpus, **executor_kwargs).run(
         job, dataset, schedule=schedule
     )

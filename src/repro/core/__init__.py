@@ -30,6 +30,7 @@ from .combine import (
     combine_by_key_sum,
 )
 from .config import PipelineConfig
+from .faults import FaultPlan
 from .executor import (
     Executor,
     SimExecutor,
@@ -52,6 +53,7 @@ from .pipeline import Worker
 from .reducer import Reducer
 from .runtime import GPMRRuntime, JobResult
 from .scheduler import (
+    RETRY,
     Assignment,
     ChunkScheduler,
     ChunkService,
@@ -64,6 +66,7 @@ from .stats import STAGES, JobStats, WorkerStats
 
 __all__ = [
     "MapReduceJob",
+    "FaultPlan",
     "GPMRRuntime",
     "JobResult",
     "PipelineConfig",
@@ -94,6 +97,7 @@ __all__ = [
     "Chunk",
     "ChunkScheduler",
     "ChunkService",
+    "RETRY",
     "ReplayScheduler",
     "ScheduleGrant",
     "ScheduleTrace",

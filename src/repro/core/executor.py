@@ -92,6 +92,21 @@ class Executor(ABC):
         directions (record on sim / replay on real, and vice versa).
         """
 
+    def close(self) -> None:
+        """Release any resources the executor holds between runs.
+
+        A no-op by default — today's backends acquire everything per
+        :meth:`run` and release it there — but part of the contract so
+        callers can treat every backend uniformly (and future
+        persistent-pool executors have a hook).
+        """
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} n_workers={self.n_workers}>"
 

@@ -45,6 +45,9 @@ class Worker:
         comm: Communicator,
         job: MapReduceJob,
         scheduler: ChunkService,
+        kill_at_chunk: Optional[int] = None,
+        stall_seconds: float = 0.0,
+        respawns_left: int = 0,
     ) -> None:
         self.env = env
         self.rank = rank
@@ -56,6 +59,18 @@ class Worker:
         self.stats = WorkerStats(rank=rank)
         self.binner = Binner(env, comm, node.cpu, rank)
         self.result: Optional[KeyValueSet] = None
+        #: scripted fault injection, mirroring the real backends: die
+        #: (lose all un-posted map state, chunks reclaimed, continue as
+        #: the respawned replacement) upon the Nth grant / stall this
+        #: long in modeled time before every chunk request
+        self.kill_at_chunk = kill_at_chunk
+        self.stall_seconds = float(stall_seconds)
+        self.respawns_left = int(respawns_left)
+        self._killed = False
+        #: when set, partitioned parts buffer here instead of reaching
+        #: the binner mid-map — a faulted rank must be able to discard
+        #: everything it has not posted, so nothing leaves early
+        self._deferred_parts: Optional[List[List[KeyValueSet]]] = None
 
     # ------------------------------------------------------------------
     # Fetch: steal pricing + h2d copy (double-buffered by the caller)
@@ -152,11 +167,15 @@ class Worker:
 
         if defer_bin:
             return kv
-        self.binner.submit(parts)
+        if self._deferred_parts is not None:
+            self._deferred_parts.append(parts)
+        else:
+            self.binner.submit(parts)
         return parts
 
-    def map_phase(self) -> Generator:
-        """Process the worker's entire map workload."""
+    def _map_loop(self) -> Generator:
+        """The normal double-buffered pull loop; returns
+        ``(accum_state, combine_buffer)``."""
         job = self.job
         accum_state: Optional[KeyValueSet] = None
         combine_buffer: List[KeyValueSet] = []
@@ -190,6 +209,76 @@ class Worker:
                 next_fetch = self.env.process(self._fetch_proc(assignment))
             fetch = next_fetch
         self.stats.add("map", self.env.now - t_phase)
+        return accum_state, combine_buffer
+
+    def _map_loop_faulted(self) -> Generator:
+        """Sequential pull loop for a fault-injected rank.
+
+        No prefetch and no mid-map binning (submissions buffer in
+        ``_deferred_parts``), so at its scripted death ordinal the rank
+        can lose *everything* un-posted — exactly like SIGKILL on a
+        real backend — reclaim its grants, and carry on as its own
+        respawned replacement.  Modeled time keeps flowing; only the
+        replacement's life lands in this worker's stats.
+        """
+        job = self.job
+        accum_state: Optional[KeyValueSet] = None
+        combine_buffer: List[KeyValueSet] = []
+        grants = 0
+
+        t_phase = self.env.now
+        while True:
+            if self.stall_seconds:
+                yield self.env.timeout(self.stall_seconds)
+            assignment = self.scheduler.request(self.rank)
+            if assignment is None:
+                break
+            grants += 1
+            if (
+                self.kill_at_chunk is not None
+                and not self._killed
+                and grants >= self.kill_at_chunk
+            ):
+                self._killed = True
+                if self.respawns_left <= 0 or not self.scheduler.can_recover(
+                    self.rank
+                ):
+                    raise RuntimeError(
+                        f"rank {self.rank} killed at grant {grants} with no "
+                        "respawn budget left"
+                    )
+                self.respawns_left -= 1
+                self.scheduler.reclaim(self.rank)
+                # The replacement starts clean: un-posted map output,
+                # accumulated state, buffered bins, and the dead
+                # incarnation's stats all die with the process.
+                accum_state = None
+                combine_buffer = []
+                self._deferred_parts = []
+                self.stats = WorkerStats(rank=self.rank)
+                t_phase = self.env.now
+                continue
+            in_alloc = yield self.env.process(self._fetch_proc(assignment))
+            kv, accum_state = yield from self._map_one(assignment.chunk, accum_state)
+            if kv is not None:
+                if job.combiner is not None:
+                    buffered = yield from self._transfer_and_bin(kv, defer_bin=True)
+                    if isinstance(buffered, KeyValueSet) and len(buffered):
+                        combine_buffer.append(buffered)
+                else:
+                    yield from self._transfer_and_bin(kv, defer_bin=False)
+            self.gpu.free(in_alloc)
+        self.stats.add("map", self.env.now - t_phase)
+        return accum_state, combine_buffer
+
+    def map_phase(self) -> Generator:
+        """Process the worker's entire map workload."""
+        job = self.job
+        if self.kill_at_chunk is not None or self.stall_seconds:
+            self._deferred_parts = []
+            accum_state, combine_buffer = yield from self._map_loop_faulted()
+        else:
+            accum_state, combine_buffer = yield from self._map_loop()
 
         # -- post-map paths ------------------------------------------------
         if job.accumulator is not None:
@@ -212,6 +301,16 @@ class Worker:
                 yield from self.gpu.run_kernel(launch)
             yield from self._transfer_and_bin(combined, defer_bin=False)
             self.stats.add("map", self.env.now - t0)
+
+        # A faulted rank's buffered submissions post together, here —
+        # the first moment its output leaves the process.  From this
+        # point its grants are complete and its death would be fatal,
+        # which is exactly what mark_posted records.
+        if self._deferred_parts is not None:
+            for parts in self._deferred_parts:
+                self.binner.submit(parts)
+            self._deferred_parts = None
+        self.scheduler.mark_posted(self.rank)
 
         # "Complete Binning": exposed network time after the maps.
         t0 = self.env.now

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from .chunk import Chunk
+from .faults import FaultPlan
 from .job import MapReduceJob
 from .kvset import KeyValueSet
 from .pipeline import Worker
@@ -76,6 +77,7 @@ class GPMRRuntime:
         network: str = "star",
         oversubscription: float = 1.0,
         fat_tree_radix: int = 2,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if n_gpus < 1:
             raise ValueError("n_gpus must be >= 1")
@@ -98,6 +100,22 @@ class GPMRRuntime:
         self.network = network
         self.oversubscription = float(oversubscription)
         self.fat_tree_radix = int(fat_tree_radix)
+        #: scripted fault injection, mirrored from the real backends so
+        #: recovery schedules can be studied (and replayed) in modeled
+        #: time: kills lose a rank's un-posted map phase and reclaim
+        #: its chunks, stalls slow its requests.  ``speculate_after``
+        #: is rejected — the sim's modeled clock has no stragglers to
+        #: hedge against that a recorded schedule would not already
+        #: show.
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            fault_plan.validate_for(n_gpus)
+            if fault_plan.speculate_after is not None:
+                raise ValueError(
+                    "speculate_after is not supported on the sim backend: "
+                    "speculation hedges real-world nondeterminism, which "
+                    "modeled time does not have"
+                )
 
     # -- assembly ----------------------------------------------------------
     def _build(self):
@@ -142,6 +160,13 @@ class GPMRRuntime:
         decision-for-decision.
         """
         chunks = resolve_chunks(dataset, chunks)
+        fault = self.fault_plan
+        if fault is not None and schedule is not None:
+            raise ValueError(
+                "fault_plan and schedule replay are mutually exclusive: a "
+                "recorded trace already fixes every grant, so there is "
+                "nothing to reclaim"
+            )
 
         env, nodes, fabric, comm, gpus, rank_to_node = self._build()
         service = ChunkService(
@@ -162,6 +187,9 @@ class GPMRRuntime:
                 comm=comm,
                 job=job,
                 scheduler=service,
+                kill_at_chunk=None if fault is None else fault.kill_for(r),
+                stall_seconds=0.0 if fault is None else fault.stall_for(r),
+                respawns_left=0 if fault is None else fault.max_respawns,
             )
             for r in range(self.n_gpus)
         ]
@@ -179,6 +207,9 @@ class GPMRRuntime:
             n_gpus=self.n_gpus,
             elapsed=env.now,
             workers=[w.stats for w in workers],
+            chunks_reclaimed=service.chunks_reclaimed,
+            speculative_wins=service.speculative_wins,
+            retries_by_worker=list(service.retries_by_worker),
         )
         return JobResult(
             stats=stats,

@@ -19,9 +19,11 @@ into a replayable :class:`ScheduleTrace`.
 
 from __future__ import annotations
 
+import contextlib
 import threading
+import time
 from collections import deque
-from typing import Deque, Dict, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+from typing import Deque, Dict, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 from .chunk import Chunk
 from ..workloads.base import Dataset
@@ -31,6 +33,7 @@ __all__ = [
     "ChunkScheduler",
     "ChunkService",
     "DISTRIBUTIONS",
+    "RETRY",
     "ReplayScheduler",
     "ScheduleGrant",
     "ScheduleTrace",
@@ -82,6 +85,23 @@ def distribute_chunks(
     else:  # "single"
         out[0].extend(chunks)
     return out
+
+
+class _Retry:
+    """Singleton "ask again shortly" answer to a chunk request.
+
+    Returned (only on speculation-enabled runs) to an idle worker while
+    other un-posted workers still hold in-flight grants that may age
+    into speculative re-execution — ``None`` would end the worker's
+    pull loop before the straggler's chunks became stealable.
+    """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "RETRY"
+
+
+#: the tri-state pull answer: Assignment | RETRY | None (done)
+RETRY = _Retry()
 
 
 class Assignment(NamedTuple):
@@ -245,21 +265,70 @@ class ChunkScheduler:
     Every grant is recorded into :attr:`trace`, so any run — load
     balanced or not — leaves behind a schedule the other backends can
     replay bit-for-bit.
+
+    The scheduler also tracks chunk *ownership*: a granted chunk stays
+    **outstanding** against its worker until the worker posts its
+    shuffle batches (:meth:`mark_posted`), because until that moment
+    nothing of the worker's map phase has left its process — the unit
+    of loss under a worker death is every un-posted grant.
+    :meth:`reclaim` returns a dead worker's outstanding grants to the
+    pool (and erases that incarnation from the trace and ledgers), so
+    survivors or a respawned replacement re-pull them.
+
+    ``speculate_after`` (seconds) additionally enables straggler
+    speculation: an idle worker's request may be answered with a
+    *duplicate* grant of a chunk another un-posted worker has held for
+    longer than the threshold (and the steal threshold drops to one
+    queued chunk, so a straggler's queue drains completely).  At most
+    two copies of a chunk are ever granted; receivers keep exactly one
+    (see :func:`repro.exec.dataflow.merge_incoming`), and the recorded
+    trace keeps only the kept copy's grant, so it still grants every
+    chunk exactly once.
     """
 
     #: a victim must have at least this many chunks queued to be robbed
     #: ("other GPUs have much more work to do").
     MIN_VICTIM_QUEUE = 2
 
-    def __init__(self, n_workers: int, enable_stealing: bool = True) -> None:
+    def __init__(
+        self,
+        n_workers: int,
+        enable_stealing: bool = True,
+        speculate_after: Optional[float] = None,
+    ) -> None:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
         self.n_workers = n_workers
         self.enable_stealing = enable_stealing
+        self.speculate_after = speculate_after
         self._queues: List[Deque[Chunk]] = [deque() for _ in range(n_workers)]
         self.steals = 0
         self.steals_by_worker: List[int] = [0] * n_workers
         self.trace = ScheduleTrace()
+        #: grants per worker including speculative losers (what each
+        #: worker really mapped — the ledger-validation ground truth)
+        self.granted_by_worker: List[int] = [0] * n_workers
+        #: re-granted chunks per worker: reclaimed re-grants + duplicates
+        self.retries_by_worker: List[int] = [0] * n_workers
+        #: chunks returned to the pool by :meth:`reclaim`, total
+        self.chunks_reclaimed = 0
+        #: worker -> {chunk_id: (chunk, grant_monotonic)} granted and
+        #: *in flight*: the worker has not requested again since, so it
+        #: may still be mid-map on these — the speculation candidates
+        self._outstanding: List[Dict[int, Tuple[Chunk, float]]] = [
+            {} for _ in range(n_workers)
+        ]
+        #: worker -> {chunk_id: chunk} mapped (the worker requested
+        #: again, and its pull loop is sequential) but not yet posted —
+        #: still reclaimable on death, no longer speculation bait
+        self._mapped: List[Dict[int, Chunk]] = [{} for _ in range(n_workers)]
+        #: worker -> chunk ids it posted shuffle output for
+        self._completed: List[Set[int]] = [set() for _ in range(n_workers)]
+        self._posted: List[bool] = [False] * n_workers
+        #: chunk_id -> grantee workers, in grant order (len 2 == speculated)
+        self._grantees: Dict[int, List[int]] = {}
+        #: chunk ids that went back to the pool at least once
+        self._reclaimed_ids: Set[int] = set()
 
     # -- loading ---------------------------------------------------------
     def assign_round_robin(self, chunks: Sequence[Chunk]) -> None:
@@ -289,28 +358,191 @@ class ChunkScheduler:
         return sum(len(q) for q in self._queues)
 
     # -- dispatch -----------------------------------------------------------
-    def request(self, worker: int) -> Optional[Assignment]:
-        """Next chunk for ``worker``: local first, else steal, else None."""
+    def _grant(self, worker: int, chunk: Chunk, victim: int) -> Assignment:
+        """Record one grant in every ledger and hand the chunk out."""
+        if victim != worker:
+            self.steals += 1
+            self.steals_by_worker[worker] += 1
+        self.trace.record(worker, chunk.index, victim)
+        self.granted_by_worker[worker] += 1
+        grantees = self._grantees.setdefault(chunk.index, [])
+        if grantees or chunk.index in self._reclaimed_ids:
+            # A duplicate (speculative) copy or a reclaimed re-grant:
+            # either way this worker is re-executing lost/late work.
+            self.retries_by_worker[worker] += 1
+        grantees.append(worker)
+        self._outstanding[worker][chunk.index] = (chunk, time.monotonic())
+        return Assignment(chunk=chunk, victim=victim)
+
+    def request(self, worker: int):
+        """Next chunk for ``worker``: local first, else steal, else a
+        speculative duplicate of an aged in-flight grant (when
+        ``speculate_after`` is set — possibly :data:`RETRY`), else None.
+        """
         if not (0 <= worker < self.n_workers):
             raise ValueError(f"worker {worker} out of range")
+        # A worker's pull loop is sequential: by the time it asks
+        # again, everything granted earlier has been mapped.  Those
+        # grants stop being speculation candidates (duplicating
+        # finished work is pure waste) but stay reclaimable until the
+        # worker posts.
+        if self._outstanding[worker]:
+            for cid, (chunk, _t) in self._outstanding[worker].items():
+                self._mapped[worker][cid] = chunk
+            self._outstanding[worker].clear()
         q = self._queues[worker]
         if q:
-            chunk = q.popleft()
-            self.trace.record(worker, chunk.index, worker)
-            return Assignment(chunk=chunk, victim=worker)
+            return self._grant(worker, q.popleft(), worker)
         if not self.enable_stealing:
             return None
         victim = max(
             range(self.n_workers), key=lambda w: len(self._queues[w])
         )
-        if len(self._queues[victim]) >= self.MIN_VICTIM_QUEUE:
-            self.steals += 1
-            self.steals_by_worker[worker] += 1
+        # With speculation armed a single queued chunk is stealable
+        # too: a straggler's queue must drain, not just shrink.
+        min_queue = 1 if self.speculate_after is not None else self.MIN_VICTIM_QUEUE
+        if len(self._queues[victim]) >= min_queue:
             # Steal from the tail: the victim is about to work the head.
-            chunk = self._queues[victim].pop()
-            self.trace.record(worker, chunk.index, victim)
-            return Assignment(chunk=chunk, victim=victim)
-        return None
+            return self._grant(worker, self._queues[victim].pop(), victim)
+        if self.speculate_after is None:
+            return None
+        return self._speculate(worker)
+
+    def _speculate(self, worker: int):
+        """Duplicate the oldest over-age in-flight grant, or RETRY/None.
+
+        Only chunks held by *other, un-posted* workers qualify, each at
+        most once (two copies total).  While any such worker still
+        holds un-duplicated work the answer is :data:`RETRY` — the
+        requester asks again rather than leaving — and only when no
+        speculative grant can ever materialise does the worker get its
+        final ``None``.
+        """
+        now = time.monotonic()
+        best: Optional[Tuple[float, int, Chunk]] = None
+        more_later = False
+        for w in range(self.n_workers):
+            if w == worker or self._posted[w]:
+                continue
+            if self._queues[w]:
+                more_later = True
+            for cid, (chunk, granted_at) in self._outstanding[w].items():
+                if len(self._grantees.get(cid, ())) > 1:
+                    continue  # already double-granted
+                if now - granted_at < self.speculate_after:
+                    more_later = True
+                    continue
+                if best is None or granted_at < best[0]:
+                    best = (granted_at, w, chunk)
+        if best is not None:
+            _, holder, chunk = best
+            return self._grant(worker, chunk, holder)
+        return RETRY if more_later else None
+
+    # -- ownership / completion ---------------------------------------------
+    def outstanding(self, worker: int) -> List[int]:
+        """Chunk ids granted to ``worker`` and not yet posted (both
+        in-flight and mapped-but-unposted), in grant order."""
+        return list(self._mapped[worker]) + list(self._outstanding[worker])
+
+    def can_recover(self, worker: int) -> bool:
+        """Whether a death of ``worker`` right now is recoverable.
+
+        True until the worker posts its shuffle batches: up to that
+        point nothing has left its process, so its entire map phase can
+        be re-executed.  After posting, peers may already have consumed
+        its batches and a silent re-execution could double-count.
+        """
+        return not self._posted[worker]
+
+    def mark_posted(self, worker: int) -> None:
+        """The worker's shuffle batches are on their way: its grants
+        move from outstanding to completed and it leaves the pool of
+        recoverable / speculation-eligible workers."""
+        self._posted[worker] = True
+        self._completed[worker].update(self._mapped[worker])
+        self._completed[worker].update(self._outstanding[worker])
+        self._mapped[worker].clear()
+        self._outstanding[worker].clear()
+
+    def reclaim(self, worker: int) -> int:
+        """Return a dead worker's outstanding grants to the pool.
+
+        Re-queues the lost chunks (in grant order) on the worker's own
+        queue — its replacement pulls them back, or survivors steal
+        them — and erases the dead incarnation from the trace and
+        per-worker ledgers, since none of its map output survived.
+        Chunks that also have a live speculative copy elsewhere are
+        *not* re-queued (the surviving copy covers them).  Returns the
+        number of chunks re-queued.
+        """
+        if self._posted[worker]:
+            raise RuntimeError(
+                f"cannot reclaim worker {worker}: it already posted its "
+                "shuffle batches"
+            )
+        lost = list(self._mapped[worker].values()) + [
+            chunk for chunk, _t in self._outstanding[worker].values()
+        ]
+        self._mapped[worker].clear()
+        self._outstanding[worker].clear()
+        requeued = 0
+        for chunk in lost:
+            grantees = self._grantees.get(chunk.index, [])
+            if worker in grantees:
+                grantees.remove(worker)
+            self._reclaimed_ids.add(chunk.index)
+            if grantees:
+                continue  # a speculative copy is still in flight
+            self._queues[worker].append(chunk)
+            requeued += 1
+        # The dead incarnation mapped nothing durable; drop its grants
+        # so the trace stays a grants-every-chunk-once schedule.
+        self.trace.grants = [g for g in self.trace.grants if g.worker != worker]
+        self.steals -= self.steals_by_worker[worker]
+        self.steals_by_worker[worker] = 0
+        self.granted_by_worker[worker] = 0
+        self.retries_by_worker[worker] = 0
+        self.chunks_reclaimed += requeued
+        return requeued
+
+    # -- speculation outcome -------------------------------------------------
+    def _winners(self) -> Dict[int, int]:
+        """chunk_id -> kept worker, for every double-granted chunk.
+
+        The kept copy is the first in canonical source-major order
+        among grantees that completed — exactly the copy
+        :func:`repro.exec.dataflow.merge_incoming` keeps at the
+        reducers, so the effective trace and the data agree.
+        """
+        winners: Dict[int, int] = {}
+        for cid, grantees in self._grantees.items():
+            if len(grantees) < 2:
+                continue
+            completers = [w for w in grantees if cid in self._completed[w]]
+            winners[cid] = min(completers if completers else grantees)
+        return winners
+
+    @property
+    def speculative_wins(self) -> int:
+        """Speculated chunks whose *duplicate* copy is the kept one."""
+        wins = 0
+        for cid, winner in self._winners().items():
+            if winner != self._grantees[cid][0]:
+                wins += 1
+        return wins
+
+    @property
+    def effective_trace(self) -> ScheduleTrace:
+        """The trace with speculation losers filtered out — grants
+        every chunk exactly once, so it replays on any backend."""
+        winners = self._winners()
+        if not winners:
+            return self.trace
+        return ScheduleTrace(
+            g for g in self.trace.grants
+            if g.chunk_id not in winners or g.worker == winners[g.chunk_id]
+        )
 
 
 class ReplayScheduler:
@@ -342,6 +574,10 @@ class ReplayScheduler:
         self.trace = ScheduleTrace()
         self.steals = 0
         self.steals_by_worker: List[int] = [0] * n_workers
+        self.granted_by_worker: List[int] = [0] * n_workers
+        self.retries_by_worker: List[int] = [0] * n_workers
+        self.chunks_reclaimed = 0
+        self.speculative_wins = 0
         self._pending: List[Deque[ScheduleGrant]] = [
             deque() for _ in range(n_workers)
         ]
@@ -383,7 +619,28 @@ class ReplayScheduler:
             self.steals += 1
             self.steals_by_worker[worker] += 1
         self.trace.record(worker, grant.chunk_id, grant.victim)
+        self.granted_by_worker[worker] += 1
         return Assignment(chunk=self._chunks[grant.chunk_id], victim=grant.victim)
+
+    # -- ownership / completion ---------------------------------------------
+    # A replay re-issues a schedule that already survived its run;
+    # fault recovery (which would *change* the schedule) is undefined
+    # under replay, so recovery is never offered and reclaim refuses.
+    def can_recover(self, worker: int) -> bool:
+        return False
+
+    def mark_posted(self, worker: int) -> None:
+        pass
+
+    def reclaim(self, worker: int) -> int:
+        raise RuntimeError(
+            "cannot reclaim chunks while replaying a recorded schedule; "
+            "recovery would diverge from the trace"
+        )
+
+    @property
+    def effective_trace(self) -> ScheduleTrace:
+        return self.trace
 
 
 class ChunkService:
@@ -415,32 +672,95 @@ class ChunkService:
         enable_stealing: bool = True,
         schedule: Optional[ScheduleTrace] = None,
         context: Optional[str] = None,
+        speculate_after: Optional[float] = None,
     ) -> None:
         self.n_workers = int(n_workers)
         self.context = context
         #: True when grants come from a recorded trace, not live stealing
         self.replaying = schedule is not None
         if schedule is not None:
+            if speculate_after is not None:
+                raise ValueError(
+                    "speculation cannot run under a replayed schedule; "
+                    "the trace already fixes every grant"
+                )
             self._scheduler = ReplayScheduler(n_workers, schedule, context=context)
         else:
             self._scheduler = ChunkScheduler(
-                n_workers, enable_stealing=enable_stealing
+                n_workers,
+                enable_stealing=enable_stealing,
+                speculate_after=speculate_after,
             )
         self._scheduler.assign(chunks, initial_distribution)
-        self._lock = threading.Lock()
+        # Re-entrant: recovery needs to drain a dead worker's pending
+        # grants and reclaim atomically w.r.t. the serving thread, so
+        # guard() must be holdable around (and by) request().
+        self._lock = threading.RLock()
 
     # -- dispatch ----------------------------------------------------------
-    def request(self, worker: int) -> Optional[Assignment]:
-        """The worker's next chunk (with its victim rank), or None when
-        the worker is done.  Thread-safe; grant order is total."""
+    def request(self, worker: int):
+        """The worker's next chunk (with its victim rank), None when
+        the worker is done, or :data:`RETRY` when a speculation-enabled
+        run wants the idle worker to ask again shortly.  Thread-safe;
+        grant order is total."""
         with self._lock:
             return self._scheduler.request(worker)
+
+    @contextlib.contextmanager
+    def guard(self):
+        """Hold the service lock across several operations.
+
+        Recovery uses this to make "drain the dead rank's in-flight
+        grants, then reclaim" atomic against the backend's serving
+        thread — no grant can slip out between the two steps.
+        """
+        with self._lock:
+            yield self
+
+    # -- ownership / recovery ----------------------------------------------
+    def can_recover(self, worker: int) -> bool:
+        """Whether ``worker`` dying now is survivable (never during
+        replay, and never after the worker posted its batches)."""
+        with self._lock:
+            return self._scheduler.can_recover(worker)
+
+    def mark_posted(self, worker: int) -> None:
+        """Record that ``worker`` shipped its shuffle batches: its
+        grants complete and it stops being recoverable/speculable."""
+        with self._lock:
+            self._scheduler.mark_posted(worker)
+
+    def reclaim(self, worker: int) -> int:
+        """Return a dead worker's un-posted grants to the pool; returns
+        the number of chunks re-queued (see
+        :meth:`ChunkScheduler.reclaim`)."""
+        with self._lock:
+            return self._scheduler.reclaim(worker)
 
     # -- ledgers -------------------------------------------------------------
     @property
     def trace(self) -> ScheduleTrace:
-        """The grants issued so far (the run's recorded schedule)."""
+        """The run's recorded schedule: every chunk granted exactly
+        once (speculation losers filtered, reclaimed incarnations
+        erased) — the replayable effective schedule."""
+        return self._scheduler.effective_trace
+
+    @property
+    def raw_trace(self) -> ScheduleTrace:
+        """Every grant as issued, speculation duplicates included."""
         return self._scheduler.trace
+
+    @property
+    def chunks_reclaimed(self) -> int:
+        return getattr(self._scheduler, "chunks_reclaimed", 0)
+
+    @property
+    def speculative_wins(self) -> int:
+        return self._scheduler.speculative_wins
+
+    @property
+    def retries_by_worker(self) -> List[int]:
+        return list(self._scheduler.retries_by_worker)
 
     @property
     def steals(self) -> int:
@@ -469,7 +789,10 @@ class ChunkService:
         ``chunks_stolen`` (the backends' ``WorkerStats``).
         """
         where = f" [{self.context}]" if self.context else ""
-        counts = self.chunk_counts()
+        # The granted ledger, not the effective trace: a speculation
+        # loser really mapped its duplicate chunk even though the
+        # effective schedule drops that grant.
+        counts = list(self._scheduler.granted_by_worker)
         steals = self.steals_by_worker
         for w in worker_stats:
             if w.chunks_mapped != counts[w.rank]:

@@ -62,6 +62,16 @@ class JobStats:
     n_gpus: int
     elapsed: float                       #: simulated wall time of the job
     workers: List[WorkerStats]
+    #: chunks the scheduler re-queued after worker deaths (0 on a
+    #: failure-free run)
+    chunks_reclaimed: int = 0
+    #: speculated chunks whose duplicate copy is the one the reducers
+    #: kept (first-in-canonical-order wins; see FaultPlan.speculate_after)
+    speculative_wins: int = 0
+    #: per-worker count of re-executed grants — reclaimed re-grants
+    #: plus speculative duplicates — in rank order; empty when the
+    #: backend ran without a fault plan's machinery engaged
+    retries_by_worker: List[int] = field(default_factory=list)
 
     @property
     def stage_totals(self) -> Dict[str, float]:

@@ -36,11 +36,12 @@ import multiprocessing as mp
 import sys
 import time
 import traceback
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .local import WorkerFailure, _default_start_method, dead_worker_failure
 from ..core.chunk import Chunk
 from ..core.executor import Executor, register_backend
+from ..core.faults import FaultPlan
 from ..core.job import MapReduceJob
 from ..core.kvset import KeyValueSet
 from ..core.runtime import JobResult, resolve_chunks
@@ -64,6 +65,8 @@ def _rank_main(
     port: int,
     timeout_seconds: float,
     max_frame_bytes: int,
+    listen_port: int = 0,
+    rejoin: bool = False,
 ) -> None:
     """Process target for one locally spawned rank."""
     try:
@@ -73,6 +76,8 @@ def _rank_main(
             listen_host="127.0.0.1",
             timeout_seconds=timeout_seconds,
             max_frame_bytes=max_frame_bytes,
+            listen_port=listen_port,
+            rejoin=rejoin,
         )
     except Exception:
         # The endpoint could not ship its traceback over the control
@@ -99,6 +104,7 @@ class ClusterExecutor(Executor):
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         spawn_ranks: bool = True,
         compress_exchange: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         super().__init__(n_workers)
         self.initial_distribution = initial_distribution
@@ -108,6 +114,14 @@ class ClusterExecutor(Executor):
         self.port = int(port)
         self.max_frame_bytes = int(max_frame_bytes)
         self.spawn_ranks = spawn_ranks
+        #: scripted fault injection + recovery policy (see
+        #: :class:`~repro.core.faults.FaultPlan`); requires
+        #: ``spawn_ranks=True`` for respawn — externally launched ranks
+        #: can still *rejoin* via ``repro.fabric.launch --rejoin``, but
+        #: nobody restarts them automatically
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            fault_plan.validate_for(n_workers)
         #: zlib-deflate shuffle chunks on the wire (worth it only when
         #: a real NIC, not loopback, is the bottleneck)
         self.compress_exchange = bool(compress_exchange)
@@ -124,6 +138,23 @@ class ClusterExecutor(Executor):
         schedule: Optional[ScheduleTrace] = None,
     ) -> JobResult:
         all_chunks = resolve_chunks(dataset, chunks)
+        fault = self.fault_plan
+        if fault is not None and schedule is not None:
+            raise ValueError(
+                "fault_plan and schedule replay are mutually exclusive: a "
+                "recorded trace already fixes every grant, so there is "
+                "nothing to reclaim or speculate"
+            )
+        if (
+            fault is not None
+            and fault.speculate_after is not None
+            and (job.accumulator is not None or job.combiner is not None)
+        ):
+            raise ValueError(
+                "speculate_after requires per-chunk map emissions; job "
+                f"{job.name!r} uses an accumulator/combiner whose "
+                "finish-time output cannot be deduplicated per chunk"
+            )
         # The driver hosts the pull authority; ranks reach it through
         # the coordinator's CHUNK_REQ/CHUNK_GRANT control frames.
         service = ChunkService(
@@ -133,12 +164,25 @@ class ClusterExecutor(Executor):
             enable_stealing=job.config.enable_stealing,
             schedule=schedule,
             context=job.name,
+            speculate_after=None if fault is None else fault.speculate_after,
         )
 
-        procs: List[mp.process.BaseProcess] = []
+        procs: Dict[int, mp.process.BaseProcess] = {}
+        respawns_left = {
+            rank: (0 if fault is None else fault.max_respawns)
+            for rank in range(self.n_workers)
+        }
 
         def _probe() -> None:
-            failure = dead_worker_failure(procs)
+            # Under a fault plan a dead rank is not (yet) a failure:
+            # the coordinator notices the broken control socket and
+            # decides — reclaim + respawn, or raise RankFailure once
+            # the budget/recoverability runs out.
+            candidates = [
+                p for rank, p in procs.items()
+                if not (fault is not None and respawns_left[rank] > 0)
+            ]
+            failure = dead_worker_failure(candidates)
             if failure is not None:
                 raise failure
 
@@ -153,6 +197,7 @@ class ClusterExecutor(Executor):
             compress_exchange=self.compress_exchange,
         ) as coordinator:
             self.coordinator_address = coordinator.address
+            respawner = None
             if self.spawn_ranks:
                 # A wildcard bind is not dialable; local ranks always
                 # reach a wildcard-bound coordinator over loopback.
@@ -162,8 +207,9 @@ class ClusterExecutor(Executor):
                     else coordinator.host
                 )
                 ctx = mp.get_context(self.start_method)
-                procs = [
-                    ctx.Process(
+
+                def spawn(rank: int, incarnation: int, listen_port: int = 0):
+                    return ctx.Process(
                         target=_rank_main,
                         args=(
                             rank,
@@ -171,19 +217,38 @@ class ClusterExecutor(Executor):
                             coordinator.port,
                             self.timeout_seconds,
                             self.max_frame_bytes,
+                            listen_port,
+                            incarnation > 0,
                         ),
-                        name=f"gpmr-cluster-r{rank}",
+                        name=f"gpmr-cluster-r{rank}.{incarnation}",
                         daemon=True,
                     )
-                    for rank in range(self.n_workers)
-                ]
-                for p in procs:
+
+                for rank in range(self.n_workers):
+                    procs[rank] = spawn(rank, 0)
+                for p in procs.values():
                     p.start()
+
+                def respawner(rank: int, listen_port: int) -> bool:
+                    """Coordinator callback: restart a dead rank's
+                    process as a rejoining replacement on the same
+                    shuffle port.  False once the budget is spent."""
+                    if respawns_left.get(rank, 0) <= 0 or fault is None:
+                        return False
+                    respawns_left[rank] -= 1
+                    incarnation = fault.max_respawns - respawns_left[rank]
+                    procs[rank] = spawn(rank, incarnation, listen_port)
+                    procs[rank].start()
+                    return True
+
             try:
                 coordinator.wait_for_ranks()
-                coordinator.broadcast_assignments(job)
+                coordinator.broadcast_assignments(job, fault_plan=fault)
                 coordinator.barrier("start")
-                collected = coordinator.collect_results(chunk_service=service)
+                collected = coordinator.collect_results(
+                    chunk_service=service,
+                    respawner=respawner if fault is not None else None,
+                )
             except RankFailure as exc:
                 raise WorkerFailure(exc.rank, exc.detail) from exc
             except PeerDisconnected as exc:
@@ -194,10 +259,10 @@ class ClusterExecutor(Executor):
                 raise WorkerFailure(-1, f"a rank disconnected: {exc}") from exc
             finally:
                 self.coordinator_address = None
-                for p in procs:
+                for p in procs.values():
                     if p.is_alive():
                         p.terminate()
-                for p in procs:
+                for p in procs.values():
                     p.join(timeout=5.0)
 
         outputs: List[Optional[KeyValueSet]] = [None] * self.n_workers
@@ -227,6 +292,9 @@ class ClusterExecutor(Executor):
                 n_gpus=self.n_workers,
                 elapsed=elapsed,
                 workers=worker_stats,
+                chunks_reclaimed=service.chunks_reclaimed,
+                speculative_wins=service.speculative_wins,
+                retries_by_worker=list(service.retries_by_worker),
             ),
             outputs=outputs,
             schedule=schedule if schedule is not None else service.trace,

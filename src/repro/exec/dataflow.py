@@ -59,9 +59,17 @@ class MapPhaseOutput:
     #: per-destination share of ``bytes_binned``, same indexing as
     #: ``parts`` — lets workers split self-kept vs. network-sent bytes
     bytes_binned_by_dest: List[int] = field(default_factory=list)
+    #: ``part_chunk_ids[dest][i]`` = id of the chunk that produced
+    #: ``parts[dest][i]``, or -1 for finish-time (accumulate/combine)
+    #: emissions — the provenance tag speculative-duplicate dedup keys
+    #: on at the receivers
+    part_chunk_ids: List[List[int]] = field(default_factory=list)
 
     def batch_for(self, dest: int) -> List[KeyValueSet]:
         return self.parts[dest]
+
+    def chunk_ids_for(self, dest: int) -> List[int]:
+        return self.part_chunk_ids[dest]
 
     def bytes_self(self, rank: int) -> int:
         """Logical bytes binned to this worker's own rank (never leave
@@ -75,14 +83,23 @@ class MapPhaseOutput:
 
 
 def _emit(
-    job: MapReduceJob, kv: KeyValueSet, out: MapPhaseOutput, n_workers: int
+    job: MapReduceJob,
+    kv: KeyValueSet,
+    out: MapPhaseOutput,
+    n_workers: int,
+    chunk_id: int = -1,
 ) -> None:
-    """Partition one emission and append the non-empty parts."""
+    """Partition one emission and append the non-empty parts.
+
+    ``chunk_id`` tags each appended part with the chunk it came from
+    (-1 for finish-time emissions that aggregate many chunks).
+    """
     if len(kv) == 0:
         return
     for dest, part in enumerate(job.partition_parts(kv, n_workers)):
         if len(part):
             out.parts[dest].append(part)
+            out.part_chunk_ids[dest].append(chunk_id)
             out.bytes_binned += part.nbytes_logical
             out.bytes_binned_by_dest[dest] += part.nbytes_logical
 
@@ -107,6 +124,7 @@ class MapRunner:
         self.out = MapPhaseOutput(
             parts=[[] for _ in range(n_workers)],
             bytes_binned_by_dest=[0] * n_workers,
+            part_chunk_ids=[[] for _ in range(n_workers)],
         )
         self._accum_state: Optional[KeyValueSet] = None
         self._combine_buffer: List[KeyValueSet] = []
@@ -135,7 +153,7 @@ class MapRunner:
                 self._combine_buffer.append(kv)
             return
 
-        _emit(job, kv, self.out, self.n_workers)
+        _emit(job, kv, self.out, self.n_workers, chunk_id=chunk.index)
 
     def finish(self) -> MapPhaseOutput:
         """Flush the accumulate/combine paths; returns the map output.
@@ -171,16 +189,34 @@ def map_worker(
     return runner.finish()
 
 
-def merge_incoming(
-    batches: Sequence[Tuple[int, Sequence[KeyValueSet]]]
-) -> List[KeyValueSet]:
+def merge_incoming(batches: Sequence[Tuple]) -> List[KeyValueSet]:
     """Order received batches canonically: by source rank, then emission.
 
-    ``batches`` holds one ``(source_rank, parts)`` entry per source, in
-    arbitrary arrival order.
+    ``batches`` holds one entry per source, in arbitrary arrival order:
+    ``(source_rank, parts)``, or ``(source_rank, parts, chunk_ids)``
+    with one provenance tag per part (the chunk that produced it, -1
+    for finish-time emissions).  When tags are present, duplicate map
+    output from speculative re-execution is dropped here: the *first*
+    part per tagged chunk in canonical order is kept — deterministic,
+    and bit-identical to any other choice because duplicate copies of a
+    chunk's map output are themselves bit-identical.
     """
     ordered = sorted(batches, key=lambda item: item[0])
-    return [part for _, parts in ordered for part in parts]
+    merged: List[KeyValueSet] = []
+    seen_chunks: set = set()
+    for entry in ordered:
+        src, parts = entry[0], entry[1]
+        chunk_ids = entry[2] if len(entry) > 2 and entry[2] is not None else None
+        if chunk_ids is None:
+            merged.extend(parts)
+            continue
+        for part, cid in zip(parts, chunk_ids):
+            if cid >= 0:
+                if cid in seen_chunks:
+                    continue
+                seen_chunks.add(cid)
+            merged.append(part)
+    return merged
 
 
 def reduce_worker(

@@ -45,7 +45,9 @@ comparable.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import queue as queue_mod
+import signal
 import threading
 import time
 import traceback
@@ -62,14 +64,18 @@ from .exchange import (
 )
 from ..core.chunk import Chunk
 from ..core.executor import Executor, register_backend
+from ..core.faults import FaultPlan
 from ..core.job import MapReduceJob
 from ..core.kvset import KeyValueSet
 from ..core.runtime import JobResult, resolve_chunks
-from ..core.scheduler import ChunkService, ScheduleTrace
+from ..core.scheduler import RETRY, ChunkService, ScheduleTrace
 from ..core.stats import JobStats, WorkerStats
 from ..workloads.base import Dataset
 
 __all__ = ["LocalExecutor", "WorkerFailure", "dead_worker_failure"]
+
+#: grant-message status codes of the local pull protocol
+_GRANT_DONE, _GRANT_CHUNK, _GRANT_RETRY = 0, 1, 2
 
 
 class WorkerFailure(RuntimeError):
@@ -101,12 +107,18 @@ def dead_worker_failure(procs) -> Optional["WorkerFailure"]:
 class _PullChunkSource:
     """Worker-side half of the local pull protocol.
 
-    ``next()`` posts this rank on the shared request queue and blocks
-    for the service thread's grant on the rank's own grant queue —
-    ``(chunk, victim)`` or ``None`` once the service says the rank is
-    done.  ``stall_seconds`` sleeps before every request: the
+    ``next()`` posts ``("req", rank)`` on the shared request queue and
+    blocks for the service thread's grant on the rank's own grant queue
+    — a ``(status, chunk, victim)`` triple: a chunk grant, a "retry
+    later" (speculation may free up work; sleep briefly and re-ask), or
+    "done".  ``stall_seconds`` sleeps before every request: the
     fault-injection hook that makes this rank a straggler so tests can
-    watch its chunks get stolen.
+    watch its chunks get stolen (and, with speculation armed, its
+    in-flight chunks re-executed).  ``kill_at_chunk`` is the
+    :class:`~repro.core.faults.FaultPlan` kill hook: the process
+    SIGKILLs itself upon *receiving* its n-th grant — genuinely
+    mid-map, with that grant (plus any earlier un-posted ones)
+    outstanding at the service.
     """
 
     def __init__(
@@ -115,20 +127,45 @@ class _PullChunkSource:
         request_queue,
         grant_queue,
         stall_seconds: float = 0.0,
+        kill_at_chunk: Optional[int] = None,
     ) -> None:
         self.rank = rank
         self.request_queue = request_queue
         self.grant_queue = grant_queue
         self.stall_seconds = float(stall_seconds)
+        self.kill_at_chunk = kill_at_chunk
+        self._grants_received = 0
 
     def next(self) -> Optional[Tuple[Chunk, int]]:
-        if self.stall_seconds:
-            time.sleep(self.stall_seconds)
-        self.request_queue.put(self.rank)
-        granted, chunk, victim = self.grant_queue.get()
-        if not granted:
-            return None
-        return chunk, victim
+        while True:
+            if self.stall_seconds:
+                time.sleep(self.stall_seconds)
+            self.request_queue.put(("req", self.rank))
+            status, chunk, victim = self.grant_queue.get()
+            if status == _GRANT_RETRY:
+                time.sleep(0.02)
+                continue
+            if status == _GRANT_DONE:
+                return None
+            self._grants_received += 1
+            if (
+                self.kill_at_chunk is not None
+                and self._grants_received >= self.kill_at_chunk
+            ):
+                # Die exactly as "kill -9" would: no cleanup, no
+                # courtesy batches, the grant never mapped.  (The kill
+                # fires only here, *after* the grant was consumed, so a
+                # dead rank never leaves an unanswered request behind —
+                # the driver relies on that when it swaps in a fresh
+                # grant queue for the replacement.)
+                os.kill(os.getpid(), signal.SIGKILL)
+            return chunk, victim
+
+    def mark_posted(self) -> None:
+        """Tell the service this rank is about to post its batches —
+        past this point the unit-of-loss contract makes its death
+        unrecoverable (nothing left to reclaim)."""
+        self.request_queue.put(("posted", self.rank))
 
 
 class _ListChunkSource:
@@ -151,6 +188,9 @@ class _ListChunkSource:
         self._i += 1
         return chunk, self.rank
 
+    def mark_posted(self) -> None:
+        pass
+
 
 def _serve_chunks(
     service: ChunkService,
@@ -161,31 +201,44 @@ def _serve_chunks(
 ) -> None:
     """Driver-side service thread: answer pull requests until stopped.
 
-    Grant messages are ``(granted, chunk, victim)`` — ``(False, None,
-    -1)`` tells the requesting rank it is done.  A service failure is
-    stashed in ``errors`` (the driver's collect loop re-raises it) and
-    the requester is released with "done" so it cannot block forever.
+    Grant messages are ``(status, chunk, victim)`` — ``(_GRANT_DONE,
+    None, -1)`` tells the requesting rank it is done, ``_GRANT_RETRY``
+    tells it to re-ask shortly (speculation may free up work).  A
+    service failure is stashed in ``errors`` (the driver's collect loop
+    re-raises it) and the requester is released with "done" so it
+    cannot block forever.
+
+    The service lock is held across request *and* put: the driver's
+    recovery path (swap in a fresh grant queue, then ``reclaim``) takes
+    the same lock, so a grant can never land on a queue the driver has
+    already drained-by-replacement — no chunk is both re-queued and
+    stranded on a dead rank's old queue.
     """
     while not stop.is_set():
         try:
-            rank = request_queue.get(timeout=0.1)
+            kind, rank = request_queue.get(timeout=0.1)
         except (queue_mod.Empty, OSError, EOFError, ValueError):
             continue
         try:
-            assignment = service.request(rank)
+            with service.guard():
+                if kind == "posted":
+                    service.mark_posted(rank)
+                    continue
+                assignment = service.request(rank)
+                if assignment is RETRY:
+                    grant_queues[rank].put((_GRANT_RETRY, None, -1))
+                elif assignment is None:
+                    grant_queues[rank].put((_GRANT_DONE, None, -1))
+                else:
+                    grant_queues[rank].put(
+                        (_GRANT_CHUNK, assignment.chunk, assignment.victim)
+                    )
         except BaseException as exc:
             errors.append(exc)
-            assignment = None
-        try:
-            if assignment is None:
-                grant_queues[rank].put((False, None, -1))
-            else:
-                grant_queues[rank].put(
-                    (True, assignment.chunk, assignment.victim)
-                )
-        except BaseException as exc:  # queue torn down mid-run
-            errors.append(exc)
-            return
+            try:
+                grant_queues[rank].put((_GRANT_DONE, None, -1))
+            except BaseException:
+                return
 
 
 def _worker_main(
@@ -229,27 +282,33 @@ def _worker_main(
         # Self-destined parts stay in-process; remote batches ride the
         # exchange transport.  Posted destinations are tracked one by
         # one so a failure mid-posting backfills only the peers that
-        # never got this rank's batch.
+        # never got this rank's batch.  The "posted" marker goes to the
+        # service first: once any batch may have shipped, this rank's
+        # map output is in the world and its death is no longer
+        # recoverable by reclaim (the batches would double-count).
+        chunk_source.mark_posted()
         for dest in range(n_workers):
             if dest == rank:
                 continue
             message = encode_batch(mapped.batch_for(dest), transport=exchange)
             try:
-                shuffle_queues[dest].put((rank, message))
+                shuffle_queues[dest].put(
+                    (rank, message, mapped.chunk_ids_for(dest))
+                )
             except BaseException:
                 release_message(message)  # never delivered; unlink now
                 raise
             posted.add(dest)
 
-        batches: List[Tuple[int, List[KeyValueSet]]] = [
-            (rank, mapped.batch_for(rank))
+        batches: List[Tuple[int, List[KeyValueSet], List[int]]] = [
+            (rank, mapped.batch_for(rank), mapped.chunk_ids_for(rank))
         ]
         for _ in range(n_workers - 1):
-            src, message = shuffle_queues[rank].get()
+            src, message, tags = shuffle_queues[rank].get()
             parts, segment = decode_batch(message)
             if segment is not None:
                 segments.append(segment)
-            batches.append((src, parts))
+            batches.append((src, parts, tags))
         incoming = merge_incoming(batches)
         del batches
         t2 = time.perf_counter()
@@ -270,7 +329,7 @@ def _worker_main(
             if dest != rank and dest not in posted:
                 try:
                     shuffle_queues[dest].put(
-                        (rank, encode_batch([], transport=exchange))
+                        (rank, encode_batch([], transport=exchange), [])
                     )
                 except BaseException:
                     pass  # queue gone too; the driver's watch covers it
@@ -285,6 +344,16 @@ class LocalExecutor(Executor):
     ``stall_seconds`` (optional, ``{rank: seconds}``) injects a sleep
     before each of that rank's chunk requests — a deliberate straggler
     for load-balancing tests and benchmarks.
+
+    ``fault_plan`` (a :class:`~repro.core.faults.FaultPlan`) arms the
+    recovery machinery: ranks it kills mid-map are detected by the
+    driver's liveness watch, their un-posted grants are reclaimed into
+    the pool, and a replacement process is respawned under the same
+    rank id — the run completes with output bit-identical to a
+    failure-free run.  ``speculate_after`` additionally re-executes
+    straggling in-flight grants on idle ranks; receivers drop the
+    duplicate map output by chunk-id provenance tags.  Without a plan,
+    any worker death is a :class:`WorkerFailure` exactly as before.
     """
 
     name = "local"
@@ -297,6 +366,7 @@ class LocalExecutor(Executor):
         timeout_seconds: float = 300.0,
         exchange: str = "shm",
         stall_seconds: Optional[Mapping[int, float]] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         super().__init__(n_workers)
         self.initial_distribution = initial_distribution
@@ -308,6 +378,10 @@ class LocalExecutor(Executor):
                 f"expected one of {EXCHANGE_TRANSPORTS}"
             )
         self.exchange = exchange
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            fault_plan.validate_for(n_workers)
+            stall_seconds = fault_plan.merged_stalls(stall_seconds)
         self.stall_seconds: Dict[int, float] = dict(stall_seconds or {})
 
     def run(
@@ -318,6 +392,23 @@ class LocalExecutor(Executor):
         schedule: Optional[ScheduleTrace] = None,
     ) -> JobResult:
         all_chunks = resolve_chunks(dataset, chunks)
+        fault = self.fault_plan
+        if fault is not None and schedule is not None:
+            raise ValueError(
+                "fault_plan and schedule replay are mutually exclusive: a "
+                "recorded trace already fixes every grant, so there is "
+                "nothing to reclaim or speculate"
+            )
+        if (
+            fault is not None
+            and fault.speculate_after is not None
+            and (job.accumulator is not None or job.combiner is not None)
+        ):
+            raise ValueError(
+                "speculate_after requires per-chunk map emissions; job "
+                f"{job.name!r} uses an accumulator/combiner whose "
+                "finish-time output cannot be deduplicated per chunk"
+            )
         # Replay validation happens here, in the driver, before any
         # process exists — a bad trace fails fast with full context.
         service = ChunkService(
@@ -327,6 +418,7 @@ class LocalExecutor(Executor):
             enable_stealing=job.config.enable_stealing,
             schedule=schedule,
             context=job.name,
+            speculate_after=None if fault is None else fault.speculate_after,
         )
         ctx = mp.get_context(self.start_method)
         if self.exchange == "shm":
@@ -352,8 +444,16 @@ class LocalExecutor(Executor):
         server.start()
 
         t_start = time.perf_counter()
-        procs = [
-            ctx.Process(
+
+        def spawn(rank: int, incarnation: int) -> mp.process.BaseProcess:
+            # Only the first incarnation carries the scripted kill: the
+            # replacement must survive to finish the reclaimed work.
+            kill_at = (
+                fault.kill_for(rank)
+                if fault is not None and incarnation == 0
+                else None
+            )
+            return ctx.Process(
                 target=_worker_main,
                 args=(
                     rank,
@@ -364,16 +464,21 @@ class LocalExecutor(Executor):
                         request_queue,
                         grant_queues[rank],
                         self.stall_seconds.get(rank, 0.0),
+                        kill_at,
                     ),
                     shuffle_queues,
                     result_queue,
                     self.exchange,
                 ),
-                name=f"gpmr-local-r{rank}",
+                name=f"gpmr-local-r{rank}.{incarnation}",
                 daemon=True,
             )
+
+        procs = [spawn(rank, 0) for rank in range(self.n_workers)]
+        respawns_left = {
+            rank: (fault.max_respawns if fault is not None else 0)
             for rank in range(self.n_workers)
-        ]
+        }
         for p in procs:
             p.start()
 
@@ -398,6 +503,11 @@ class LocalExecutor(Executor):
                         timeout=min(remaining, 0.5)
                     )
                 except queue_mod.Empty:
+                    if fault is not None:
+                        self._recover_dead_workers(
+                            procs, pending, service, grant_queues,
+                            respawns_left, spawn, ctx,
+                        )
                     failure = dead_worker_failure(procs)
                     if failure is not None and result_queue.empty():
                         raise failure
@@ -467,6 +577,9 @@ class LocalExecutor(Executor):
             elapsed=elapsed,
             workers=[s if s is not None else WorkerStats(rank=r)
                      for r, s in enumerate(worker_stats)],
+            chunks_reclaimed=service.chunks_reclaimed,
+            speculative_wins=service.speculative_wins,
+            retries_by_worker=list(service.retries_by_worker),
         )
         return JobResult(
             stats=stats,
@@ -474,24 +587,79 @@ class LocalExecutor(Executor):
             schedule=schedule if schedule is not None else service.trace,
         )
 
+    def _recover_dead_workers(
+        self,
+        procs,
+        pending: Set[int],
+        service: ChunkService,
+        grant_queues,
+        respawns_left: Dict[int, int],
+        spawn,
+        ctx,
+    ) -> None:
+        """Reclaim and respawn every dead rank that is still recoverable.
+
+        A rank qualifies when it died hard (nonzero exit), has respawn
+        budget left, and never marked its map output posted (the unit
+        of loss is the whole un-posted map phase — once batches may
+        have shipped, reclaiming would double-count them).  Ranks that
+        do not qualify are deliberately left for
+        :func:`dead_worker_failure`, preserving the no-plan failure
+        behavior.
+
+        Under the service lock: swap in a *fresh* grant queue for the
+        replacement (grants queued to the dead incarnation — consumed
+        or not — die with the old queue; no racy drain of a feeder
+        pipe), then ``reclaim`` so every grant the dead rank held goes
+        back in the pool.  The service thread grants under the same
+        lock, so no grant can slip onto the old queue afterwards.
+        """
+        for rank in sorted(pending):
+            p = procs[rank]
+            if p.is_alive() or p.exitcode in (0, None):
+                continue
+            if respawns_left.get(rank, 0) <= 0:
+                continue
+            if not service.can_recover(rank):
+                continue
+            with service.guard():
+                grant_queues[rank] = ctx.Queue()
+                service.reclaim(rank)
+            respawns_left[rank] -= 1
+            incarnation = self.fault_plan.max_respawns - respawns_left[rank]
+            procs[rank] = spawn(rank, incarnation)
+            procs[rank].start()
+
     @staticmethod
     def _drain_undelivered(shuffle_queues: List[mp.Queue]) -> None:
         """Unlink segments behind messages no worker ever consumed.
 
         On the happy path the queues are empty; after a failure they
         may still hold batches whose shared-memory segments would
-        otherwise outlive the run.
+        otherwise outlive the run.  A worker killed or terminated
+        mid-``put`` can leave a *partial* message in a queue's pipe;
+        ``get_nowait`` then blocks in ``_recv_bytes`` (the poll sees
+        bytes, the receive waits for the rest forever), so the drain
+        runs in a daemon thread with a bounded join — leaking a
+        segment beats hanging the run.
         """
-        for q in shuffle_queues:
-            while True:
-                try:
-                    _, message = q.get_nowait()
-                except (queue_mod.Empty, OSError, EOFError, ValueError):
-                    break
-                try:
-                    release_message(message)
-                except OSError:  # pragma: no cover - best-effort cleanup
-                    pass
+        def _drain() -> None:
+            for q in shuffle_queues:
+                while True:
+                    try:
+                        item = q.get_nowait()
+                    except (queue_mod.Empty, OSError, EOFError, ValueError):
+                        break
+                    try:
+                        release_message(item[1])
+                    except OSError:  # pragma: no cover - best-effort cleanup
+                        pass
+
+        t = threading.Thread(
+            target=_drain, name="gpmr-drain-undelivered", daemon=True
+        )
+        t.start()
+        t.join(timeout=5.0)
 
 
 register_backend(LocalExecutor.name, LocalExecutor)

@@ -20,8 +20,10 @@ import time
 from typing import List, Optional, Sequence
 
 from .dataflow import MapRunner, merge_incoming, reduce_worker
+from .local import WorkerFailure
 from ..core.chunk import Chunk
 from ..core.executor import Executor, register_backend
+from ..core.faults import FaultPlan
 from ..core.job import MapReduceJob
 from ..core.kvset import KeyValueSet
 from ..core.runtime import JobResult, resolve_chunks
@@ -38,10 +40,29 @@ class SerialExecutor(Executor):
     name = "serial"
 
     def __init__(
-        self, n_workers: int, initial_distribution: str = "round_robin"
+        self,
+        n_workers: int,
+        initial_distribution: str = "round_robin",
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         super().__init__(n_workers)
         self.initial_distribution = initial_distribution
+        #: kill injection mirrors the process backends in-process: at
+        #: its scripted grant ordinal a rank's un-posted map state is
+        #: discarded and its chunks reclaimed, exactly what SIGKILL
+        #: plus respawn does for real.  ``stall_seconds`` is ignored
+        #: (serial ranks take turns; there is no concurrent schedule to
+        #: skew) and ``speculate_after`` is rejected — with one rank
+        #: running at a time no grant can age while others idle.
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            fault_plan.validate_for(n_workers)
+            if fault_plan.speculate_after is not None:
+                raise ValueError(
+                    "speculate_after is meaningless on the serial backend: "
+                    "ranks run one at a time, so no in-flight grant can "
+                    "straggle behind idle workers"
+                )
 
     def run(
         self,
@@ -51,6 +72,13 @@ class SerialExecutor(Executor):
         schedule: Optional[ScheduleTrace] = None,
     ) -> JobResult:
         all_chunks = resolve_chunks(dataset, chunks)
+        fault = self.fault_plan
+        if fault is not None and schedule is not None:
+            raise ValueError(
+                "fault_plan and schedule replay are mutually exclusive: a "
+                "recorded trace already fixes every grant, so there is "
+                "nothing to reclaim or speculate"
+            )
         service = ChunkService(
             all_chunks,
             self.n_workers,
@@ -63,6 +91,12 @@ class SerialExecutor(Executor):
         t_start = time.perf_counter()
         stats = [WorkerStats(rank=r) for r in range(self.n_workers)]
         runners = [MapRunner(job, self.n_workers) for _ in range(self.n_workers)]
+        grants_received = [0] * self.n_workers
+        respawns_left = [
+            0 if fault is None else fault.max_respawns
+            for _ in range(self.n_workers)
+        ]
+        killed = [False] * self.n_workers
 
         # Interleaved pull: every active rank requests one chunk per
         # round, in rank order.  This models equal-speed workers, keeps
@@ -76,6 +110,29 @@ class SerialExecutor(Executor):
                 assignment = service.request(rank)
                 if assignment is None:
                     active.discard(rank)
+                    service.mark_posted(rank)
+                    continue
+                grants_received[rank] += 1
+                kill_at = None if fault is None else fault.kill_for(rank)
+                if (
+                    kill_at is not None
+                    and not killed[rank]
+                    and grants_received[rank] >= kill_at
+                ):
+                    # The scripted death: this grant is never mapped,
+                    # and everything the rank mapped-but-not-posted
+                    # dies with it.
+                    killed[rank] = True
+                    if respawns_left[rank] <= 0 or not service.can_recover(rank):
+                        raise WorkerFailure(
+                            rank,
+                            f"rank {rank} killed at grant {kill_at} with no "
+                            "respawn budget left",
+                        )
+                    respawns_left[rank] -= 1
+                    service.reclaim(rank)
+                    runners[rank] = MapRunner(job, self.n_workers)
+                    stats[rank] = WorkerStats(rank=rank)
                     continue
                 t0 = time.perf_counter()
                 runners[rank].feed(assignment.chunk)
@@ -110,6 +167,9 @@ class SerialExecutor(Executor):
                 n_gpus=self.n_workers,
                 elapsed=time.perf_counter() - t_start,
                 workers=stats,
+                chunks_reclaimed=service.chunks_reclaimed,
+                speculative_wins=service.speculative_wins,
+                retries_by_worker=list(service.retries_by_worker),
             ),
             outputs=outputs,
             schedule=schedule if schedule is not None else service.trace,

@@ -45,6 +45,7 @@ from .wire import (
     MSG_CHUNKS_DONE,
     MSG_ERROR,
     MSG_HELLO,
+    MSG_MAPS_DONE,
     MSG_RESULT,
     MSG_RESUME,
     MSG_WELCOME,
@@ -56,6 +57,7 @@ from .wire import (
     recv_frame,
     send_frame,
 )
+from ..core.scheduler import RETRY
 
 __all__ = ["Coordinator", "ClusterTimeout", "RankFailure"]
 
@@ -116,6 +118,16 @@ class Coordinator:
         self._conns: Dict[int, socket.socket] = {}
         #: rank -> advertised shuffle (host, port)
         self.shuffle_peers: Dict[int, Tuple[str, int]] = {}
+        #: membership epoch: bumped on every join/leave (registration
+        #: included), carried on WELCOME/ASSIGN/grant frames so ranks
+        #: can observe membership changes between grant rounds
+        self.epoch = 0
+        #: ``(epoch, "join"|"leave", rank)`` events, in epoch order
+        self.membership_log: List[Tuple[int, str, int]] = []
+        #: the broadcast job blob, kept so a replacement rank can be
+        #: re-assigned mid-run (set by :meth:`broadcast_assignments`)
+        self._job_blob: Optional[bytes] = None
+        self._fault_plan: Optional[Any] = None
 
     # -- lifecycle ---------------------------------------------------------
     @property
@@ -196,43 +208,75 @@ class Coordinator:
                 raise FabricError(f"duplicate registration for rank {rank}")
             self._conns[rank] = conn
             self.shuffle_peers[rank] = tuple(hello["shuffle_address"])
+            self.epoch += 1
+            self.membership_log.append((self.epoch, "join", rank))
             send_frame(
                 conn,
                 MSG_WELCOME,
                 {"n_workers": self.n_workers,
-                 "max_frame_bytes": self.max_frame_bytes},
+                 "max_frame_bytes": self.max_frame_bytes,
+                 "epoch": self.epoch},
                 max_frame_bytes=self.max_frame_bytes,
             )
 
     # -- 2. assignment broadcast -------------------------------------------
-    def broadcast_assignments(self, job: Any) -> None:
+    def broadcast_assignments(
+        self, job: Any, fault_plan: Optional[Any] = None
+    ) -> None:
         """Ship the job and the peer directory — metadata only.
 
         The job (potentially megabytes of mapper state) is pickled
-        *once* and embedded as a blob in every rank's ASSIGN frame.
-        Chunks do **not** travel here: ranks pull them one at a time
-        through CHUNK_REQ/CHUNK_GRANT during phase 4, so the frame
-        carries only what every rank needs before the barrier.
+        *once* and embedded as a blob in every rank's ASSIGN frame (and
+        kept, so a replacement rank rejoining mid-run can be
+        re-assigned without the driver's involvement).  Chunks do
+        **not** travel here: ranks pull them one at a time through
+        CHUNK_REQ/CHUNK_GRANT during phase 4.  With a ``fault_plan``,
+        each rank's ASSIGN carries its scripted kill/stall injection.
         """
-        job_blob = pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL)
+        self._job_blob = pickle.dumps(job, protocol=pickle.HIGHEST_PROTOCOL)
+        self._fault_plan = fault_plan
         peers = dict(self.shuffle_peers)
         for rank in range(self.n_workers):
             try:
                 send_frame(
                     self._conns[rank],
                     MSG_ASSIGN,
-                    {
-                        "job_pickle": job_blob,
-                        "peers": peers,
-                        "n_workers": self.n_workers,
-                        "compress_exchange": self.compress_exchange,
-                    },
+                    self._assignment_payload(rank, peers, fault_plan),
                     max_frame_bytes=self.max_frame_bytes,
                 )
             except PeerDisconnected as exc:
                 raise RankFailure(
                     rank, f"disconnected before receiving its assignment: {exc}"
                 ) from exc
+
+    def _assignment_payload(
+        self,
+        rank: int,
+        peers: Dict[int, Tuple[str, int]],
+        fault_plan: Optional[Any],
+        rejoin: bool = False,
+    ) -> Dict[str, Any]:
+        fault: Dict[str, Any] = {}
+        if fault_plan is not None:
+            # A replacement incarnation never re-runs its predecessor's
+            # scripted kill — it exists to finish the reclaimed work.
+            # A stall is a rank property (a slow host stays slow) and
+            # survives respawn.
+            kill_at = fault_plan.kill_for(rank)
+            stall = fault_plan.stall_for(rank)
+            if kill_at is not None and not rejoin:
+                fault["kill_at_chunk"] = kill_at
+            if stall:
+                fault["stall_seconds"] = stall
+        return {
+            "job_pickle": self._job_blob,
+            "peers": peers,
+            "n_workers": self.n_workers,
+            "compress_exchange": self.compress_exchange,
+            "epoch": self.epoch,
+            "fault": fault,
+            "rejoin": rejoin,
+        }
 
     # -- 3. barrier ---------------------------------------------------------
     def barrier(self, name: str = "start") -> None:
@@ -283,7 +327,9 @@ class Coordinator:
 
     # -- 4. chunk service + result collection --------------------------------
     def collect_results(
-        self, chunk_service: Optional[Any] = None
+        self,
+        chunk_service: Optional[Any] = None,
+        respawner: Optional[Callable[[int, int], bool]] = None,
     ) -> List[Tuple[int, Any, Any]]:
         """Serve chunk pulls and gather one RESULT frame per rank.
 
@@ -292,24 +338,39 @@ class Coordinator:
         :class:`~repro.core.scheduler.ChunkService`): the rank's next
         chunk rides back as a ``CHUNK_GRANT`` carrying the victim rank
         (so the worker can count its steals), or ``CHUNKS_DONE`` once
-        the service has nothing left for it.  Returns ``(rank, output,
-        stats)`` tuples in rank order.  The first ERROR frame raises
-        :class:`RankFailure` carrying the remote traceback
-        *immediately* — peers of the failed rank may still be draining
-        the shuffle, and a single failure must not cost the run its
-        full timeout.  A connection that drops before reporting raises
-        :class:`RankFailure` too — a hard-killed worker is detected
-        here, not waited out.
+        the service has nothing left for it (a ``retry`` flag instead
+        asks the idle rank to re-poll while speculation may still free
+        up work).  A ``MAPS_DONE`` frame marks the rank's map phase
+        posted at the service.  Returns ``(rank, output, stats)``
+        tuples in rank order.
+
+        The first ERROR frame raises :class:`RankFailure` carrying the
+        remote traceback *immediately*.  A connection that drops before
+        reporting normally raises :class:`RankFailure` too — but with a
+        ``respawner`` attached, a rank that died *before posting its
+        map output* is recovered instead: its connection is retired,
+        its un-posted grants are reclaimed into the pool, a membership
+        epoch is logged, and ``respawner(rank, shuffle_port)`` launches
+        a replacement which rejoins mid-run through the listener (its
+        HELLO carries ``rejoin``) and pulls the reclaimed work.
         """
         results: Dict[int, Tuple[int, Any, Any]] = {}
         deadline = self._deadline()
         with selectors.DefaultSelector() as sel:
             for rank, conn in self._conns.items():
                 sel.register(conn, selectors.EVENT_READ, rank)
+            # The listener stays live so a replacement rank can join
+            # between grant rounds (registered with data=None).
+            sel.register(self._listener, selectors.EVENT_READ, None)
             while len(results) < self.n_workers:
-                waiting = [r for r in self._conns if r not in results]
+                waiting = [
+                    r for r in range(self.n_workers) if r not in results
+                ]
                 self._tick(deadline, "result collection", waiting)
                 for key, _ in sel.select(timeout=_POLL_SECONDS):
+                    if key.data is None:
+                        self._accept_rejoin(sel)
+                        continue
                     rank = key.data
                     if rank in results:
                         continue
@@ -318,13 +379,31 @@ class Coordinator:
                             key.fileobj, max_frame_bytes=self.max_frame_bytes
                         )
                     except PeerDisconnected as exc:
+                        if self._recover_rank(
+                            rank, sel, key.fileobj, chunk_service, respawner
+                        ):
+                            continue
                         raise RankFailure(
                             rank,
                             f"worker process disconnected before reporting "
                             f"a result ({exc})",
                         ) from exc
                     if msg_type == MSG_CHUNK_REQ:
-                        self._answer_chunk_request(rank, chunk_service)
+                        try:
+                            self._answer_chunk_request(rank, chunk_service)
+                        except RankFailure:
+                            # Death on the send side of a grant: the
+                            # grant stayed outstanding, so recovery
+                            # reclaims it with the rest.
+                            if not self._recover_rank(
+                                rank, sel, key.fileobj, chunk_service,
+                                respawner,
+                            ):
+                                raise
+                        continue
+                    if msg_type == MSG_MAPS_DONE:
+                        if chunk_service is not None:
+                            chunk_service.mark_posted(rank)
                         continue
                     if msg_type == MSG_RESULT:
                         results[rank] = (
@@ -340,8 +419,107 @@ class Coordinator:
                     sel.unregister(key.fileobj)
         return [results[r] for r in sorted(results)]
 
+    # -- fault tolerance ------------------------------------------------------
+    def _recover_rank(
+        self,
+        rank: int,
+        sel: selectors.BaseSelector,
+        conn: socket.socket,
+        chunk_service: Optional[Any],
+        respawner: Optional[Callable[[int, int], bool]],
+    ) -> bool:
+        """Try to survive ``rank``'s death; True if a replacement is due.
+
+        Recovery needs a respawner, a chunk service that still holds
+        the rank's whole un-posted map phase (nothing shipped — the
+        unit of loss), and respawn budget (the respawner's call).  The
+        replacement is told to bind the dead rank's exact shuffle port,
+        so the peer directory every surviving rank already holds stays
+        valid — pending batches re-route to the replacement by retry.
+        """
+        if (
+            respawner is None
+            or chunk_service is None
+            or not chunk_service.can_recover(rank)
+        ):
+            return False
+        try:
+            sel.unregister(conn)
+        except (KeyError, ValueError):
+            pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+        self._conns.pop(rank, None)
+        if not respawner(rank, self.shuffle_peers[rank][1]):
+            return False  # respawn budget exhausted
+        self.epoch += 1
+        self.membership_log.append((self.epoch, "leave", rank))
+        chunk_service.reclaim(rank)
+        return True
+
+    def _accept_rejoin(self, sel: selectors.BaseSelector) -> None:
+        """Admit a replacement rank's mid-run HELLO (or drop a stray).
+
+        The handshake mirrors registration: WELCOME, then an ASSIGN
+        rebuilt from the stored job blob and the *current* peer
+        directory, flagged ``rejoin`` so the endpoint skips the start
+        barrier and goes straight to pulling chunks.
+        """
+        try:
+            conn, _addr = self._listener.accept()
+        except (socket.timeout, OSError):
+            return
+        conn.settimeout(min(5.0, self.timeout_seconds))
+        try:
+            _, hello = recv_frame(
+                conn, max_frame_bytes=self.max_frame_bytes, expect=MSG_HELLO
+            )
+        except ProtocolVersionError:
+            conn.close()
+            raise
+        except (ProtocolError, PeerDisconnected, socket.timeout):
+            conn.close()  # not a rank; ignore
+            return
+        rank = int(hello.get("rank", -1))
+        if (
+            not hello.get("rejoin")
+            or not 0 <= rank < self.n_workers
+            or rank in self._conns
+        ):
+            conn.close()  # not a legitimate mid-run rejoin
+            return
+        if self._job_blob is None:
+            conn.close()
+            raise FabricError(
+                f"rank {rank} tried to rejoin before any assignment broadcast"
+            )
+        conn.settimeout(self.timeout_seconds)
+        self._conns[rank] = conn
+        self.shuffle_peers[rank] = tuple(hello["shuffle_address"])
+        self.epoch += 1
+        self.membership_log.append((self.epoch, "join", rank))
+        send_frame(
+            conn,
+            MSG_WELCOME,
+            {"n_workers": self.n_workers,
+             "max_frame_bytes": self.max_frame_bytes,
+             "epoch": self.epoch},
+            max_frame_bytes=self.max_frame_bytes,
+        )
+        send_frame(
+            conn,
+            MSG_ASSIGN,
+            self._assignment_payload(
+                rank, dict(self.shuffle_peers), self._fault_plan, rejoin=True
+            ),
+            max_frame_bytes=self.max_frame_bytes,
+        )
+        sel.register(conn, selectors.EVENT_READ, rank)
+
     def _answer_chunk_request(self, rank: int, chunk_service: Optional[Any]) -> None:
-        """Reply to one rank's CHUNK_REQ with a grant or done."""
+        """Reply to one rank's CHUNK_REQ with a grant, retry, or done."""
         if chunk_service is None:
             raise FabricError(
                 f"rank {rank} requested a chunk but no chunk service is "
@@ -351,14 +529,22 @@ class Coordinator:
         try:
             if assignment is None:
                 send_frame(
-                    self._conns[rank], MSG_CHUNKS_DONE, {},
+                    self._conns[rank], MSG_CHUNKS_DONE,
+                    {"epoch": self.epoch},
+                    max_frame_bytes=self.max_frame_bytes,
+                )
+            elif assignment is RETRY:
+                send_frame(
+                    self._conns[rank], MSG_CHUNKS_DONE,
+                    {"retry": True, "epoch": self.epoch},
                     max_frame_bytes=self.max_frame_bytes,
                 )
             else:
                 send_frame(
                     self._conns[rank],
                     MSG_CHUNK_GRANT,
-                    {"chunk": assignment.chunk, "victim": assignment.victim},
+                    {"chunk": assignment.chunk, "victim": assignment.victim,
+                     "epoch": self.epoch},
                     max_frame_bytes=self.max_frame_bytes,
                 )
         except PeerDisconnected as exc:

@@ -38,7 +38,9 @@ else is plain TCP — the same code joins a fabric from another host via
 
 from __future__ import annotations
 
+import os
 import pickle
+import signal
 import socket
 import threading
 import time
@@ -49,11 +51,13 @@ from .stream import recv_batch, send_batch
 from .wire import (
     MSG_ASSIGN,
     MSG_BARRIER,
+    MSG_BATCH_ACK,
     MSG_CHUNK_GRANT,
     MSG_CHUNK_REQ,
     MSG_CHUNKS_DONE,
     MSG_ERROR,
     MSG_HELLO,
+    MSG_MAPS_DONE,
     MSG_NAMES,
     MSG_RESULT,
     MSG_RESUME,
@@ -64,7 +68,9 @@ from .wire import (
     ProtocolError,
     ProtocolVersionError,
     recv_frame,
+    recv_raw_frame,
     send_frame,
+    send_raw_frame,
 )
 
 __all__ = ["RankEndpoint", "run_rank"]
@@ -85,20 +91,48 @@ class RankEndpoint:
         advertise_host: Optional[str] = None,
         timeout_seconds: float = 120.0,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        listen_port: int = 0,
+        rejoin: bool = False,
     ) -> None:
         self.rank = int(rank)
         self.coordinator_address = tuple(coordinator)
         self.timeout_seconds = float(timeout_seconds)
         self.max_frame_bytes = int(max_frame_bytes)
+        #: True when this endpoint is a replacement incarnation joining
+        #: a run already past its start barrier (its HELLO says so, and
+        #: :meth:`run_job` skips the barrier)
+        self.rejoin = bool(rejoin)
         # Data plane first: the listener must exist before HELLO
-        # advertises it, so no peer can ever dial a closed port.
-        self._shuffle_listener = socket.create_server((listen_host, 0), backlog=16)
+        # advertises it, so no peer can ever dial a closed port.  A
+        # replacement binds its predecessor's exact port
+        # (``listen_port``) so every surviving peer's directory stays
+        # valid — retrying EADDRINUSE, because a survivor's outbound
+        # retry can transiently occupy the freed port (loopback
+        # self-connect / ephemeral source-port collision) until its
+        # next backoff releases it.
+        bind_deadline = time.monotonic() + self.timeout_seconds
+        while True:
+            try:
+                self._shuffle_listener = socket.create_server(
+                    (listen_host, int(listen_port)), backlog=16
+                )
+                break
+            except OSError:
+                if int(listen_port) == 0 or time.monotonic() > bind_deadline:
+                    raise
+                time.sleep(0.1)
         self._shuffle_listener.settimeout(_POLL_SECONDS)
         port = self._shuffle_listener.getsockname()[1]
         self.shuffle_address = (advertise_host or listen_host, port)
         self._control: Optional[socket.socket] = None
         self.n_workers: Optional[int] = None
         self.peers: Dict[int, Tuple[str, int]] = {}
+        #: membership epoch last observed on a coordinator frame
+        self.epoch = 0
+        #: scripted fault injection, learned from ASSIGN
+        self._kill_at_chunk: Optional[int] = None
+        self._stall_seconds = 0.0
+        self._grants_received = 0
         #: wire frames this rank's outbound shuffle used (BATCH +
         #: BATCH_DATA, summed over destinations) — the coalescing
         #: effectiveness measure surfaced as WorkerStats.shuffle_frames_sent
@@ -117,7 +151,8 @@ class RankEndpoint:
         send_frame(
             self._control,
             MSG_HELLO,
-            {"rank": self.rank, "shuffle_address": self.shuffle_address},
+            {"rank": self.rank, "shuffle_address": self.shuffle_address,
+             "rejoin": self.rejoin},
             max_frame_bytes=self.max_frame_bytes,
         )
         _, welcome = recv_frame(
@@ -127,6 +162,7 @@ class RankEndpoint:
         self.max_frame_bytes = int(
             welcome.get("max_frame_bytes", self.max_frame_bytes)
         )
+        self.epoch = int(welcome.get("epoch", 0))
 
     def receive_assignment(self) -> Any:
         """Block for ASSIGN; returns the job and stores the peer map.
@@ -140,6 +176,10 @@ class RankEndpoint:
         self.n_workers = int(assign["n_workers"])
         self.peers = {int(r): tuple(a) for r, a in assign["peers"].items()}
         self.compress_exchange = bool(assign.get("compress_exchange", False))
+        self.epoch = int(assign.get("epoch", self.epoch))
+        fault = assign.get("fault") or {}
+        self._kill_at_chunk = fault.get("kill_at_chunk")
+        self._stall_seconds = float(fault.get("stall_seconds", 0.0))
         # The job travels as a nested blob, pickled once for all ranks.
         return pickle.loads(assign["job_pickle"])
 
@@ -148,23 +188,44 @@ class RankEndpoint:
 
         Returns ``(chunk, victim_rank)``, or ``None`` once the
         coordinator answers CHUNKS_DONE.  A grant whose victim is not
-        this rank was stolen from that rank's queue at runtime.
+        this rank was stolen from that rank's queue at runtime.  A
+        ``retry``-flagged CHUNKS_DONE (speculation may still free up
+        work) re-polls after a short sleep.  Scripted fault injection
+        from ASSIGN lives here: ``stall_seconds`` sleeps before every
+        request, and the rank SIGKILLs itself upon receiving its
+        ``kill_at_chunk``-th grant — genuinely mid-map.
         """
-        send_frame(
-            self._control, MSG_CHUNK_REQ, {"rank": self.rank},
-            max_frame_bytes=self.max_frame_bytes,
-        )
-        msg_type, payload = recv_frame(
-            self._control, max_frame_bytes=self.max_frame_bytes
-        )
-        if msg_type == MSG_CHUNKS_DONE:
-            return None
-        if msg_type != MSG_CHUNK_GRANT:
-            raise FabricError(
-                f"expected CHUNK_GRANT or CHUNKS_DONE, got "
-                f"{MSG_NAMES.get(msg_type, msg_type)}"
+        while True:
+            if self._stall_seconds:
+                time.sleep(self._stall_seconds)
+            send_frame(
+                self._control, MSG_CHUNK_REQ, {"rank": self.rank},
+                max_frame_bytes=self.max_frame_bytes,
             )
-        return payload["chunk"], int(payload["victim"])
+            msg_type, payload = recv_frame(
+                self._control, max_frame_bytes=self.max_frame_bytes
+            )
+            if isinstance(payload, dict) and "epoch" in payload:
+                self.epoch = int(payload["epoch"])
+            if msg_type == MSG_CHUNKS_DONE:
+                if payload.get("retry"):
+                    time.sleep(0.02)
+                    continue
+                return None
+            if msg_type != MSG_CHUNK_GRANT:
+                raise FabricError(
+                    f"expected CHUNK_GRANT or CHUNKS_DONE, got "
+                    f"{MSG_NAMES.get(msg_type, msg_type)}"
+                )
+            self._grants_received += 1
+            if (
+                self._kill_at_chunk is not None
+                and self._grants_received >= self._kill_at_chunk
+            ):
+                # Die exactly as "kill -9" would: no cleanup, no
+                # courtesy batches, the grant never mapped.
+                os.kill(os.getpid(), signal.SIGKILL)
+            return payload["chunk"], int(payload["victim"])
 
     def barrier(self, name: str = "start") -> None:
         """Report arrival at ``name`` and block until RESUME."""
@@ -195,31 +256,80 @@ class RankEndpoint:
         )
 
     # -- data plane: the all-to-all exchange -------------------------------
-    def _send_batch(self, dest: int, parts: Sequence[Any]) -> None:
-        counters: Dict[str, int] = {}
-        with socket.create_connection(
-            self.peers[dest], timeout=self.timeout_seconds
-        ) as sock:
-            send_batch(
-                sock,
-                self.rank,
-                parts,
-                max_frame_bytes=self.max_frame_bytes,
-                compress=self.compress_exchange,
-                counters=counters,
-            )
+    def _send_batch(
+        self,
+        dest: int,
+        parts: Sequence[Any],
+        chunk_ids: Optional[Sequence[int]] = None,
+        *,
+        confirm: bool = True,
+    ) -> None:
+        """Deliver one batch to ``dest``, confirmed, retrying until then.
+
+        A send is only *delivered* when the receiver's BATCH_ACK comes
+        back — bytes accepted into a dead peer's kernel buffers are
+        not.  Any failure (refused connect while a replacement rank is
+        still rebinding its predecessor's port, a reset when the peer
+        died mid-receive, an unacknowledged batch) reconnects and
+        resends the whole batch until the deadline.  Receivers
+        deduplicate by source rank, so a batch that was delivered but
+        whose ACK was lost is simply dropped on the resend.
+        """
+        deadline = time.monotonic() + self.timeout_seconds
+        attempt = 0
+        while True:
+            attempt += 1
+            counters: Dict[str, int] = {}
+            try:
+                with socket.create_connection(
+                    self.peers[dest], timeout=self.timeout_seconds
+                ) as sock:
+                    if sock.getsockname() == sock.getpeername():
+                        # Loopback self-connect: retrying into a dead
+                        # peer's freed port can TCP-simultaneous-open
+                        # onto itself, which both fakes a connection
+                        # and blocks the replacement rank from
+                        # rebinding that port.  Abort and back off.
+                        raise OSError("self-connected to own ephemeral port")
+                    sock.settimeout(self.timeout_seconds)
+                    send_batch(
+                        sock,
+                        self.rank,
+                        parts,
+                        max_frame_bytes=self.max_frame_bytes,
+                        compress=self.compress_exchange,
+                        counters=counters,
+                        chunk_ids=chunk_ids,
+                    )
+                    if confirm:
+                        recv_raw_frame(
+                            sock,
+                            max_frame_bytes=self.max_frame_bytes,
+                            expect=MSG_BATCH_ACK,
+                        )
+                break
+            except (OSError, FabricError):
+                if not confirm or time.monotonic() + 0.25 > deadline:
+                    raise
+                time.sleep(0.25)
         with self._frames_lock:
             self.frames_sent += counters.get("frames", 0)
 
     def exchange(
-        self, parts_for: Sequence[Sequence[Any]]
-    ) -> List[Tuple[int, List[Any]]]:
+        self,
+        parts_for: Sequence[Sequence[Any]],
+        chunk_ids_for: Optional[Sequence[Sequence[int]]] = None,
+    ) -> List[Tuple[int, List[Any], Optional[List[int]]]]:
         """Run the one-batch-per-(src, dst) all-to-all shuffle.
 
-        ``parts_for[dest]`` is this rank's emission list for ``dest``.
-        Returns ``(source_rank, parts)`` batches for *every* source
-        including self, in arrival order (callers canonicalise with
-        :func:`repro.exec.dataflow.merge_incoming`).
+        ``parts_for[dest]`` is this rank's emission list for ``dest``;
+        ``chunk_ids_for`` (optional) the matching provenance tags.
+        Returns ``(source_rank, parts, chunk_ids)`` batches for *every*
+        source including self, in arrival order (callers canonicalise
+        with :func:`repro.exec.dataflow.merge_incoming`).  Every fully
+        received batch is confirmed with BATCH_ACK; a second batch from
+        a source that already delivered (its ACK got lost, or a
+        speculative-recovery resend) is acknowledged and dropped.
         """
         assert self.n_workers is not None, "exchange before connect()"
         n = self.n_workers
@@ -227,7 +337,11 @@ class RankEndpoint:
 
         def _sender(dest: int) -> None:
             try:
-                self._send_batch(dest, parts_for[dest])
+                self._send_batch(
+                    dest,
+                    parts_for[dest],
+                    None if chunk_ids_for is None else chunk_ids_for[dest],
+                )
             except BaseException as exc:  # surfaced after the joins
                 errors.append(exc)
 
@@ -242,17 +356,20 @@ class RankEndpoint:
         for t in senders:
             t.start()
 
-        batches: List[Tuple[int, List[Any]]] = [
-            (self.rank, list(parts_for[self.rank]))
+        self_tags = (
+            None if chunk_ids_for is None else list(chunk_ids_for[self.rank])
+        )
+        batches: List[Tuple[int, List[Any], Optional[List[int]]]] = [
+            (self.rank, list(parts_for[self.rank]), self_tags)
         ]
+        have = {self.rank}
         deadline = time.monotonic() + self.timeout_seconds
         while len(batches) < n:
             if time.monotonic() > deadline:
-                got = sorted(src for src, _ in batches)
                 raise FabricError(
                     f"rank {self.rank} shuffle timed out after "
                     f"{self.timeout_seconds}s; received batches only from "
-                    f"{got}"
+                    f"{sorted(have)}"
                 )
             try:
                 conn, _addr = self._shuffle_listener.accept()
@@ -261,14 +378,26 @@ class RankEndpoint:
             try:
                 with conn:
                     conn.settimeout(self.timeout_seconds)
-                    src, parts = recv_batch(
+                    src, parts, tags = recv_batch(
                         conn, max_frame_bytes=self.max_frame_bytes
                     )
+                    try:
+                        send_raw_frame(
+                            conn, MSG_BATCH_ACK, b"",
+                            max_frame_bytes=self.max_frame_bytes,
+                        )
+                    except (OSError, FabricError):
+                        # The sender gave up on this attempt; it will
+                        # resend and the dedup below drops the copy.
+                        pass
             except ProtocolVersionError:
                 raise  # a version-skewed peer is a real failure
             except (ProtocolError, PeerDisconnected, socket.timeout):
-                continue  # stray connection (scanner, health check); drop it
-            batches.append((int(src), parts))
+                continue  # stray or abandoned connection; drop it
+            if int(src) in have:
+                continue  # duplicate delivery (lost ACK); ACKed, dropped
+            have.add(int(src))
+            batches.append((int(src), parts, tags))
 
         for t in senders:
             t.join(timeout=self.timeout_seconds)
@@ -295,7 +424,10 @@ class RankEndpoint:
         posted = False
         try:
             job = self.receive_assignment()
-            self.barrier("start")
+            if not self.rejoin:
+                # A replacement rank joins mid-run: the start barrier
+                # already released while its predecessor was alive.
+                self.barrier("start")
 
             t0 = time.perf_counter()
             runner = MapRunner(job, self.n_workers)
@@ -315,8 +447,16 @@ class RankEndpoint:
             t1 = time.perf_counter()
             stats.add("map", t1 - t0)
 
+            # Announce the map/post boundary before any batch leaves:
+            # once the coordinator records this rank as posted, its
+            # chunks are no longer reclaimable, which is exactly when
+            # its output starts reaching peers.
+            send_frame(
+                self._control, MSG_MAPS_DONE, {"rank": self.rank},
+                max_frame_bytes=self.max_frame_bytes,
+            )
             posted = True  # exchange() sends every outbound batch itself
-            batches = self.exchange(mapped.parts)
+            batches = self.exchange(mapped.parts, mapped.part_chunk_ids)
             incoming = merge_incoming(batches)
             t2 = time.perf_counter()
             stats.add("bin", t2 - t1)
@@ -334,7 +474,7 @@ class RankEndpoint:
                     if dest == self.rank:
                         continue
                     try:
-                        self._send_batch(dest, [])
+                        self._send_batch(dest, [], confirm=False)
                     except (OSError, FabricError):
                         pass  # peer already gone; its own deadline covers it
             # A failure that reaches the coordinator as an ERROR frame is
@@ -370,12 +510,16 @@ def run_rank(
     advertise_host: Optional[str] = None,
     timeout_seconds: float = 120.0,
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    listen_port: int = 0,
+    rejoin: bool = False,
 ) -> None:
     """Join the fabric as ``rank`` and run one job end to end.
 
     The in-process entry point behind ``python -m repro.fabric.launch``
     and the process target :class:`repro.exec.cluster.ClusterExecutor`
-    spawns for local ranks.
+    spawns for local ranks.  A replacement for a dead rank passes
+    ``rejoin=True`` and the predecessor's exact shuffle ``listen_port``
+    (so the peer directory every live rank already holds stays valid).
     """
     with RankEndpoint(
         rank,
@@ -384,6 +528,8 @@ def run_rank(
         advertise_host=advertise_host,
         timeout_seconds=timeout_seconds,
         max_frame_bytes=max_frame_bytes,
+        listen_port=listen_port,
+        rejoin=rejoin,
     ) as endpoint:
         endpoint.connect()
         endpoint.run_job()

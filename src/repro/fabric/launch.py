@@ -77,6 +77,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_MAX_FRAME_BYTES,
         help="largest accepted wire frame (default: 1 GiB)",
     )
+    parser.add_argument(
+        "--listen-port",
+        type=int,
+        default=0,
+        help="shuffle listener port (default: ephemeral; a rejoining "
+        "replacement passes its predecessor's port)",
+    )
+    parser.add_argument(
+        "--rejoin",
+        action="store_true",
+        help="join as a replacement for a rank that died mid-run: skip "
+        "the start barrier and take over the dead rank's un-posted "
+        "chunks (requires --listen-port set to the dead rank's "
+        "shuffle port)",
+    )
     return parser
 
 
@@ -102,6 +117,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             advertise_host=advertise,
             timeout_seconds=args.timeout,
             max_frame_bytes=args.max_frame_bytes,
+            listen_port=args.listen_port,
+            rejoin=args.rejoin,
         )
     except Exception as exc:  # noqa: BLE001 - CLI boundary
         print(f"rank {args.rank} failed: {exc}", file=sys.stderr)

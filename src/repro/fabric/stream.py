@@ -57,7 +57,9 @@ __all__ = ["DEFAULT_CHUNK_BYTES", "send_batch", "recv_batch"]
 DEFAULT_CHUNK_BYTES = 1 << 20
 
 #: BATCH header frame payload: src(I) flags(B) total_nbytes(Q)
-#: manifest_len(I) — manifest bytes follow.
+#: manifest_len(I) — manifest bytes follow; with flags bit 1 set, a
+#: chunk-id tag block (count ``!I`` + count ``!q`` ids, one per part)
+#: follows the manifest.
 _BATCH_HEADER = struct.Struct("!IB3xQI")
 
 #: BATCH_DATA frame payload: raw_len(Q) flags(B) — body follows.
@@ -65,6 +67,12 @@ _BATCH_HEADER = struct.Struct("!IB3xQI")
 _DATA_HEADER = struct.Struct("!QB3x")
 
 _FLAG_ZLIB = 1
+#: batch header flag: a chunk-id provenance tag block trails the
+#: manifest (one id per part; -1 = finish-time emission), letting
+#: receivers deduplicate speculative re-execution output
+_FLAG_TAGS = 2
+
+_TAG_COUNT = struct.Struct("!I")
 
 
 def _chunk_bytes(max_frame_bytes: int) -> int:
@@ -125,20 +133,35 @@ def send_batch(
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
     compress: bool = False,
     counters: Optional[Dict[str, int]] = None,
+    chunk_ids: Optional[Sequence[int]] = None,
 ) -> int:
     """Stream one shuffle batch; returns payload bytes put on the wire.
 
     ``counters`` (optional dict) accumulates ``"frames"`` (BATCH +
     BATCH_DATA frames sent) and ``"bytes"`` for this call — the
-    exchange-stats hook.
+    exchange-stats hook.  ``chunk_ids`` (optional, one per part) ships
+    provenance tags in the header frame so receivers can drop
+    speculative-duplicate map output (see
+    :func:`repro.exec.dataflow.merge_incoming`).
     """
     manifest, buffers, total_nbytes = pack_parts(parts)
     chunk_bytes = _chunk_bytes(max_frame_bytes)
-    header = _BATCH_HEADER.pack(
-        src, _FLAG_ZLIB if compress else 0, total_nbytes, len(manifest)
-    )
+    flags = _FLAG_ZLIB if compress else 0
+    tag_block = b""
+    if chunk_ids is not None:
+        if len(chunk_ids) != len(parts):
+            raise ValueError(
+                f"chunk_ids carries {len(chunk_ids)} tag(s) for "
+                f"{len(parts)} part(s)"
+            )
+        flags |= _FLAG_TAGS
+        tag_block = _TAG_COUNT.pack(len(chunk_ids)) + struct.pack(
+            f"!{len(chunk_ids)}q", *chunk_ids
+        )
+    header = _BATCH_HEADER.pack(src, flags, total_nbytes, len(manifest))
     sent = send_raw_frame(
-        sock, MSG_BATCH, header + manifest, max_frame_bytes=max_frame_bytes
+        sock, MSG_BATCH, header + manifest + tag_block,
+        max_frame_bytes=max_frame_bytes,
     )
     frames = 1
     for chunk in _iter_chunks(buffers, chunk_bytes):
@@ -165,8 +188,10 @@ def recv_batch(
     sock: socket.socket,
     *,
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
-) -> Tuple[int, List[KeyValueSet]]:
-    """Receive one streamed batch; returns ``(source_rank, parts)``.
+) -> Tuple[int, List[KeyValueSet], Optional[List[int]]]:
+    """Receive one streamed batch; returns ``(source_rank, parts,
+    chunk_ids)`` — ``chunk_ids`` is ``None`` when the sender shipped no
+    provenance tags.
 
     Reassembles the DATA chunks into one buffer and decodes the parts
     as zero-copy views into it (the reduce path's concatenation is the
@@ -177,12 +202,32 @@ def recv_batch(
     )
     if len(payload) < _BATCH_HEADER.size:
         raise ProtocolError(f"BATCH header truncated at {len(payload)} B")
-    src, _flags, total_nbytes, manifest_len = _BATCH_HEADER.unpack_from(payload)
-    manifest = payload[_BATCH_HEADER.size :]
-    if len(manifest) != manifest_len:
+    src, hdr_flags, total_nbytes, manifest_len = _BATCH_HEADER.unpack_from(payload)
+    rest = payload[_BATCH_HEADER.size :]
+    if len(rest) < manifest_len:
         raise ProtocolError(
-            f"BATCH manifest holds {len(manifest)} B, header declares "
+            f"BATCH manifest holds {len(rest)} B, header declares "
             f"{manifest_len}"
+        )
+    manifest = rest[:manifest_len]
+    chunk_ids: Optional[List[int]] = None
+    trailer = rest[manifest_len:]
+    if hdr_flags & _FLAG_TAGS:
+        if len(trailer) < _TAG_COUNT.size:
+            raise ProtocolError("BATCH tag block truncated")
+        (n_tags,) = _TAG_COUNT.unpack_from(trailer)
+        expected = _TAG_COUNT.size + 8 * n_tags
+        if len(trailer) != expected:
+            raise ProtocolError(
+                f"BATCH tag block holds {len(trailer)} B, expected {expected}"
+            )
+        chunk_ids = list(
+            struct.unpack_from(f"!{n_tags}q", trailer, _TAG_COUNT.size)
+        )
+    elif trailer:
+        raise ProtocolError(
+            f"BATCH frame carries {len(trailer)} trailing byte(s) with no "
+            "tag flag set"
         )
     # Accumulate arriving chunks instead of pre-allocating
     # total_nbytes: the declared size is an unauthenticated 64-bit wire
@@ -216,7 +261,13 @@ def recv_batch(
         received.append(body)
         offset += raw_len
     try:
-        return src, unpack_parts(manifest, b"".join(received))
+        parts = unpack_parts(manifest, b"".join(received))
+        if chunk_ids is not None and len(chunk_ids) != len(parts):
+            raise ProtocolError(
+                f"BATCH carries {len(chunk_ids)} tag(s) for "
+                f"{len(parts)} part(s)"
+            )
+        return src, parts, chunk_ids
     except CodecError as exc:
         # A manifest that disagrees with the delivered payload is a
         # peer/protocol problem, not a local one: classify it so the

@@ -57,6 +57,8 @@ __all__ = [
     "MSG_CHUNK_REQ",
     "MSG_CHUNK_GRANT",
     "MSG_CHUNKS_DONE",
+    "MSG_BATCH_ACK",
+    "MSG_MAPS_DONE",
     "FabricError",
     "ProtocolError",
     "ProtocolVersionError",
@@ -75,8 +77,15 @@ __all__ = [
 #: followed by streamed BATCH_DATA chunk frames.  v3: chunk
 #: distribution went pull-based — ASSIGN carries job/config metadata
 #: only, and ranks fetch their chunks at runtime via
-#: CHUNK_REQ/CHUNK_GRANT/CHUNKS_DONE control frames.
-PROTOCOL_VERSION = 3
+#: CHUNK_REQ/CHUNK_GRANT/CHUNKS_DONE control frames.  v4: fault
+#: tolerance — membership epochs ride WELCOME/ASSIGN/grant frames, a
+#: dead rank's replacement rejoins mid-run with a ``rejoin`` HELLO,
+#: BATCH header frames may carry chunk-id provenance tags and every
+#: received batch is confirmed with BATCH_ACK (senders retry
+#: unconfirmed batches, so a batch lost in a dead peer's kernel
+#: buffers is re-routed to its replacement), and ranks announce the
+#: end of their map phase with MAPS_DONE before shuffling.
+PROTOCOL_VERSION = 4
 
 MAGIC = b"GPMR"
 
@@ -100,6 +109,8 @@ MSG_BATCH_DATA = 9  #: rank -> rank: one streamed chunk of batch payload
 MSG_CHUNK_REQ = 10    #: rank -> coordinator: give me my next chunk
 MSG_CHUNK_GRANT = 11  #: coordinator -> rank: {chunk, victim}
 MSG_CHUNKS_DONE = 12  #: coordinator -> rank: no more work for you
+MSG_BATCH_ACK = 13    #: rank -> rank: your shuffle batch arrived intact
+MSG_MAPS_DONE = 14    #: rank -> coordinator: map phase over, posting batches
 
 MSG_NAMES = {
     MSG_HELLO: "HELLO",
@@ -114,6 +125,8 @@ MSG_NAMES = {
     MSG_CHUNK_REQ: "CHUNK_REQ",
     MSG_CHUNK_GRANT: "CHUNK_GRANT",
     MSG_CHUNKS_DONE: "CHUNKS_DONE",
+    MSG_BATCH_ACK: "BATCH_ACK",
+    MSG_MAPS_DONE: "MAPS_DONE",
 }
 
 

@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from ..apps import run_kmc, run_lr, run_matmul, run_sio, run_wo
+from ..apps import APPS
+from ..core.runtime import JobResult
 from ..core.stats import JobStats
 
 __all__ = ["AppRun", "run_app"]
@@ -20,6 +22,11 @@ class AppRun:
     elapsed: float
     stats: JobStats
     backend: str = "sim"
+    #: the full result the backend returned — per-rank outputs, the
+    #: recorded :class:`~repro.core.scheduler.ScheduleTrace`, and the
+    #: fault counters; everything beyond the timing summary above.
+    #: (For the two-phase MM app this is its ``MMResult``.)
+    result: Optional[JobResult] = None
 
 
 def run_app(
@@ -31,6 +38,10 @@ def run_app(
     **executor_kwargs,
 ) -> AppRun:
     """Run ``app`` over ``dataset`` on ``n_gpus`` workers of ``backend``.
+
+    Dispatches through the :data:`repro.apps.APPS` registry — every
+    registered runner shares the uniform signature ``runner(n_gpus,
+    dataset, *, backend, schedule, **executor_kwargs)``.
 
     With the default ``"sim"`` backend ``elapsed`` is modeled cluster
     time; with a real backend (``"local"`` / ``"serial"`` /
@@ -44,44 +55,26 @@ def run_app(
     at runtime — and records it on the result.
 
     ``executor_kwargs`` go to the backend factory verbatim (e.g.
-    ``initial_distribution="single"`` to force an imbalanced start, or
-    the local backend's ``stall_seconds`` straggler injection).
+    ``initial_distribution="single"`` to force an imbalanced start,
+    ``fault_plan=FaultPlan(...)`` to arm kill/stall injection and
+    recovery, or the local backend's ``stall_seconds`` straggler
+    injection).
     """
-    if app == "MM":
-        result = run_matmul(
-            n_gpus, dataset, backend=backend, schedule=schedule,
-            **executor_kwargs,
-        )
-        stats = result.stats
-        elapsed = result.elapsed
-        size = dataset.m
-    elif app == "SIO":
-        r = run_sio(
-            n_gpus, dataset, backend=backend, schedule=schedule,
-            **executor_kwargs,
-        )
-        stats, elapsed, size = r.stats, r.elapsed, dataset.n_elements
-    elif app == "WO":
-        r = run_wo(
-            n_gpus, dataset, backend=backend, schedule=schedule,
-            executor_kwargs=executor_kwargs,
-        )
-        stats, elapsed, size = r.stats, r.elapsed, dataset.n_chars
-    elif app == "KMC":
-        r = run_kmc(
-            n_gpus, dataset, backend=backend, schedule=schedule,
-            **executor_kwargs,
-        )
-        stats, elapsed, size = r.stats, r.elapsed, dataset.n_points
-    elif app == "LR":
-        r = run_lr(
-            n_gpus, dataset, backend=backend, schedule=schedule,
-            **executor_kwargs,
-        )
-        stats, elapsed, size = r.stats, r.elapsed, dataset.n_points
-    else:
-        raise ValueError(f"unknown app {app!r}")
+    try:
+        spec = APPS[app]
+    except KeyError:
+        raise ValueError(
+            f"unknown app {app!r}; registered: {sorted(APPS)}"
+        ) from None
+    result = spec.runner(
+        n_gpus, dataset, backend=backend, schedule=schedule, **executor_kwargs
+    )
     return AppRun(
-        app=app, size=size, n_gpus=n_gpus, elapsed=elapsed, stats=stats,
+        app=app,
+        size=spec.size_of(dataset),
+        n_gpus=n_gpus,
+        elapsed=result.elapsed,
+        stats=result.stats,
         backend=backend,
+        result=result,
     )

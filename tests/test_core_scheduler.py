@@ -14,6 +14,7 @@ import threading
 import pytest
 
 from repro.core import (
+    RETRY,
     Chunk,
     ChunkScheduler,
     ChunkService,
@@ -380,3 +381,204 @@ def test_replay_service_distribution_matches_trace():
         ]
     assert svc.steals_by_worker == recorder.steals_by_worker
     assert sum(len(p) for p in per_worker) == len(chunks)
+
+
+# -- fault tolerance: reclaim / speculation ----------------------------------
+
+def test_reclaim_regrants_lost_chunks_exactly_once():
+    """A dead worker's un-posted grants return to the pool and are
+    re-granted exactly once: the effective trace still grants every
+    chunk exactly once, and ``chunks_reclaimed`` counts the loss."""
+    chunks = make_chunks(8)
+    sched = ChunkScheduler(2)
+    sched.assign(chunks, "round_robin")
+    # Worker 0 pulls twice: first grant moves to mapped on the second
+    # request, second stays in-flight — both are un-posted, both lost.
+    a1 = sched.request(0)
+    a2 = sched.request(0)
+    lost_ids = {a1.chunk.index, a2.chunk.index}
+    assert sched.outstanding(0) == sorted(lost_ids)
+    assert sched.can_recover(0)
+
+    assert sched.reclaim(0) == 2
+    assert sched.chunks_reclaimed == 2
+    assert sched.outstanding(0) == []
+    # The dead incarnation's grants are erased from the trace.
+    assert all(g.worker != 0 or g.chunk_id not in lost_ids
+               for g in sched.trace.grants)
+
+    grants = drain(sched, 2)
+    granted_ids = [a.chunk.index for _w, a in grants]
+    # The lost chunks came back out, and re-grants were flagged retries.
+    assert lost_ids <= set(granted_ids)
+    assert sum(sched.retries_by_worker) >= 2
+    for w in range(2):
+        sched.mark_posted(w)
+    effective = [g.chunk_id for g in sched.effective_trace.grants]
+    assert sorted(effective) == list(range(8))
+
+
+def test_reclaim_resets_dead_worker_ledgers_for_replacement():
+    """After a reclaim the dead rank's ledgers are zeroed, so a fresh
+    replacement incarnation's stats validate cleanly end-to-end."""
+    chunks = make_chunks(6)
+    svc = ChunkService(chunks, 2, initial_distribution="single")
+    svc.request(0)
+    svc.request(0)
+    assert svc.reclaim(0) == 2
+    assert svc.chunk_counts()[0] == 0
+    assert svc.steals_by_worker[0] == 0
+    assert svc.retries_by_worker[0] == 0
+
+    _drain_service(svc, 2)
+    stats = []
+    for rank in range(2):
+        w = WorkerStats(rank=rank)
+        w.chunks_mapped = svc.chunk_counts()[rank]
+        w.chunks_stolen = svc.steals_by_worker[rank]
+        stats.append(w)
+    svc.validate_ledgers(stats)
+    assert sorted(g.chunk_id for g in svc.trace.grants) == list(range(6))
+
+
+def test_reclaim_after_mark_posted_raises():
+    chunks = make_chunks(2)
+    sched = ChunkScheduler(1)
+    sched.assign(chunks, "single")
+    drain(sched, 1)
+    sched.mark_posted(0)
+    assert not sched.can_recover(0)
+    with pytest.raises(RuntimeError, match="already posted"):
+        sched.reclaim(0)
+
+
+def test_reclaim_skips_chunks_with_live_speculative_copy():
+    """A lost chunk whose speculative duplicate is still in flight on a
+    survivor is covered — it must not be re-queued a third time."""
+    chunks = make_chunks(3)
+    sched = ChunkScheduler(2, speculate_after=0.05)
+    sched.assign(chunks, "single")
+    a = sched.request(0)           # worker 0 holds chunk a in flight
+    sched.request(0)
+    sched.request(0)
+    # Backdate worker 0's in-flight grants so they are over-age.
+    for cid, (chunk, t) in list(sched._outstanding[0].items()):
+        sched._outstanding[0][cid] = (chunk, t - 10.0)
+    dup = sched.request(1)         # worker 1 speculates a duplicate
+    assert dup is not None and dup is not RETRY
+    dup_id = dup.chunk.index
+    # Worker 1 dies holding only the duplicate: nothing re-queues,
+    # worker 0's original copy covers the chunk.
+    assert sched.reclaim(1) == 0
+    assert sched.chunks_reclaimed == 0
+    sched.mark_posted(0)
+    effective = [g.chunk_id for g in sched.effective_trace.grants]
+    assert sorted(effective) == list(range(3))
+    assert a.chunk.index in effective and dup_id in effective
+
+
+def test_speculation_duplicates_only_aged_inflight_grants():
+    """Speculation answers RETRY while candidates are under-age, grants
+    the oldest over-age in-flight chunk at most twice, and the kept
+    copy is the canonical (lowest-rank) completer."""
+    chunks = make_chunks(2)
+    sched = ChunkScheduler(3, speculate_after=30.0)
+    sched.assign(chunks, "single")
+    g0 = sched.request(0)
+    g1 = sched.request(0)          # g0 -> mapped, g1 stays in flight
+    # Under-age in-flight work elsewhere: ask-again, not done.
+    assert sched.request(1) is RETRY
+    # Age the in-flight grant past the threshold; the idle worker
+    # duplicates it.
+    chunk, t = sched._outstanding[0][g1.chunk.index]
+    sched._outstanding[0][g1.chunk.index] = (chunk, t - 60.0)
+    dup = sched.request(1)
+    assert dup.chunk.index == g1.chunk.index
+    # Max two copies: a double-granted chunk is never granted a third
+    # time, and with nothing else speculable the third worker is done.
+    assert sched.request(2) is None
+    # Both copies finish; the lower rank's copy is the kept one, and
+    # the effective trace filters the loser back to one-grant-per-chunk.
+    sched.mark_posted(0)
+    sched.mark_posted(1)
+    assert sched.speculative_wins == 0  # original (rank 0) won
+    kept = [g for g in sched.effective_trace.grants
+            if g.chunk_id == g1.chunk.index]
+    assert len(kept) == 1 and kept[0].worker == 0
+    assert g0.chunk.index in [g.chunk_id for g in sched.effective_trace.grants]
+
+
+def test_speculation_win_counts_when_duplicate_posts_first():
+    """If only the duplicate's holder posts, the duplicate is the kept
+    copy and counts as a speculative win."""
+    chunks = make_chunks(1)
+    sched = ChunkScheduler(2, speculate_after=0.01)
+    sched.assign(chunks, "single")
+    g = sched.request(0)
+    chunk, t = sched._outstanding[0][g.chunk.index]
+    sched._outstanding[0][g.chunk.index] = (chunk, t - 1.0)
+    dup = sched.request(1)
+    assert dup.chunk.index == g.chunk.index
+    sched.mark_posted(1)           # duplicate completes; original never posts
+    assert sched.speculative_wins == 1
+    kept = sched.effective_trace.grants
+    assert [(x.worker, x.chunk_id) for x in kept if x.chunk_id == g.chunk.index] \
+        == [(1, g.chunk.index)]
+
+
+def test_mapped_but_unposted_chunks_are_not_speculation_candidates():
+    """A worker's next request moves its in-flight grants to
+    mapped-but-unposted; those stay reclaimable but stop being
+    speculation candidates (their output exists locally)."""
+    chunks = make_chunks(2)
+    sched = ChunkScheduler(2, speculate_after=0.0)
+    sched.assign(chunks, "single")
+    g0 = sched.request(0)
+    g1 = sched.request(0)          # g0 -> mapped, g1 in flight
+    for cid, (chunk, t) in list(sched._outstanding[0].items()):
+        sched._outstanding[0][cid] = (chunk, t - 10.0)
+    dup = sched.request(1)
+    assert dup.chunk.index == g1.chunk.index  # never the mapped g0
+    assert g0.chunk.index in sched._mapped[0]
+
+
+def test_chunk_service_rejects_speculation_under_replay():
+    chunks = make_chunks(4)
+    rec = ChunkScheduler(2)
+    rec.assign(chunks, "round_robin")
+    drain(rec, 2)
+    with pytest.raises(ValueError, match="replayed schedule"):
+        ChunkService(chunks, 2, schedule=rec.trace, speculate_after=0.1)
+
+
+def test_chunk_service_reclaim_is_atomic_under_guard():
+    """guard() holds the service lock so drain-then-reclaim is atomic
+    against a concurrent pull storm; the total grant set still covers
+    every chunk exactly once."""
+    chunks = make_chunks(40)
+    svc = ChunkService(chunks, 3, initial_distribution="single")
+    svc.request(0)
+    svc.request(0)
+    got = [[] for _ in range(3)]
+
+    def _pull(worker):
+        while True:
+            a = svc.request(worker)
+            if a is None:
+                return
+            got[worker].append(a.chunk.index)
+
+    threads = [threading.Thread(target=_pull, args=(w,), daemon=True)
+               for w in (1, 2)]
+    with svc.guard():
+        for t in threads:
+            t.start()
+        reclaimed = svc.reclaim(0)
+    assert reclaimed == 2
+    for t in threads:
+        t.join(timeout=10.0)
+    _drain_service(svc, 3)
+    for w in range(3):
+        svc.mark_posted(w)
+    assert sorted(g.chunk_id for g in svc.trace.grants) == list(range(40))
+    assert svc.chunks_reclaimed == 2

@@ -138,7 +138,7 @@ def test_batch_stream_round_trip(pair):
         target=lambda: result.update(sent=send_batch(a, 3, parts)), daemon=True
     )
     sender.start()
-    src, got = recv_batch(b)
+    src, got, _tags = recv_batch(b)
     sender.join(timeout=10.0)
     assert src == 3
     _assert_parts_identical(got, parts)
@@ -148,7 +148,7 @@ def test_batch_stream_round_trip(pair):
 def test_empty_batch_streams(pair):
     a, b = pair
     send_batch(a, 1, [])
-    src, got = recv_batch(b)
+    src, got, _tags = recv_batch(b)
     assert src == 1
     assert got == []
 
@@ -171,7 +171,7 @@ def test_batch_larger_than_frame_bound_streams(pair):
         daemon=True,
     )
     sender.start()
-    src, got = recv_batch(b, max_frame_bytes=bound)
+    src, got, _tags = recv_batch(b, max_frame_bytes=bound)
     sender.join(timeout=10.0)
     assert src == 0
     _assert_parts_identical(got, parts)
@@ -197,7 +197,7 @@ def test_batch_compression_round_trips(pair, compressible):
         daemon=True,
     )
     sender.start()
-    src, got = recv_batch(b)
+    src, got, _tags = recv_batch(b)
     sender.join(timeout=10.0)
     assert src == 2
     _assert_parts_identical(got, parts)
@@ -217,7 +217,7 @@ def test_zero_key_batch_streams(pair):
                           value_width=3, scale=2.0),
     ]
     send_batch(a, 5, parts)
-    src, got = recv_batch(b)
+    src, got, _tags = recv_batch(b)
     assert src == 5
     _assert_parts_identical(got, parts)
     assert all(len(p) == 0 for p in got)
@@ -254,7 +254,7 @@ def test_batch_exactly_at_frame_bound_streams(pair):
         daemon=True,
     )
     sender.start()
-    src, got = recv_batch(b, max_frame_bytes=bound)
+    src, got, _tags = recv_batch(b, max_frame_bytes=bound)
     sender.join(timeout=10.0)
     assert src == 1
     _assert_parts_identical(got, parts)
@@ -281,7 +281,7 @@ def test_many_small_parts_coalesce_into_few_data_frames(pair):
         daemon=True,
     )
     sender.start()
-    src, got = recv_batch(b)
+    src, got, _tags = recv_batch(b)
     sender.join(timeout=10.0)
     assert src == 2
     _assert_parts_identical(got, parts)
@@ -312,7 +312,7 @@ def test_incompressible_chunk_ships_raw_through_compression_gate(pair):
 
     a, b = pair
     sent = send_batch(a, 3, parts, compress=True)
-    src, got = recv_batch(b)
+    src, got, _tags = recv_batch(b)
     assert src == 3
     _assert_parts_identical(got, parts)
     # Exactly the raw bytes rode the wire: one header frame (struct +
@@ -602,10 +602,10 @@ def test_stray_connection_does_not_abort_shuffle():
         tb.start()
         results["a"] = a.exchange(parts_for)
         tb.join(timeout=10.0)
-        assert sorted(src for src, _ in results["a"]) == [0, 1]
-        assert sorted(src for src, _ in results["b"]) == [0, 1]
+        assert sorted(src for src, _p, _t in results["a"]) == [0, 1]
+        assert sorted(src for src, _p, _t in results["b"]) == [0, 1]
         for batches in results.values():
-            for src, parts in batches:
+            for src, parts, _tags in batches:
                 assert len(parts) == 1
                 # Rank r's inbox got the parts_for[r] payload.
                 assert parts[0].values.tobytes() == np.arange(8.0).tobytes()

@@ -1,0 +1,187 @@
+"""Fault tolerance: kill -9 mid-map, reclaim, respawn, speculate.
+
+The contract under test is the tentpole one: kill a rank mid-map on
+any backend and the job still completes with output **bit-identical**
+to a failure-free run, with ``chunks_reclaimed > 0`` proving the
+recovery path actually ran.  The real backends take a genuine SIGKILL
+(local: one process per worker; cluster: one endpoint process per
+rank, killed mid-protocol and replaced by a rejoining incarnation);
+the serial and sim mirrors model the same death deterministically so
+recovery schedules stay record/replay-able.
+
+Speculative re-execution is checked the same way: a scripted straggler
+forces a duplicate grant, both copies ship, and the canonical-winner
+dedup at the receivers keeps the output bit-identical — a duplicate
+never double-counts.
+
+The tier is marked ``slow`` (real processes, real sockets, scripted
+stalls): the default ``pytest -m "not slow"`` run skips it, and CI
+executes it in its own ``fault-tolerance`` job.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.sparse_int_occurrence import sio_dataset, sio_job, sio_validate
+from repro.core import FaultPlan, make_executor
+
+pytestmark = pytest.mark.slow
+
+N_WORKERS = 4
+
+
+def _dataset():
+    # 16 chunks over 4 workers: enough grants that a rank dying at its
+    # second grant is genuinely mid-map.
+    return sio_dataset(
+        n_elements=64_000, chunk_elements=4_000, key_space=1 << 14, seed=7
+    )
+
+
+def _assert_bit_identical(ref, got, tag):
+    assert len(ref.outputs) == len(got.outputs), tag
+    for rank, (a, b) in enumerate(zip(ref.outputs, got.outputs)):
+        where = f"{tag} rank {rank}"
+        assert (a is None) == (b is None), where
+        if a is None:
+            continue
+        assert a.keys.dtype == b.keys.dtype, where
+        assert np.array_equal(a.keys, b.keys), where
+        assert a.values.dtype == b.values.dtype, where
+        assert a.values.tobytes() == b.values.tobytes(), where
+        assert a.scale == b.scale, where
+
+
+def _run(backend, fault_plan=None, schedule=None, **kwargs):
+    ds = _dataset()
+    result = make_executor(
+        backend, N_WORKERS, fault_plan=fault_plan, **kwargs
+    ).run(sio_job(ds.key_space), dataset=ds, schedule=schedule)
+    sio_validate(result, ds)
+    return result
+
+
+# -- kill -9 mid-map on every backend ----------------------------------------
+
+@pytest.mark.parametrize(
+    "backend,kwargs",
+    [
+        ("local", {}),
+        ("cluster", {"timeout_seconds": 60.0}),
+    ],
+)
+def test_kill_rank_mid_map_bit_identical(backend, kwargs):
+    """A rank SIGKILLed at its 2nd grant is reclaimed + respawned; the
+    recovered run is bit-identical to the failure-free one."""
+    ref = _run(backend, **kwargs)
+    assert ref.stats.chunks_reclaimed == 0
+    got = _run(
+        backend, fault_plan=FaultPlan(kill_rank_at_chunk={1: 2}), **kwargs
+    )
+    assert got.stats.chunks_reclaimed > 0
+    # Reclaimed chunks are re-granted as flagged retries — to the
+    # respawned rank or to a survivor that stole them first.
+    assert sum(got.stats.retries_by_worker) > 0
+    _assert_bit_identical(ref, got, f"{backend} kill mid-map")
+
+
+@pytest.mark.parametrize("backend", ["serial", "sim"])
+def test_kill_mirror_backends_bit_identical(backend):
+    """The serial/sim mirrors model the same death deterministically."""
+    ref = _run(backend)
+    got = _run(backend, fault_plan=FaultPlan(kill_rank_at_chunk={1: 2}))
+    assert got.stats.chunks_reclaimed > 0
+    _assert_bit_identical(ref, got, f"{backend} kill mirror")
+
+
+def test_sim_recovery_schedule_replays_clean():
+    """The effective schedule a faulted sim run records grants every
+    chunk exactly once, so it replays bit-identically on a clean sim —
+    recovery runs stay record/replay-able."""
+    faulted = _run("sim", fault_plan=FaultPlan(kill_rank_at_chunk={2: 1}))
+    assert faulted.stats.chunks_reclaimed > 0
+    replayed = _run("sim", schedule=faulted.schedule)
+    assert replayed.stats.chunks_reclaimed == 0
+    _assert_bit_identical(faulted, replayed, "sim recovery replay")
+
+
+def test_respawn_budget_exhaustion_fails_the_run():
+    """With max_respawns=0 a death is terminal, as before the redesign."""
+    from repro.exec.local import WorkerFailure
+
+    with pytest.raises(WorkerFailure):
+        _run(
+            "local",
+            fault_plan=FaultPlan(
+                kill_rank_at_chunk={1: 1}, max_respawns=0
+            ),
+        )
+
+
+# -- speculation: duplicate never double-counts ------------------------------
+
+@pytest.mark.parametrize(
+    "backend,kwargs",
+    [
+        ("local", {}),
+        ("cluster", {"timeout_seconds": 60.0}),
+    ],
+)
+def test_speculative_duplicate_never_double_counts(backend, kwargs):
+    """A scripted straggler forces a speculative duplicate; both copies
+    ship their batches, the receivers keep the canonical one, and the
+    output stays bit-identical to an unfaulted run."""
+    ds = sio_dataset(
+        n_elements=32_000, chunk_elements=2_000, key_space=1 << 14, seed=9
+    )
+    job = sio_job(ds.key_space, map_sleep_seconds=0.05)
+    ref = make_executor(backend, 2, **kwargs).run(job, dataset=ds)
+    got = make_executor(
+        backend,
+        2,
+        fault_plan=FaultPlan(stall_seconds={1: 0.3}, speculate_after=0.1),
+        **kwargs,
+    ).run(job, dataset=ds)
+    sio_validate(got, ds)
+    assert got.stats.speculative_wins > 0
+    _assert_bit_identical(ref, got, f"{backend} speculation")
+
+
+# -- plan validation at the executor boundary --------------------------------
+
+def test_fault_plan_and_schedule_replay_are_mutually_exclusive():
+    clean = _run("sim")
+    for backend in ("sim", "serial", "local"):
+        ex = make_executor(
+            backend, N_WORKERS, fault_plan=FaultPlan(kill_rank_at_chunk={0: 1})
+        )
+        ds = _dataset()
+        with pytest.raises(ValueError, match="schedule"):
+            ex.run(sio_job(ds.key_space), dataset=ds, schedule=clean.schedule)
+
+
+def test_speculation_rejected_on_deterministic_backends():
+    with pytest.raises(ValueError, match="sim backend"):
+        make_executor("sim", 2, fault_plan=FaultPlan(speculate_after=0.1))
+    with pytest.raises(ValueError, match="one at a time"):
+        make_executor("serial", 2, fault_plan=FaultPlan(speculate_after=0.1))
+
+
+def test_speculation_rejected_with_accumulator_jobs():
+    """Accumulated map state is not idempotent across duplicate grants;
+    the executor refuses the combination up front."""
+    from repro.apps.linear_regression import lr_dataset, lr_job
+
+    ds = lr_dataset(n_points=4_000, chunk_points=500)
+    ex = make_executor(
+        "local", 2, fault_plan=FaultPlan(speculate_after=0.1)
+    )
+    with pytest.raises(ValueError, match="accumulat|combine"):
+        ex.run(lr_job(use_accumulation=True), dataset=ds)
+
+
+def test_out_of_range_rank_rejected_at_construction():
+    with pytest.raises(ValueError, match="only 2 worker"):
+        make_executor(
+            "local", 2, fault_plan=FaultPlan(kill_rank_at_chunk={5: 1})
+        )

@@ -169,10 +169,11 @@ def test_mid_posting_failure_backfills_only_unserved_peers(transport):
 
     # Exactly one message for the served peer: the real batch.
     assert len(served.items) == 1
-    src, message = served.items[0]
+    src, message, tags = served.items[0]
     assert src == 0
     parts, segment = decode_batch(message)
     assert sum(len(p) for p in parts) > 0
+    assert len(tags) == len(parts)
     if segment is not None:
         release_segment(segment)
     # The failure itself was reported, with the posting traceback.
