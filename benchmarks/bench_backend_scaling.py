@@ -35,7 +35,11 @@ by side and both stay bit-validated against the sim.  A final
 **killed-rank recovery** row prices fault tolerance: rank 1 SIGKILLs
 itself at its 2nd grant (`FaultPlan`), the driver reclaims its chunks
 and respawns it mid-job, and the recovered wall-clock sits next to
-the failure-free run it must stay bit-identical to.
+the failure-free run it must stay bit-identical to.  A closing
+**observability** section re-runs the pinned job with the tracer and
+metrics registry armed and reports grant round-trip and shuffle-batch
+p50/p99 latencies straight from the run's histograms, plus the
+wall-clock overhead of recording them (<5% target).
 
 Smoke mode shrinks the dataset to a functional payload; speedup shapes
 are advisory there (process start-up dominates toy sizes).
@@ -47,6 +51,7 @@ import time
 from repro.apps.sparse_int_occurrence import sio_dataset, sio_job
 from repro.core import FaultPlan, make_executor
 from repro.harness import bench_smoke_enabled
+from repro.obs import Observability
 
 WORKER_COUNTS = (1, 2, 4)
 
@@ -155,8 +160,30 @@ def _measure():
         ).run(job, dataset=ds)
         recovery_wall[label] = time.perf_counter() - t0
         recovery_reclaims[label] = result.stats.chunks_reclaimed
+
+    # Observability rows: the same pinned job re-run once per backend
+    # with the tracer + metrics registry armed.  Two things come out:
+    # the service/exchange latency distributions (grant round-trip and
+    # shuffle-batch encode+post, p50/p99 straight from the run's
+    # histogram registry) and the price of recording them — traced
+    # wall-clock next to the untraced run above (<5% overhead target).
+    n_obs = max(WORKER_COUNTS)
+    obs_wall = {}   # label -> traced seconds at n_obs workers
+    obs_hists = {}  # label -> {"grant": summary|None, "batch": summary|None}
+    for label, backend, kwargs in VARIANTS:
+        if label == "local/pickle":
+            continue
+        obs = Observability()
+        t0 = time.perf_counter()
+        make_executor(backend, n_obs, obs=obs, **kwargs).run(job, dataset=ds)
+        obs_wall[label] = time.perf_counter() - t0
+        obs_hists[label] = {
+            "grant": obs.metrics.histogram("grant_latency_s").summary(),
+            "batch": obs.metrics.histogram("shuffle_batch_s").summary(),
+        }
     return (ds, wall, exchange, frames, modeled, steal_wall, steal_counts,
-            native_wall, native_steals, recovery_wall, recovery_reclaims)
+            native_wall, native_steals, recovery_wall, recovery_reclaims,
+            obs_wall, obs_hists)
 
 
 def _throughput(exchange, label, n):
@@ -165,8 +192,16 @@ def _throughput(exchange, label, n):
     return nbytes / max(seconds, 1e-9)
 
 
+def _pct(summary, key):
+    """One histogram percentile as a milliseconds column ('-' if empty)."""
+    if summary is None or summary["count"] == 0:
+        return "-"
+    return f"{summary[key] * 1e3:.2f}"
+
+
 def _render(ds, wall, exchange, frames, modeled, steal_wall, steal_counts,
-            native_wall, native_steals, recovery_wall, recovery_reclaims):
+            native_wall, native_steals, recovery_wall, recovery_reclaims,
+            obs_wall, obs_hists):
     def speedup(label, n):
         return wall[(label, 1)] / wall[(label, n)]
 
@@ -252,20 +287,43 @@ def _render(ds, wall, exchange, frames, modeled, steal_wall, steal_counts,
             ).rjust(14)
         ),
     ]
+    lines += [
+        "",
+        f"observability — traced run at n={n_fault}: grant round-trip and "
+        "shuffle-batch latency p50/p99 (ms) from the run's metrics "
+        "registry, and tracing overhead vs the untraced run "
+        "(<5% target; advisory in smoke mode)",
+        f"{'backend':>8} {'grant_p50':>10} {'grant_p99':>10} "
+        f"{'batch_p50':>10} {'batch_p99':>10} {'untraced_ms':>12} "
+        f"{'traced_ms':>10} {'overhead':>9}",
+    ]
+    for label in ("serial", "local", "cluster"):
+        base = wall[(label, n_fault)]
+        overhead = (obs_wall[label] - base) / base
+        lines.append(
+            f"{label:>8} "
+            f"{_pct(obs_hists[label]['grant'], 'p50'):>10} "
+            f"{_pct(obs_hists[label]['grant'], 'p99'):>10} "
+            f"{_pct(obs_hists[label]['batch'], 'p50'):>10} "
+            f"{_pct(obs_hists[label]['batch'], 'p99'):>10} "
+            f"{base * 1e3:>12.1f} "
+            f"{obs_wall[label] * 1e3:>10.1f} "
+            f"{overhead:>+8.1%}"
+        )
     return "\n".join(lines)
 
 
 def test_backend_scaling(benchmark, save_result, check):
     (ds, wall, exchange, frames, modeled, steal_wall, steal_counts,
-     native_wall, native_steals, recovery_wall,
-     recovery_reclaims) = benchmark.pedantic(
+     native_wall, native_steals, recovery_wall, recovery_reclaims,
+     obs_wall, obs_hists) = benchmark.pedantic(
         _measure, rounds=1, iterations=1
     )
     save_result(
         "backend_scaling",
         _render(ds, wall, exchange, frames, modeled, steal_wall,
                 steal_counts, native_wall, native_steals, recovery_wall,
-                recovery_reclaims),
+                recovery_reclaims, obs_wall, obs_hists),
     )
 
     local_x = wall[("local", 1)] / wall[("local", 4)]
@@ -356,3 +414,24 @@ def test_backend_scaling(benchmark, save_result, check):
         frames[("cluster", 4)] / 12 < 64,
         "coalescing keeps cluster frames-per-batch small",
     )
+    # The traced runs actually metered their hot paths: every granted
+    # chunk's round-trip landed in the latency histogram, and the
+    # process backends timed their shuffle batches.
+    check(
+        obs_hists["cluster"]["grant"]["count"] >= ds.n_chunks,
+        "traced cluster run metered every grant round-trip",
+    )
+    check(
+        obs_hists["local"]["batch"]["count"] > 0,
+        "traced local run metered its shuffle batches",
+    )
+    benchmark.extra_info["tracing_overhead_local_4"] = round(
+        (obs_wall["local"] - wall[("local", 4)]) / wall[("local", 4)], 3
+    )
+    # The <5% overhead target is only meaningful at real payload sizes;
+    # smoke-mode runs are startup-dominated, so bound it loosely there.
+    if not bench_smoke_enabled():
+        check(
+            obs_wall["local"] < 1.05 * wall[("local", 4)],
+            "tracing overhead on the local backend stays under 5%",
+        )

@@ -34,6 +34,7 @@ from .core import (
     PipelineConfig,
     make_executor,
 )
+from .obs import Observability
 
 __version__ = "1.1.0"
 
@@ -44,5 +45,6 @@ __all__ = [
     "KeyValueSet",
     "MapReduceJob",
     "PipelineConfig",
+    "Observability",
     "make_executor",
 ]

@@ -208,6 +208,7 @@ class MMResult:
             n_gpus=self.phase1.stats.n_gpus,
             elapsed=self.elapsed,
             workers=merged_workers,
+            clock=self.phase1.stats.clock,
         )
 
 

@@ -45,6 +45,7 @@ from .runtime import (
     resolve_chunks,
 )
 from .scheduler import ScheduleTrace
+from ..obs import Observability
 from ..workloads.base import Dataset
 
 __all__ = [
@@ -65,10 +66,42 @@ class Executor(ABC):
     #: registry name of the backend ("sim", "local", ...)
     name: str = "abstract"
 
-    def __init__(self, n_workers: int) -> None:
+    def __init__(
+        self,
+        n_workers: int,
+        obs: Optional[Observability] = None,
+        trace_path: Optional[str] = None,
+    ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.n_workers = int(n_workers)
+        #: where to write the run's JSONL trace (tracing implied when set)
+        self.trace_path = trace_path
+        if obs is None and trace_path is not None:
+            obs = Observability()
+        #: the run's :class:`~repro.obs.Observability` bundle, or None
+        #: when tracing is off (the default).  Instrumentation is
+        #: passive — timestamps and counters only — so traced runs stay
+        #: bit-identical to untraced runs.
+        self.obs = obs
+
+    # -- observability hooks (shared by every backend) --------------------
+
+    def _begin_obs(self) -> Optional[Observability]:
+        """Fresh observation state for one run (None when tracing is
+        off).  One executor observes one run at a time: re-running
+        resets the bundle, after the previous run's trace was written."""
+        if self.obs is not None:
+            self.obs.reset()
+        return self.obs
+
+    def _finish_obs(self, obs: Optional[Observability], stats) -> None:
+        """Stamp run metadata and write the JSONL trace, if requested."""
+        if obs is None:
+            return
+        obs.finish(backend=self.name, stats=stats, clock=stats.clock)
+        if self.trace_path:
+            obs.write_jsonl(self.trace_path)
 
     @abstractmethod
     def run(
@@ -121,8 +154,14 @@ class SimExecutor(Executor):
 
     name = "sim"
 
-    def __init__(self, n_workers: int, **runtime_kwargs) -> None:
-        super().__init__(n_workers)
+    def __init__(
+        self,
+        n_workers: int,
+        obs: Optional[Observability] = None,
+        trace_path: Optional[str] = None,
+        **runtime_kwargs,
+    ) -> None:
+        super().__init__(n_workers, obs=obs, trace_path=trace_path)
         self.runtime = GPMRRuntime(n_gpus=n_workers, **runtime_kwargs)
 
     def run(
@@ -132,9 +171,12 @@ class SimExecutor(Executor):
         chunks: Optional[Sequence[Chunk]] = None,
         schedule: Optional[ScheduleTrace] = None,
     ) -> JobResult:
-        return self.runtime.run(
-            job, dataset=dataset, chunks=chunks, schedule=schedule
+        obs = self._begin_obs()
+        result = self.runtime.run(
+            job, dataset=dataset, chunks=chunks, schedule=schedule, obs=obs
         )
+        self._finish_obs(obs, result.stats)
+        return result
 
 
 # ---------------------------------------------------------------------------
@@ -173,6 +215,11 @@ def make_executor(backend: str, n_workers: int, **kwargs) -> Executor:
 
     ``kwargs`` go to the backend factory verbatim (e.g. ``cluster=`` /
     ``network=`` for ``"sim"``, ``start_method=`` for ``"local"``).
+    Every built-in backend also accepts the observability knobs
+    ``obs=`` (an :class:`~repro.obs.Observability` bundle) and
+    ``trace_path=`` (write the run's JSONL span/event trace there;
+    implies tracing) — both off by default, and passive when on, so
+    traced runs stay bit-identical to untraced runs.
     """
     if backend not in _BACKENDS and backend in _LAZY_BACKENDS:
         _import_lazy(backend)

@@ -24,6 +24,7 @@ from .job import MapReduceJob
 from .kvset import KeyValueSet
 from .scheduler import Assignment, ChunkService
 from .stats import WorkerStats
+from ..obs import NULL_TRACER
 from ..hw.gpu import GPU
 from ..hw.node import Node
 from ..net.mpi import Communicator
@@ -48,8 +49,12 @@ class Worker:
         kill_at_chunk: Optional[int] = None,
         stall_seconds: float = 0.0,
         respawns_left: int = 0,
+        obs=None,
     ) -> None:
         self.env = env
+        #: span recording in modeled time (no-op when the run is
+        #: untraced); the runtime points the tracer's clock at env.now
+        self.tracer = obs.tracer if obs is not None else NULL_TRACER
         self.rank = rank
         self.gpu = gpu
         self.node = node
@@ -187,6 +192,7 @@ class Worker:
         )
         while assignment is not None:
             in_alloc = yield fetch
+            t_chunk = self.env.now
 
             # Prefetch the next chunk while this one maps (double buffer).
             next_assignment = self.scheduler.request(self.rank)
@@ -204,6 +210,10 @@ class Worker:
                     yield from self._transfer_and_bin(kv, defer_bin=False)
 
             self.gpu.free(in_alloc)
+            self.tracer.add_span(
+                "chunk_map", t_chunk, self.env.now,
+                rank=self.rank, chunk=assignment.chunk.index,
+            )
             assignment = next_assignment
             if assignment is not None and next_fetch is None:
                 next_fetch = self.env.process(self._fetch_proc(assignment))
@@ -258,6 +268,7 @@ class Worker:
                 self.stats = WorkerStats(rank=self.rank)
                 t_phase = self.env.now
                 continue
+            t_chunk = self.env.now
             in_alloc = yield self.env.process(self._fetch_proc(assignment))
             kv, accum_state = yield from self._map_one(assignment.chunk, accum_state)
             if kv is not None:
@@ -268,6 +279,10 @@ class Worker:
                 else:
                     yield from self._transfer_and_bin(kv, defer_bin=False)
             self.gpu.free(in_alloc)
+            self.tracer.add_span(
+                "chunk_map", t_chunk, self.env.now,
+                rank=self.rank, chunk=assignment.chunk.index,
+            )
         self.stats.add("map", self.env.now - t_phase)
         return accum_state, combine_buffer
 
@@ -318,6 +333,7 @@ class Worker:
         flushes = self.binner.flush()
         yield self.env.all_of(flushes)
         self.stats.add("bin", self.env.now - t0)
+        self.tracer.add_span("bin", t0, self.env.now, rank=self.rank)
 
     # ------------------------------------------------------------------
     # Sort + Reduce phases
@@ -363,6 +379,7 @@ class Worker:
         ):
             yield from self.gpu.run_kernel(launch)
         self.stats.add("sort", self.env.now - t0)
+        self.tracer.add_span("sort", t0, self.env.now, rank=self.rank)
         return sorted_kv, runs
 
     def _reduce_phase(self, sorted_kv: KeyValueSet, runs) -> Generator:
@@ -398,6 +415,7 @@ class Worker:
         yield from self.gpu.copy_d2h(output.nbytes_logical)
         self.stats.bytes_d2h += output.nbytes_logical
         self.stats.add("reduce", self.env.now - t0)
+        self.tracer.add_span("reduce", t0, self.env.now, rank=self.rank)
         return output
 
     # ------------------------------------------------------------------
@@ -418,6 +436,7 @@ class Worker:
         self.stats.bytes_sent_network += self.binner.bytes_sent
         self.stats.bytes_kept_local += self.binner.bytes_kept_local
         self.stats.add("scheduler", self.env.now - t0)
+        self.tracer.add_span("shuffle_recv", t0, self.env.now, rank=self.rank)
 
         if self.job.config.skip_sort_reduce:
             nonempty = [kv for kv in incoming if len(kv)]

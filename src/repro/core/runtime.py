@@ -28,6 +28,7 @@ from .scheduler import (
 )
 from .stats import JobStats
 from ..hw.node import build_nodes
+from ..obs import Observability
 from ..hw.specs import ACCELERATOR, ClusterSpec
 from ..net.fabric import Fabric
 from ..net.mpi import Communicator
@@ -55,6 +56,10 @@ class JobResult:
     #: live pull service (steals included); a replayed run carries the
     #: trace it was given.
     schedule: Optional[ScheduleTrace] = None
+    #: the run's merged :class:`~repro.obs.Observability` bundle —
+    #: spans, events, and metrics from every rank — when the executor
+    #: was built with ``obs=`` / ``trace_path=``; None otherwise.
+    obs: Optional[Observability] = None
 
     @property
     def elapsed(self) -> float:
@@ -148,6 +153,7 @@ class GPMRRuntime:
         dataset: Optional[Dataset] = None,
         chunks: Optional[Sequence[Chunk]] = None,
         schedule: Optional[ScheduleTrace] = None,
+        obs: Optional[Observability] = None,
     ) -> JobResult:
         """Execute ``job`` over ``dataset`` (or explicit ``chunks``).
 
@@ -158,6 +164,10 @@ class GPMRRuntime:
         chunks are granted in exactly the traced order (steals,
         victims, and all), so a recorded load-balanced run reproduces
         decision-for-decision.
+
+        ``obs`` observes the run: spans and events are stamped with
+        the *modeled* clock (``env.now``), so the trace timeline is
+        the simulated cluster's, not this process's wall-clock.
         """
         chunks = resolve_chunks(dataset, chunks)
         fault = self.fault_plan
@@ -169,6 +179,10 @@ class GPMRRuntime:
             )
 
         env, nodes, fabric, comm, gpus, rank_to_node = self._build()
+        if obs is not None:
+            # Trace in modeled time: every span/event is stamped with
+            # the simulated cluster's clock.
+            obs.tracer.clock = lambda: env.now
         service = ChunkService(
             chunks,
             self.n_gpus,
@@ -176,6 +190,7 @@ class GPMRRuntime:
             enable_stealing=job.config.enable_stealing,
             schedule=schedule,
             context=job.name,
+            obs=obs,
         )
 
         workers = [
@@ -190,6 +205,7 @@ class GPMRRuntime:
                 kill_at_chunk=None if fault is None else fault.kill_for(r),
                 stall_seconds=0.0 if fault is None else fault.stall_for(r),
                 respawns_left=0 if fault is None else fault.max_respawns,
+                obs=obs,
             )
             for r in range(self.n_gpus)
         ]
@@ -201,6 +217,7 @@ class GPMRRuntime:
         # are written independently; they must agree per worker, or the
         # recorded trace would not describe the run it came from.
         service.validate_ledgers([w.stats for w in workers])
+        service.record_outcomes()
 
         stats = JobStats(
             job_name=job.name,
@@ -215,4 +232,5 @@ class GPMRRuntime:
             stats=stats,
             outputs=[w.result for w in workers],
             schedule=service.trace,
+            obs=obs,
         )

@@ -26,6 +26,7 @@ from collections import deque
 from typing import Deque, Dict, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Set, Tuple
 
 from .chunk import Chunk
+from ..obs import NULL_OBS
 from ..workloads.base import Dataset
 
 __all__ = [
@@ -673,9 +674,14 @@ class ChunkService:
         schedule: Optional[ScheduleTrace] = None,
         context: Optional[str] = None,
         speculate_after: Optional[float] = None,
+        obs=None,
     ) -> None:
         self.n_workers = int(n_workers)
         self.context = context
+        #: the run's observability bundle; grants/steals/reclaims are
+        #: recorded as point events and counters (no-ops when untraced)
+        self.obs = obs or NULL_OBS
+        self.obs.metrics.gauge("chunks_total").set(len(chunks))
         #: True when grants come from a recorded trace, not live stealing
         self.replaying = schedule is not None
         if schedule is not None:
@@ -704,7 +710,33 @@ class ChunkService:
         run wants the idle worker to ask again shortly.  Thread-safe;
         grant order is total."""
         with self._lock:
-            return self._scheduler.request(worker)
+            a = self._scheduler.request(worker)
+            if isinstance(a, Assignment) and self.obs.enabled:
+                self._record_grant(worker, a)
+            return a
+
+    def _record_grant(self, worker: int, a: Assignment) -> None:
+        """Trace one grant (caller holds the lock and checked enabled)."""
+        tracer = self.obs.tracer
+        metrics = self.obs.metrics
+        cid = a.chunk.index
+        # More than one live grantee means this grant is a speculative
+        # duplicate of an aged in-flight chunk, not a queue steal.
+        grantees = getattr(self._scheduler, "_grantees", {})
+        speculative = len(grantees.get(cid, ())) > 1
+        if speculative:
+            tracer.event("grant", rank=worker, chunk=cid,
+                         victim=a.victim, speculative=True)
+            tracer.event("speculate", rank=worker, chunk=cid, holder=a.victim)
+            metrics.counter("speculative_grants").inc()
+        elif a.victim != worker:
+            tracer.event("grant", rank=worker, chunk=cid,
+                         victim=a.victim, steal=True)
+            tracer.event("steal", rank=worker, chunk=cid, victim=a.victim)
+            metrics.counter("steals").inc()
+        else:
+            tracer.event("grant", rank=worker, chunk=cid)
+        metrics.counter("chunks_granted").inc()
 
     @contextlib.contextmanager
     def guard(self):
@@ -735,7 +767,32 @@ class ChunkService:
         the number of chunks re-queued (see
         :meth:`ChunkScheduler.reclaim`)."""
         with self._lock:
-            return self._scheduler.reclaim(worker)
+            requeued = self._scheduler.reclaim(worker)
+            self.obs.tracer.event("reclaim", rank=worker, requeued=requeued)
+            self.obs.metrics.counter("chunks_reclaimed").inc(requeued)
+            return requeued
+
+    def record_outcomes(self) -> None:
+        """Trace end-of-run speculation outcomes (no-op when untraced).
+
+        Emits one ``speculation_win``/``speculation_loss`` event per
+        double-granted chunk, attributed to the kept copy's rank —
+        known only once the run completes, hence recorded here rather
+        than at grant time.  Executors call this right before they
+        build :class:`~repro.core.stats.JobStats`.
+        """
+        if not self.obs.enabled:
+            return
+        with self._lock:
+            winners = getattr(self._scheduler, "_winners", None)
+            grantees = getattr(self._scheduler, "_grantees", None)
+            if winners is None or grantees is None:
+                return
+            for cid, winner in winners().items():
+                first = grantees[cid][0] if grantees.get(cid) else winner
+                name = ("speculation_win" if winner != first
+                        else "speculation_loss")
+                self.obs.tracer.event(name, rank=winner, chunk=cid)
 
     # -- ledgers -------------------------------------------------------------
     @property

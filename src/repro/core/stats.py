@@ -9,7 +9,7 @@ into those buckets; the job aggregates them into fractions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List
 
 __all__ = ["STAGES", "WorkerStats", "JobStats"]
 
@@ -53,6 +53,24 @@ class WorkerStats:
         total = self.total
         return self.stage_seconds.get(stage, 0.0) / total if total else 0.0
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rank": self.rank,
+            "stage_seconds": dict(self.stage_seconds),
+            "chunks_mapped": self.chunks_mapped,
+            "chunks_stolen": self.chunks_stolen,
+            "pairs_emitted_logical": self.pairs_emitted_logical,
+            "bytes_h2d": self.bytes_h2d,
+            "bytes_d2h": self.bytes_d2h,
+            "bytes_sent_network": self.bytes_sent_network,
+            "bytes_kept_local": self.bytes_kept_local,
+            "shuffle_frames_sent": self.shuffle_frames_sent,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "WorkerStats":
+        return cls(**d)
+
 
 @dataclass
 class JobStats:
@@ -60,7 +78,9 @@ class JobStats:
 
     job_name: str
     n_gpus: int
-    elapsed: float                       #: simulated wall time of the job
+    #: job time in seconds — *modeled* cluster time on the sim backend,
+    #: *measured* wall-clock on the real backends (see :attr:`clock`)
+    elapsed: float
     workers: List[WorkerStats]
     #: chunks the scheduler re-queued after worker deaths (0 on a
     #: failure-free run)
@@ -72,6 +92,9 @@ class JobStats:
     #: plus speculative duplicates — in rank order; empty when the
     #: backend ran without a fault plan's machinery engaged
     retries_by_worker: List[int] = field(default_factory=list)
+    #: what :attr:`elapsed` measures: ``"simulated"`` (the sim backend's
+    #: modeled clock) or ``"wall"`` (real backends' wall-clock)
+    clock: str = "simulated"
 
     @property
     def stage_totals(self) -> Dict[str, float]:
@@ -129,9 +152,30 @@ class JobStats:
         """One-paragraph human summary."""
         fr = self.stage_fractions
         pieces = ", ".join(f"{s}={fr[s]:.1%}" for s in STAGES)
+        clock = "simulated" if self.clock == "simulated" else "wall-clock"
         return (
             f"{self.job_name}: {self.n_gpus} GPU(s), {self.elapsed:.4f}s "
-            f"simulated; breakdown {pieces}; {self.total_chunks} chunks "
+            f"{clock}; breakdown {pieces}; {self.total_chunks} chunks "
             f"({self.total_steals} stolen), "
             f"{self.total_network_bytes / 1e6:.1f} MB shuffled"
         )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable export (see :meth:`from_dict`) so traces
+        and benchmark scripts can persist stats without pickle."""
+        return {
+            "job_name": self.job_name,
+            "n_gpus": self.n_gpus,
+            "elapsed": self.elapsed,
+            "clock": self.clock,
+            "chunks_reclaimed": self.chunks_reclaimed,
+            "speculative_wins": self.speculative_wins,
+            "retries_by_worker": list(self.retries_by_worker),
+            "workers": [w.to_dict() for w in self.workers],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "JobStats":
+        d = dict(d)
+        d["workers"] = [WorkerStats.from_dict(w) for w in d["workers"]]
+        return cls(**d)

@@ -47,6 +47,7 @@ from ..core.kvset import KeyValueSet
 from ..core.runtime import JobResult, resolve_chunks
 from ..core.scheduler import ChunkService, ScheduleTrace
 from ..core.stats import JobStats, WorkerStats
+from ..obs import Observability
 from ..fabric import (
     DEFAULT_MAX_FRAME_BYTES,
     Coordinator,
@@ -105,8 +106,10 @@ class ClusterExecutor(Executor):
         spawn_ranks: bool = True,
         compress_exchange: bool = False,
         fault_plan: Optional[FaultPlan] = None,
+        obs: Optional[Observability] = None,
+        trace_path: Optional[str] = None,
     ) -> None:
-        super().__init__(n_workers)
+        super().__init__(n_workers, obs=obs, trace_path=trace_path)
         self.initial_distribution = initial_distribution
         self.start_method = start_method or _default_start_method()
         self.timeout_seconds = float(timeout_seconds)
@@ -155,6 +158,7 @@ class ClusterExecutor(Executor):
                 f"{job.name!r} uses an accumulator/combiner whose "
                 "finish-time output cannot be deduplicated per chunk"
             )
+        run_obs = self._begin_obs()
         # The driver hosts the pull authority; ranks reach it through
         # the coordinator's CHUNK_REQ/CHUNK_GRANT control frames.
         service = ChunkService(
@@ -165,6 +169,7 @@ class ClusterExecutor(Executor):
             schedule=schedule,
             context=job.name,
             speculate_after=None if fault is None else fault.speculate_after,
+            obs=run_obs,
         )
 
         procs: Dict[int, mp.process.BaseProcess] = {}
@@ -195,6 +200,7 @@ class ClusterExecutor(Executor):
             max_frame_bytes=self.max_frame_bytes,
             liveness_probe=_probe if self.spawn_ranks else None,
             compress_exchange=self.compress_exchange,
+            obs=run_obs,
         ) as coordinator:
             self.coordinator_address = coordinator.address
             respawner = None
@@ -272,6 +278,9 @@ class ClusterExecutor(Executor):
             worker_stats.append(
                 stats if stats is not None else WorkerStats(rank=rank)
             )
+        if run_obs is not None:
+            for payload in coordinator.obs_payloads.values():
+                run_obs.absorb(payload)
 
         # Every chunk must have been granted: a rank that reported a
         # result without draining the service would silently drop work.
@@ -284,20 +293,25 @@ class ClusterExecutor(Executor):
         # Ranks report the chunks/steals they pulled over the wire; the
         # service logged what it granted.  The ledgers must agree.
         service.validate_ledgers(worker_stats)
+        service.record_outcomes()
 
         elapsed = time.perf_counter() - t_start
+        job_stats = JobStats(
+            job_name=job.name,
+            n_gpus=self.n_workers,
+            elapsed=elapsed,
+            workers=worker_stats,
+            chunks_reclaimed=service.chunks_reclaimed,
+            speculative_wins=service.speculative_wins,
+            retries_by_worker=list(service.retries_by_worker),
+            clock="wall",
+        )
+        self._finish_obs(run_obs, job_stats)
         return JobResult(
-            stats=JobStats(
-                job_name=job.name,
-                n_gpus=self.n_workers,
-                elapsed=elapsed,
-                workers=worker_stats,
-                chunks_reclaimed=service.chunks_reclaimed,
-                speculative_wins=service.speculative_wins,
-                retries_by_worker=list(service.retries_by_worker),
-            ),
+            stats=job_stats,
             outputs=outputs,
             schedule=schedule if schedule is not None else service.trace,
+            obs=run_obs,
         )
 
 

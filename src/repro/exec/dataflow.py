@@ -223,6 +223,7 @@ def reduce_worker(
     job: MapReduceJob,
     incoming: Sequence[KeyValueSet],
     stats: Optional[WorkerStats] = None,
+    obs=None,
 ) -> Optional[KeyValueSet]:
     """Run one rank's sort + reduce over its (canonically ordered) input.
 
@@ -231,21 +232,31 @@ def reduce_worker(
     job without a reducer returns the sorted pair set.
 
     With ``stats``, measured wall-clock lands in the same ``sort`` /
-    ``reduce`` Figure-2 buckets the sim charges modeled time to.
+    ``reduce`` Figure-2 buckets the sim charges modeled time to; with
+    ``obs``, the same intervals are recorded as ``sort`` / ``reduce``
+    spans attributed to ``stats.rank``.
     """
+    tracer = obs.tracer if obs is not None else None
+    rank = stats.rank if stats is not None else None
     nonempty = [kv for kv in incoming if len(kv)]
     if not nonempty:
         return None
     if job.config.skip_sort_reduce:
         return KeyValueSet.concat(nonempty)
 
+    w0 = time.time()
     t0 = time.perf_counter()
     kv_all = KeyValueSet.concat(nonempty)
     sorted_kv = job.sorter.sort(kv_all)
     runs = unique_segments(sorted_kv.keys)
     t1 = time.perf_counter()
+    # Spans are anchored at wall-clock (the tracer's timebase) but
+    # sized by the monotonic durations the stats buckets use.
+    w1 = w0 + (t1 - t0)
     if stats is not None:
         stats.add("sort", t1 - t0)
+    if tracer is not None:
+        tracer.add_span("sort", w0, w1, rank=rank)
     if runs.n_keys == 0 or job.reducer is None:
         return sorted_kv
     output = job.reducer.reduce_segments(
@@ -255,6 +266,9 @@ def reduce_worker(
         runs.counts,
         sorted_kv.scale,
     )
+    t2 = time.perf_counter()
     if stats is not None:
-        stats.add("reduce", time.perf_counter() - t1)
+        stats.add("reduce", t2 - t1)
+    if tracer is not None:
+        tracer.add_span("reduce", w1, w1 + (t2 - t1), rank=rank)
     return output

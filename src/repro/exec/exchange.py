@@ -87,9 +87,21 @@ def encode_batch(
     parts: Sequence[KeyValueSet],
     transport: str = "shm",
     min_shm_bytes: int = SHM_MIN_BYTES,
+    counters: Optional[dict] = None,
 ) -> Tuple[Any, ...]:
-    """Encode one shuffle batch as a queue message (see module docs)."""
+    """Encode one shuffle batch as a queue message (see module docs).
+
+    ``counters``, when given, is incremented in place with the batch's
+    transport accounting — ``"batches" += 1``, ``"bytes" += payload``
+    (packed codec bytes; logical KVSet bytes for the pickle baseline).
+    The observability layer meters shuffle batches through this hook.
+    """
     if transport == "pickle":
+        if counters is not None:
+            counters["batches"] = counters.get("batches", 0) + 1
+            counters["bytes"] = counters.get("bytes", 0) + sum(
+                p.nbytes_logical for p in parts
+            )
         return ("pickle", list(parts))
     if transport != "shm":
         raise ValueError(
@@ -97,6 +109,9 @@ def encode_batch(
             f"expected one of {EXCHANGE_TRANSPORTS}"
         )
     manifest, chunks, nbytes = pack_parts(parts)
+    if counters is not None:
+        counters["batches"] = counters.get("batches", 0) + 1
+        counters["bytes"] = counters.get("bytes", 0) + nbytes
     if nbytes >= min_shm_bytes:
         try:
             segment = shared_memory.SharedMemory(create=True, size=nbytes)

@@ -70,6 +70,7 @@ from ..core.kvset import KeyValueSet
 from ..core.runtime import JobResult, resolve_chunks
 from ..core.scheduler import RETRY, ChunkService, ScheduleTrace
 from ..core.stats import JobStats, WorkerStats
+from ..obs import BYTES_BUCKETS, NULL_TRACER, Observability
 from ..workloads.base import Dataset
 
 __all__ = ["LocalExecutor", "WorkerFailure", "dead_worker_failure"]
@@ -135,13 +136,23 @@ class _PullChunkSource:
         self.stall_seconds = float(stall_seconds)
         self.kill_at_chunk = kill_at_chunk
         self._grants_received = 0
+        #: set in-child by :func:`_worker_main` when tracing is on; the
+        #: source itself is pickled to the child, an
+        #: :class:`~repro.obs.Observability` (it holds locks) is not.
+        self.obs: Optional[Observability] = None
 
     def next(self) -> Optional[Tuple[Chunk, int]]:
+        obs = self.obs
         while True:
             if self.stall_seconds:
                 time.sleep(self.stall_seconds)
+            w0 = time.time()
             self.request_queue.put(("req", self.rank))
             status, chunk, victim = self.grant_queue.get()
+            if obs is not None:
+                w1 = time.time()
+                obs.tracer.add_span("grant_wait", w0, w1, rank=self.rank)
+                obs.metrics.histogram("grant_latency_s").observe(w1 - w0)
             if status == _GRANT_RETRY:
                 time.sleep(0.02)
                 continue
@@ -249,6 +260,7 @@ def _worker_main(
     shuffle_queues: List[mp.Queue],
     result_queue: mp.Queue,
     exchange: str = "shm",
+    obs_enabled: bool = False,
 ) -> None:
     """Entry point of one rank's process: pull+map, exchange, sort, reduce.
 
@@ -256,7 +268,16 @@ def _worker_main(
     victim) | None``); the worker counts a steal whenever a grant's
     victim is another rank, which the driver cross-checks against the
     service's ledger after the run.
+
+    With ``obs_enabled`` the rank builds its own
+    :class:`~repro.obs.Observability`, records its spans and metric
+    samples into it, and ships the picklable ``export()`` payload back
+    as the fifth element of the result tuple — the driver absorbs it
+    into the run-level bundle.
     """
+    obs = Observability() if obs_enabled else None
+    tracer = obs.tracer if obs is not None else NULL_TRACER
+    chunk_source.obs = obs
     stats = WorkerStats(rank=rank)
     posted: Set[int] = set()
     segments = []
@@ -270,8 +291,14 @@ def _worker_main(
             chunk, victim = nxt
             if victim != rank:
                 stats.chunks_stolen += 1
+            w0 = time.time()
             runner.feed(chunk)
+            tracer.add_span(
+                "chunk_map", w0, time.time(), rank=rank, chunk=chunk.index
+            )
+        w0 = time.time()
         mapped = runner.finish()
+        tracer.add_span("map_finish", w0, time.time(), rank=rank)
         stats.chunks_mapped = mapped.chunks_mapped
         stats.pairs_emitted_logical = mapped.pairs_emitted_logical
         stats.bytes_sent_network = mapped.bytes_remote(rank)
@@ -290,7 +317,11 @@ def _worker_main(
         for dest in range(n_workers):
             if dest == rank:
                 continue
-            message = encode_batch(mapped.batch_for(dest), transport=exchange)
+            counters = {"bytes": 0} if obs is not None else None
+            s0 = time.time()
+            message = encode_batch(
+                mapped.batch_for(dest), transport=exchange, counters=counters
+            )
             try:
                 shuffle_queues[dest].put(
                     (rank, message, mapped.chunk_ids_for(dest))
@@ -299,7 +330,15 @@ def _worker_main(
                 release_message(message)  # never delivered; unlink now
                 raise
             posted.add(dest)
+            if obs is not None:
+                s1 = time.time()
+                tracer.add_span("shuffle_send", s0, s1, rank=rank, dest=dest)
+                obs.metrics.histogram("shuffle_batch_s").observe(s1 - s0)
+                obs.metrics.histogram(
+                    "shuffle_batch_bytes", bounds=BYTES_BUCKETS
+                ).observe(counters["bytes"])
 
+        r0 = time.time()
         batches: List[Tuple[int, List[KeyValueSet], List[int]]] = [
             (rank, mapped.batch_for(rank), mapped.chunk_ids_for(rank))
         ]
@@ -311,16 +350,19 @@ def _worker_main(
             batches.append((src, parts, tags))
         incoming = merge_incoming(batches)
         del batches
+        tracer.add_span("shuffle_recv", r0, time.time(), rank=rank)
         t2 = time.perf_counter()
         stats.add("bin", t2 - t1)
 
-        output = reduce_worker(job, incoming, stats=stats)
+        output = reduce_worker(job, incoming, stats=stats, obs=obs)
         # The reduce concatenated every incoming part into fresh
         # arrays; the zero-copy views are dead and the segments can go.
         del incoming
         while segments:
             release_segment(segments.pop())
-        result_queue.put((rank, None, output, stats))
+        result_queue.put(
+            (rank, None, output, stats, obs.export() if obs else None)
+        )
     except BaseException:
         # Unblock only the peers still waiting on this rank's batch —
         # re-posting to an already-served peer would make it count two
@@ -335,7 +377,10 @@ def _worker_main(
                     pass  # queue gone too; the driver's watch covers it
         while segments:
             release_segment(segments.pop())
-        result_queue.put((rank, traceback.format_exc(), None, stats))
+        result_queue.put(
+            (rank, traceback.format_exc(), None, stats,
+             obs.export() if obs else None)
+        )
 
 
 class LocalExecutor(Executor):
@@ -367,8 +412,10 @@ class LocalExecutor(Executor):
         exchange: str = "shm",
         stall_seconds: Optional[Mapping[int, float]] = None,
         fault_plan: Optional[FaultPlan] = None,
+        obs: Optional[Observability] = None,
+        trace_path: Optional[str] = None,
     ) -> None:
-        super().__init__(n_workers)
+        super().__init__(n_workers, obs=obs, trace_path=trace_path)
         self.initial_distribution = initial_distribution
         self.start_method = start_method or _default_start_method()
         self.timeout_seconds = float(timeout_seconds)
@@ -409,6 +456,7 @@ class LocalExecutor(Executor):
                 f"{job.name!r} uses an accumulator/combiner whose "
                 "finish-time output cannot be deduplicated per chunk"
             )
+        run_obs = self._begin_obs()
         # Replay validation happens here, in the driver, before any
         # process exists — a bad trace fails fast with full context.
         service = ChunkService(
@@ -419,6 +467,7 @@ class LocalExecutor(Executor):
             schedule=schedule,
             context=job.name,
             speculate_after=None if fault is None else fault.speculate_after,
+            obs=run_obs,
         )
         ctx = mp.get_context(self.start_method)
         if self.exchange == "shm":
@@ -469,6 +518,7 @@ class LocalExecutor(Executor):
                     shuffle_queues,
                     result_queue,
                     self.exchange,
+                    run_obs is not None,
                 ),
                 name=f"gpmr-local-r{rank}.{incarnation}",
                 daemon=True,
@@ -499,7 +549,7 @@ class LocalExecutor(Executor):
                         f"with {len(pending)} worker(s) outstanding"
                     )
                 try:
-                    rank, error, output, stats = result_queue.get(
+                    rank, error, output, stats, obs_payload = result_queue.get(
                         timeout=min(remaining, 0.5)
                     )
                 except queue_mod.Empty:
@@ -535,6 +585,8 @@ class LocalExecutor(Executor):
                     continue
                 pending.discard(rank)
                 silent_since = None
+                if run_obs is not None:
+                    run_obs.absorb(obs_payload)
                 if error is not None:
                     failures.append((rank, error))
                 else:
@@ -569,6 +621,7 @@ class LocalExecutor(Executor):
         # Workers report what they fetched; the service logged what it
         # granted.  The two ledgers must agree rank for rank.
         service.validate_ledgers([s for s in worker_stats if s is not None])
+        service.record_outcomes()
 
         elapsed = time.perf_counter() - t_start
         stats = JobStats(
@@ -580,11 +633,14 @@ class LocalExecutor(Executor):
             chunks_reclaimed=service.chunks_reclaimed,
             speculative_wins=service.speculative_wins,
             retries_by_worker=list(service.retries_by_worker),
+            clock="wall",
         )
+        self._finish_obs(run_obs, stats)
         return JobResult(
             stats=stats,
             outputs=outputs,
             schedule=schedule if schedule is not None else service.trace,
+            obs=run_obs,
         )
 
     def _recover_dead_workers(
@@ -622,6 +678,9 @@ class LocalExecutor(Executor):
                 continue
             if not service.can_recover(rank):
                 continue
+            if self.obs is not None:
+                self.obs.tracer.event("rank_dead", rank=rank,
+                                      exitcode=p.exitcode)
             with service.guard():
                 grant_queues[rank] = ctx.Queue()
                 service.reclaim(rank)
@@ -629,6 +688,10 @@ class LocalExecutor(Executor):
             incarnation = self.fault_plan.max_respawns - respawns_left[rank]
             procs[rank] = spawn(rank, incarnation)
             procs[rank].start()
+            if self.obs is not None:
+                self.obs.tracer.event("respawn", rank=rank,
+                                      incarnation=incarnation)
+                self.obs.metrics.counter("respawns").inc()
 
     @staticmethod
     def _drain_undelivered(shuffle_queues: List[mp.Queue]) -> None:

@@ -29,6 +29,7 @@ from ..core.kvset import KeyValueSet
 from ..core.runtime import JobResult, resolve_chunks
 from ..core.scheduler import ChunkService, ScheduleTrace
 from ..core.stats import JobStats, WorkerStats
+from ..obs import NULL_OBS, Observability
 from ..workloads.base import Dataset
 
 __all__ = ["SerialExecutor"]
@@ -44,8 +45,10 @@ class SerialExecutor(Executor):
         n_workers: int,
         initial_distribution: str = "round_robin",
         fault_plan: Optional[FaultPlan] = None,
+        obs: Optional[Observability] = None,
+        trace_path: Optional[str] = None,
     ) -> None:
-        super().__init__(n_workers)
+        super().__init__(n_workers, obs=obs, trace_path=trace_path)
         self.initial_distribution = initial_distribution
         #: kill injection mirrors the process backends in-process: at
         #: its scripted grant ordinal a rank's un-posted map state is
@@ -79,6 +82,8 @@ class SerialExecutor(Executor):
                 "recorded trace already fixes every grant, so there is "
                 "nothing to reclaim or speculate"
             )
+        run_obs = self._begin_obs()
+        obs = run_obs if run_obs is not None else NULL_OBS
         service = ChunkService(
             all_chunks,
             self.n_workers,
@@ -86,7 +91,9 @@ class SerialExecutor(Executor):
             enable_stealing=job.config.enable_stealing,
             schedule=schedule,
             context=job.name,
+            obs=run_obs,
         )
+        grant_latency = obs.metrics.histogram("grant_latency_s")
 
         t_start = time.perf_counter()
         stats = [WorkerStats(rank=r) for r in range(self.n_workers)]
@@ -107,7 +114,9 @@ class SerialExecutor(Executor):
             for rank in range(self.n_workers):
                 if rank not in active:
                     continue
+                t_req = time.perf_counter()
                 assignment = service.request(rank)
+                grant_latency.observe(time.perf_counter() - t_req)
                 if assignment is None:
                     active.discard(rank)
                     service.mark_posted(rank)
@@ -134,17 +143,28 @@ class SerialExecutor(Executor):
                     runners[rank] = MapRunner(job, self.n_workers)
                     stats[rank] = WorkerStats(rank=rank)
                     continue
+                w0 = time.time()
                 t0 = time.perf_counter()
                 runners[rank].feed(assignment.chunk)
-                stats[rank].add("map", time.perf_counter() - t0)
+                t1 = time.perf_counter()
+                stats[rank].add("map", t1 - t0)
+                # Spans are anchored at wall-clock (the tracer's
+                # timebase) but sized by the monotonic duration.
+                obs.tracer.add_span(
+                    "chunk_map", w0, w0 + (t1 - t0), rank=rank,
+                    chunk=assignment.chunk.index,
+                )
                 if assignment.stolen_by(rank):
                     stats[rank].chunks_stolen += 1
 
         mapped = []
         for rank in range(self.n_workers):
+            w0 = time.time()
             t0 = time.perf_counter()
             out = runners[rank].finish()
-            stats[rank].add("map", time.perf_counter() - t0)
+            t1 = time.perf_counter()
+            stats[rank].add("map", t1 - t0)
+            obs.tracer.add_span("map_finish", w0, w0 + (t1 - t0), rank=rank)
             stats[rank].chunks_mapped = out.chunks_mapped
             stats[rank].pairs_emitted_logical = out.pairs_emitted_logical
             stats[rank].bytes_sent_network = out.bytes_remote(rank)
@@ -157,22 +177,29 @@ class SerialExecutor(Executor):
                 (src, mapped[src].batch_for(rank)) for src in range(self.n_workers)
             ]
             outputs.append(
-                reduce_worker(job, merge_incoming(batches), stats=stats[rank])
+                reduce_worker(
+                    job, merge_incoming(batches), stats=stats[rank], obs=run_obs
+                )
             )
 
         service.validate_ledgers(stats)
+        service.record_outcomes()
+        job_stats = JobStats(
+            job_name=job.name,
+            n_gpus=self.n_workers,
+            elapsed=time.perf_counter() - t_start,
+            workers=stats,
+            chunks_reclaimed=service.chunks_reclaimed,
+            speculative_wins=service.speculative_wins,
+            retries_by_worker=list(service.retries_by_worker),
+            clock="wall",
+        )
+        self._finish_obs(run_obs, job_stats)
         return JobResult(
-            stats=JobStats(
-                job_name=job.name,
-                n_gpus=self.n_workers,
-                elapsed=time.perf_counter() - t_start,
-                workers=stats,
-                chunks_reclaimed=service.chunks_reclaimed,
-                speculative_wins=service.speculative_wins,
-                retries_by_worker=list(service.retries_by_worker),
-            ),
+            stats=job_stats,
             outputs=outputs,
             schedule=schedule if schedule is not None else service.trace,
+            obs=run_obs,
         )
 
 

@@ -58,6 +58,7 @@ from .wire import (
     send_frame,
 )
 from ..core.scheduler import RETRY
+from ..obs import NULL_OBS
 
 __all__ = ["Coordinator", "ClusterTimeout", "RankFailure"]
 
@@ -100,6 +101,7 @@ class Coordinator:
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         liveness_probe: Optional[Callable[[], None]] = None,
         compress_exchange: bool = False,
+        obs: Optional[Any] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -109,6 +111,12 @@ class Coordinator:
         self.liveness_probe = liveness_probe
         #: ranks zlib-deflate their shuffle chunks (shipped via ASSIGN)
         self.compress_exchange = bool(compress_exchange)
+        #: driver-side observability bundle; when set, ASSIGN frames
+        #: arm rank-side tracing and RESULT-frame export payloads are
+        #: stashed in :attr:`obs_payloads` for the executor to absorb
+        self.obs = obs if obs is not None else NULL_OBS
+        #: rank -> the export payload its RESULT frame carried
+        self.obs_payloads: Dict[int, Any] = {}
         self._listener = socket.create_server(
             (host, port), backlog=max(self.n_workers, 8)
         )
@@ -276,6 +284,7 @@ class Coordinator:
             "epoch": self.epoch,
             "fault": fault,
             "rejoin": rejoin,
+            "obs": self.obs.enabled,
         }
 
     # -- 3. barrier ---------------------------------------------------------
@@ -409,6 +418,9 @@ class Coordinator:
                         results[rank] = (
                             rank, payload["output"], payload["stats"]
                         )
+                        # Kept out of the triples so existing callers'
+                        # unpacking stays valid; executors absorb this.
+                        self.obs_payloads[rank] = payload.get("obs")
                     elif msg_type == MSG_ERROR:
                         raise RankFailure(rank, payload["traceback"])
                     else:
@@ -452,11 +464,14 @@ class Coordinator:
         except OSError:
             pass
         self._conns.pop(rank, None)
+        self.obs.tracer.event("rank_dead", rank=rank, epoch=self.epoch)
         if not respawner(rank, self.shuffle_peers[rank][1]):
             return False  # respawn budget exhausted
         self.epoch += 1
         self.membership_log.append((self.epoch, "leave", rank))
         chunk_service.reclaim(rank)
+        self.obs.tracer.event("respawn", rank=rank, epoch=self.epoch)
+        self.obs.metrics.counter("respawns").inc()
         return True
 
     def _accept_rejoin(self, sel: selectors.BaseSelector) -> None:
@@ -500,6 +515,7 @@ class Coordinator:
         self.shuffle_peers[rank] = tuple(hello["shuffle_address"])
         self.epoch += 1
         self.membership_log.append((self.epoch, "join", rank))
+        self.obs.tracer.event("rejoin", rank=rank, epoch=self.epoch)
         send_frame(
             conn,
             MSG_WELCOME,

@@ -72,6 +72,7 @@ from .wire import (
     send_frame,
     send_raw_frame,
 )
+from ..obs import BYTES_BUCKETS, NULL_OBS, Observability
 
 __all__ = ["RankEndpoint", "run_rank"]
 
@@ -141,6 +142,9 @@ class RankEndpoint:
         #: zlib-deflate outbound shuffle chunks (the driver's choice,
         #: learned from ASSIGN; receivers accept either form always)
         self.compress_exchange = False
+        #: rank-side observability bundle, armed by the ``obs`` flag on
+        #: ASSIGN; the export payload rides home on the RESULT frame
+        self.obs = NULL_OBS
 
     # -- control plane -----------------------------------------------------
     def connect(self) -> None:
@@ -177,6 +181,8 @@ class RankEndpoint:
         self.peers = {int(r): tuple(a) for r, a in assign["peers"].items()}
         self.compress_exchange = bool(assign.get("compress_exchange", False))
         self.epoch = int(assign.get("epoch", self.epoch))
+        if assign.get("obs"):
+            self.obs = Observability()
         fault = assign.get("fault") or {}
         self._kill_at_chunk = fault.get("kill_at_chunk")
         self._stall_seconds = float(fault.get("stall_seconds", 0.0))
@@ -195,9 +201,11 @@ class RankEndpoint:
         request, and the rank SIGKILLs itself upon receiving its
         ``kill_at_chunk``-th grant — genuinely mid-map.
         """
+        obs = self.obs
         while True:
             if self._stall_seconds:
                 time.sleep(self._stall_seconds)
+            w0 = time.time()
             send_frame(
                 self._control, MSG_CHUNK_REQ, {"rank": self.rank},
                 max_frame_bytes=self.max_frame_bytes,
@@ -205,6 +213,10 @@ class RankEndpoint:
             msg_type, payload = recv_frame(
                 self._control, max_frame_bytes=self.max_frame_bytes
             )
+            if obs.enabled:
+                w1 = time.time()
+                obs.tracer.add_span("grant_wait", w0, w1, rank=self.rank)
+                obs.metrics.histogram("grant_latency_s").observe(w1 - w0)
             if isinstance(payload, dict) and "epoch" in payload:
                 self.epoch = int(payload["epoch"])
             if msg_type == MSG_CHUNKS_DONE:
@@ -229,10 +241,14 @@ class RankEndpoint:
 
     def barrier(self, name: str = "start") -> None:
         """Report arrival at ``name`` and block until RESUME."""
+        w0 = time.time()
         send_frame(self._control, MSG_BARRIER, {"name": name},
                    max_frame_bytes=self.max_frame_bytes)
         _, resume = recv_frame(
             self._control, max_frame_bytes=self.max_frame_bytes, expect=MSG_RESUME
+        )
+        self.obs.tracer.add_span(
+            "barrier_wait", w0, time.time(), rank=self.rank, barrier=name
         )
         if resume.get("name") != name:
             raise FabricError(
@@ -243,7 +259,8 @@ class RankEndpoint:
         send_frame(
             self._control,
             MSG_RESULT,
-            {"rank": self.rank, "output": output, "stats": stats},
+            {"rank": self.rank, "output": output, "stats": stats,
+             "obs": self.obs.export()},
             max_frame_bytes=self.max_frame_bytes,
         )
 
@@ -276,10 +293,18 @@ class RankEndpoint:
         whose ACK was lost is simply dropped on the resend.
         """
         deadline = time.monotonic() + self.timeout_seconds
+        obs = self.obs
         attempt = 0
         while True:
             attempt += 1
+            if attempt > 1:
+                # The previous attempt died unconfirmed; the whole
+                # batch goes again (receivers dedup by source rank).
+                obs.tracer.event("batch_resend", rank=self.rank, dest=dest,
+                                 attempt=attempt)
+                obs.metrics.counter("batch_resends").inc()
             counters: Dict[str, int] = {}
+            s0 = time.time()
             try:
                 with socket.create_connection(
                     self.peers[dest], timeout=self.timeout_seconds
@@ -312,6 +337,14 @@ class RankEndpoint:
                 if not confirm or time.monotonic() + 0.25 > deadline:
                     raise
                 time.sleep(0.25)
+        if obs.enabled:
+            s1 = time.time()
+            obs.tracer.add_span("shuffle_send", s0, s1, rank=self.rank,
+                                dest=dest)
+            obs.metrics.histogram("shuffle_batch_s").observe(s1 - s0)
+            obs.metrics.histogram(
+                "shuffle_batch_bytes", bounds=BYTES_BUCKETS
+            ).observe(counters.get("bytes", 0))
         with self._frames_lock:
             self.frames_sent += counters.get("frames", 0)
 
@@ -429,6 +462,7 @@ class RankEndpoint:
                 # already released while its predecessor was alive.
                 self.barrier("start")
 
+            tracer = self.obs.tracer
             t0 = time.perf_counter()
             runner = MapRunner(job, self.n_workers)
             while True:
@@ -438,8 +472,13 @@ class RankEndpoint:
                 chunk, victim = grant
                 if victim != self.rank:
                     stats.chunks_stolen += 1
+                w0 = time.time()
                 runner.feed(chunk)
+                tracer.add_span("chunk_map", w0, time.time(),
+                                rank=self.rank, chunk=chunk.index)
+            w0 = time.time()
             mapped = runner.finish()
+            tracer.add_span("map_finish", w0, time.time(), rank=self.rank)
             stats.chunks_mapped = mapped.chunks_mapped
             stats.pairs_emitted_logical = mapped.pairs_emitted_logical
             stats.bytes_sent_network = mapped.bytes_remote(self.rank)
@@ -456,13 +495,18 @@ class RankEndpoint:
                 max_frame_bytes=self.max_frame_bytes,
             )
             posted = True  # exchange() sends every outbound batch itself
+            r0 = time.time()
             batches = self.exchange(mapped.parts, mapped.part_chunk_ids)
             incoming = merge_incoming(batches)
+            tracer.add_span("shuffle_recv", r0, time.time(), rank=self.rank)
             t2 = time.perf_counter()
             stats.add("bin", t2 - t1)
             stats.shuffle_frames_sent = self.frames_sent
 
-            output = reduce_worker(job, incoming, stats=stats)
+            output = reduce_worker(
+                job, incoming, stats=stats,
+                obs=self.obs if self.obs.enabled else None,
+            )
             self.send_result(output, stats)
         except BaseException:
             if not posted and self.peers:

@@ -58,7 +58,10 @@ def run_app(
     ``initial_distribution="single"`` to force an imbalanced start,
     ``fault_plan=FaultPlan(...)`` to arm kill/stall injection and
     recovery, or the local backend's ``stall_seconds`` straggler
-    injection).
+    injection).  That includes the observability knobs: pass
+    ``obs=Observability()`` and/or ``trace_path="run.trace.jsonl"``
+    to record spans, events, and metrics for the run (see
+    :mod:`repro.obs`); the bundle comes back on ``result.obs``.
     """
     try:
         spec = APPS[app]

@@ -1,0 +1,294 @@
+"""Counters, gauges, and fixed-bucket histograms for run metrics.
+
+The scheduler, exchange, and fabric update these on hot paths, so the
+design goal is cheapness: a counter increment is an attribute add
+under a lock, a histogram observation is one ``bisect`` plus two
+adds.  When metrics are off, callers hold :data:`NULL_METRICS`, whose
+instruments are shared no-ops.
+
+Histograms use fixed geometric bucket ladders (no per-observation
+allocation); quantiles (:meth:`Histogram.percentile`) interpolate
+linearly inside the owning bucket, clamped to the observed min/max,
+which is exact at the bucket-resolution the ladder provides — plenty
+for p50/p95/p99 summaries of grant latencies and batch sizes.
+
+Everything snapshots to plain dicts (:meth:`MetricsRegistry.snapshot`)
+so worker processes can ship their registries to the driver over the
+existing result channels, where :meth:`MetricsRegistry.absorb` merges
+them: counters sum, gauges take the newest value, histograms add
+bucket-wise.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "BYTES_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "SECONDS_BUCKETS",
+]
+
+#: 1 µs .. ~67 s, doubling — the latency ladder.
+SECONDS_BUCKETS: Tuple[float, ...] = tuple(1e-6 * 2 ** i for i in range(27))
+
+#: 64 B .. 64 GiB, x4 — the payload-size ladder.
+BYTES_BUCKETS: Tuple[float, ...] = tuple(64.0 * 4 ** i for i in range(16))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self) -> None:
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self.value += n
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentiles.
+
+    ``bounds`` are the bucket upper edges; one overflow bucket catches
+    everything above the last edge.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, bounds: Tuple[float, ...] = SECONDS_BUCKETS) -> None:
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        i = bisect_right(self.bounds, value)
+        with self._lock:
+            self.counts[i] += 1
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The q-quantile (q in [0, 1]), interpolated within its bucket."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cum = 0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            lo = self.bounds[i - 1] if i > 0 else 0.0
+            hi = self.bounds[i] if i < len(self.bounds) else self.max
+            lo = max(lo, self.min) if lo < self.min <= hi else lo
+            hi = min(hi, self.max)
+            if cum + c >= target:
+                frac = (target - cum) / c
+                return lo + (hi - lo) * frac
+            cum += c
+        return self.max
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "max": self.max if self.count else 0.0,
+        }
+
+    def merge(self, other: "Histogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        with self._lock:
+            for i, c in enumerate(other.counts):
+                self.counts[i] += c
+            self.count += other.count
+            self.total += other.total
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Histogram":
+        h = cls(tuple(d["bounds"]))
+        h.counts = list(d["counts"])
+        h.count = d["count"]
+        h.total = d["total"]
+        h.min = float("inf") if d.get("min") is None else d["min"]
+        h.max = float("-inf") if d.get("max") is None else d["max"]
+        return h
+
+
+class _NullCounter:
+    __slots__ = ()
+    value = 0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    value = 0.0
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    count = 0
+    total = 0.0
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                "p99": 0.0, "max": 0.0}
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Named instruments for one run, snapshot/merge-able across ranks."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                c = self._counters[name] = Counter()
+            return c
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                g = self._gauges[name] = Gauge()
+            return g
+
+    def histogram(
+        self, name: str, bounds: Tuple[float, ...] = SECONDS_BUCKETS
+    ) -> Histogram:
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                h = self._histograms[name] = Histogram(bounds)
+            return h
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-dict export, picklable and JSON-serializable."""
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in self._counters.items()},
+                "gauges": {k: g.value for k, g in self._gauges.items()},
+                "histograms": {
+                    k: h.to_dict() for k, h in self._histograms.items()
+                },
+            }
+
+    def absorb(self, snapshot: Optional[Dict[str, Any]]) -> None:
+        """Merge a snapshot from another registry (e.g. a worker's)."""
+        if not snapshot:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, d in snapshot.get("histograms", {}).items():
+            self.histogram(name, tuple(d["bounds"])).merge(
+                Histogram.from_dict(d)
+            )
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+class _NullMetricsRegistry:
+    """The disabled registry: hands out shared no-op instruments."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullCounter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str) -> _NullGauge:
+        return _NULL_GAUGE
+
+    def histogram(self, name: str, bounds: Any = None) -> _NullHistogram:
+        return _NULL_HISTOGRAM
+
+    def snapshot(self) -> None:
+        return None
+
+    def absorb(self, snapshot: Optional[Dict[str, Any]]) -> None:
+        pass
+
+    def clear(self) -> None:
+        pass
+
+
+#: Shared no-op registry: hold this instead of ``None`` so hot paths
+#: never branch on "are metrics on?".
+NULL_METRICS = _NullMetricsRegistry()

@@ -178,7 +178,7 @@ def test_mid_posting_failure_backfills_only_unserved_peers(transport):
         release_segment(segment)
     # The failure itself was reported, with the posting traceback.
     assert len(result_queue.items) == 1
-    rank, error, output, _stats = result_queue.items[0]
+    rank, error, output, _stats, _obs = result_queue.items[0]
     assert rank == 0 and output is None
     assert "pipe burst" in error
 
