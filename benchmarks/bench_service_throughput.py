@@ -1,0 +1,141 @@
+"""Job-service throughput: what the resident daemon actually buys.
+
+Three measurements against one in-process :class:`JobService` on the
+local (real multiprocessing) backend:
+
+* **cold vs warm latency** — p50 submit-to-result over an open
+  connection to the warm daemon, next to the true cold-start
+  alternative: a fresh driver process that imports the stack and runs
+  the same job once via ``run_app``.  The gap is the amortized
+  interpreter/import/tracker/executor cost the service exists to
+  remove.
+* **jobs/sec vs concurrent clients** — the loadgen sweep: N clients
+  pipelining a mixed SIO/WO/LR workload through the shared
+  chunk-authority scheduler, with p50/p99 latency from the same
+  histogram instrument the runtime uses.
+* **cache-hit vs miss ingest** — dataset acquisition time for the
+  first submission of a spec (factory build) against a repeat
+  submission (LRU hit).
+
+Smoke mode keeps the same code paths with the standard tiny-payload
+sizes; throughput shapes are advisory there (worker spawn dominates
+toy jobs).
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+from repro.harness import bench_smoke_enabled
+from repro.service import JobService, ServiceClient
+from repro.service.loadgen import run_load
+
+SMOKE = bench_smoke_enabled()
+
+CLIENT_COUNTS = (1, 2, 4) if SMOKE else (1, 2, 4, 8)
+JOBS_PER_CLIENT = 3 if SMOKE else 6
+N_GPUS = 2
+
+_SCALE = 1 if SMOKE else 16
+MIX = (
+    ("SIO", {"n_elements": 6000 * _SCALE, "chunk_elements": 1500 * _SCALE,
+             "key_space": 512, "seed": 31}),
+    ("WO", {"n_chars": 4000 * _SCALE, "chunk_chars": 1000 * _SCALE,
+            "seed": 32}),
+    ("LR", {"n_points": 4000 * _SCALE, "chunk_points": 1000 * _SCALE,
+            "seed": 33}),
+)
+
+
+def _cold_start_seconds(app, spec, runs=3):
+    """Wall-clock of a fresh one-shot driver process, per run."""
+    script = (
+        "from repro.apps import APPS\n"
+        f"entry = APPS[{app!r}]\n"
+        f"entry.runner({N_GPUS}, entry.dataset(**{spec!r}), backend='local')\n"
+    )
+    src_dir = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_dir, env.get("PYTHONPATH", "")) if p
+    )
+    samples = []
+    for _ in range(runs):
+        t0 = time.perf_counter()
+        subprocess.run([sys.executable, "-c", script], check=True, env=env,
+                       timeout=300)
+        samples.append(time.perf_counter() - t0)
+    return samples
+
+
+def test_service_throughput(benchmark, check, save_result):
+    lines = ["service throughput (local backend, daemon-resident pools)", ""]
+    with JobService(port=0, default_backend="local",
+                    max_concurrent_jobs=4) as service:
+        app, spec = MIX[0]
+
+        # -- cold vs warm ------------------------------------------------
+        with ServiceClient(*service.address) as client:
+            client.submit(app, spec, n_gpus=N_GPUS, timeout=300)  # prime
+            warm = []
+            for _ in range(5):
+                t0 = time.perf_counter()
+                client.submit(app, spec, n_gpus=N_GPUS, timeout=300)
+                warm.append(time.perf_counter() - t0)
+        cold = _cold_start_seconds(app, spec)
+        warm_p50 = sorted(warm)[len(warm) // 2]
+        cold_p50 = sorted(cold)[len(cold) // 2]
+        lines += [
+            "cold-start run_app vs warm service submit (SIO, p50 seconds):",
+            f"  cold-start driver   {cold_p50:8.3f}",
+            f"  warm submit         {warm_p50:8.3f}",
+            f"  speedup             {cold_p50 / warm_p50:8.2f}x",
+            "",
+        ]
+        check(warm_p50 < cold_p50,
+              "warm service submit should beat cold-start run_app")
+
+        # -- jobs/sec vs concurrent clients ------------------------------
+        lines.append("jobs/sec vs concurrent clients "
+                     f"({JOBS_PER_CLIENT} jobs each, mixed SIO/WO/LR):")
+        lines.append("  clients   jobs/sec   p50 s    p99 s   failed")
+        throughputs = {}
+        for n in CLIENT_COUNTS:
+            report = run_load(service.address, n_clients=n,
+                              jobs_per_client=JOBS_PER_CLIENT,
+                              mix=MIX, n_gpus=N_GPUS)
+            s = report.latency.summary()
+            throughputs[n] = report.jobs_per_sec
+            lines.append(
+                f"  {n:7d}   {report.jobs_per_sec:8.2f}   "
+                f"{s['p50']:6.3f}   {s['p99']:6.3f}   {report.failed:6d}"
+            )
+            assert report.failed == 0, report.errors
+        lines.append("")
+        check(throughputs[max(CLIENT_COUNTS)] >= throughputs[1],
+              "concurrent clients should not reduce aggregate jobs/sec")
+
+        # -- cache hit vs miss ingest ------------------------------------
+        big_spec = {"n_elements": 50_000 * _SCALE,
+                    "chunk_elements": 12_500 * _SCALE,
+                    "key_space": 2048, "seed": 99}
+        with ServiceClient(*service.address) as client:
+            miss = client.submit("SIO", big_spec, n_gpus=N_GPUS, timeout=300)
+            hit = client.submit("SIO", big_spec, n_gpus=N_GPUS, timeout=300)
+        lines += [
+            "dataset ingest, cache miss vs hit (seconds):",
+            f"  miss (factory build)  {miss.ingest_s:10.6f}",
+            f"  hit  (LRU reuse)      {hit.ingest_s:10.6f}",
+            "",
+        ]
+        assert miss.cache_hit is False and hit.cache_hit is True
+        check(hit.ingest_s <= miss.ingest_s,
+              "cache hit ingest should not exceed the miss's build time")
+
+        # Register one representative warm submit with pytest-benchmark.
+        with ServiceClient(*service.address) as client:
+            benchmark(lambda: client.submit(app, spec, n_gpus=N_GPUS,
+                                            timeout=300))
+
+    save_result("service_throughput", "\n".join(lines))

@@ -44,7 +44,7 @@ from .runtime import (
     distribute_chunks,
     resolve_chunks,
 )
-from .scheduler import ScheduleTrace
+from .scheduler import ChunkService, ScheduleTrace
 from ..obs import Observability
 from ..workloads.base import Dataset
 
@@ -84,6 +84,18 @@ class Executor(ABC):
         #: passive — timestamps and counters only — so traced runs stay
         #: bit-identical to untraced runs.
         self.obs = obs
+        #: True once :meth:`close` ran; a closed executor refuses to run
+        self._closed = False
+        #: shared multi-job pull authority (see
+        #: :class:`~repro.core.scheduler.JobChunkAuthority`).  ``None``
+        #: outside a job service: each run builds its own private
+        #: :class:`~repro.core.scheduler.ChunkService`.  A pool-managed
+        #: executor gets the daemon's shared authority here, so every
+        #: concurrent job's chunk queues live behind one front.
+        self.chunk_authority = None
+        #: namespace for the *next* run's chunk service and trace meta
+        #: (set per lease by the job service; ``None`` for one-shot runs)
+        self.job_id: Optional[str] = None
 
     # -- observability hooks (shared by every backend) --------------------
 
@@ -93,6 +105,9 @@ class Executor(ABC):
         resets the bundle, after the previous run's trace was written."""
         if self.obs is not None:
             self.obs.reset()
+            # Namespace the fresh bundle under the lease's job (no-op
+            # outside a job service, where job_id is None).
+            self.obs.set_job(self.job_id)
         return self.obs
 
     def _finish_obs(self, obs: Optional[Observability], stats) -> None:
@@ -125,14 +140,109 @@ class Executor(ABC):
         directions (record on sim / replay on real, and vice versa).
         """
 
+    # -- reusable lifecycle ------------------------------------------------
+    #
+    # Executors are pool-managed by the job service (repro.service): one
+    # instance runs many jobs back to back, so the lifecycle is part of
+    # the backend contract — close() is idempotent on every backend,
+    # run() after close() raises RuntimeError, and reset() returns a
+    # used executor to a runnable state between leases.
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran; a closed executor never runs again."""
+        return self._closed
+
     def close(self) -> None:
         """Release any resources the executor holds between runs.
 
-        A no-op by default — today's backends acquire everything per
-        :meth:`run` and release it there — but part of the contract so
-        callers can treat every backend uniformly (and future
-        persistent-pool executors have a hook).
+        Idempotent on every backend: the first call runs the
+        :meth:`_release` hook, later calls are no-ops.  After close the
+        executor is permanently retired — :meth:`run` raises
+        ``RuntimeError`` — so pools can retire instances without
+        tracking whether a given one was already closed.
         """
+        if self._closed:
+            return
+        self._closed = True
+        self._release()
+
+    def _release(self) -> None:
+        """Subclass hook, called exactly once by the first :meth:`close`.
+
+        Today's backends acquire everything per :meth:`run` and release
+        it there, so the default is a no-op; persistent-resource
+        backends override this.
+        """
+
+    def reset(self) -> None:
+        """Return a used (but open) executor to a runnable state.
+
+        The pool calls this between leases so one instance serves many
+        jobs.  Per-run state on the built-in backends is already scoped
+        to :meth:`run`; reset clears the cross-run knobs a job service
+        sets per lease (``job_id``) and recorded observability, and
+        refuses on a closed executor.
+        """
+        self._check_open("reset")
+        self.job_id = None
+        if self.obs is not None:
+            self.obs.reset()
+
+    def _check_open(self, action: str = "run") -> None:
+        """Raise clearly when a closed executor is asked to work again."""
+        if self._closed:
+            raise RuntimeError(
+                f"cannot {action} on a closed {type(self).__name__}: "
+                "close() already released this executor; build a new one "
+                "(or lease from a pool) instead"
+            )
+
+    def _make_chunk_service(
+        self,
+        chunks: Sequence[Chunk],
+        job: MapReduceJob,
+        *,
+        schedule: Optional[ScheduleTrace] = None,
+        speculate_after: Optional[float] = None,
+        obs: Optional[Observability] = None,
+    ) -> ChunkService:
+        """Build (or borrow) the run's pull authority.
+
+        Standalone executors build a private
+        :class:`~repro.core.scheduler.ChunkService`; a pool-managed
+        executor with a :attr:`chunk_authority` opens a *job-scoped
+        namespace* on the shared authority instead, so concurrent jobs'
+        chunk queues coexist behind one front and the daemon can
+        inspect/close them by :attr:`job_id`.
+        """
+        initial = getattr(self, "initial_distribution", "round_robin")
+        context = (
+            f"{job.name}@{self.job_id}" if self.job_id else job.name
+        )
+        if self.chunk_authority is not None:
+            return self.chunk_authority.open_job(
+                chunks,
+                self.n_workers,
+                job_id=self.job_id,
+                initial_distribution=initial,
+                enable_stealing=job.config.enable_stealing,
+                schedule=schedule,
+                context=context,
+                speculate_after=speculate_after,
+                obs=obs,
+            )
+        return ChunkService(
+            chunks,
+            self.n_workers,
+            initial_distribution=initial,
+            enable_stealing=job.config.enable_stealing,
+            schedule=schedule,
+            context=context,
+            speculate_after=speculate_after,
+            obs=obs,
+            job_id=self.job_id,
+        )
 
     def __enter__(self) -> "Executor":
         return self
@@ -163,6 +273,9 @@ class SimExecutor(Executor):
     ) -> None:
         super().__init__(n_workers, obs=obs, trace_path=trace_path)
         self.runtime = GPMRRuntime(n_gpus=n_workers, **runtime_kwargs)
+        #: mirrored from the runtime so :meth:`_make_chunk_service`
+        #: sees the same initial-placement policy the sim models
+        self.initial_distribution = self.runtime.initial_distribution
 
     def run(
         self,
@@ -171,9 +284,23 @@ class SimExecutor(Executor):
         chunks: Optional[Sequence[Chunk]] = None,
         schedule: Optional[ScheduleTrace] = None,
     ) -> JobResult:
+        self._check_open()
         obs = self._begin_obs()
+        all_chunks = resolve_chunks(dataset, chunks)
+        # Built here (not inside the runtime) so a pool-managed
+        # executor can route the run through a shared multi-job
+        # authority.  Safe before the runtime swaps the tracer onto
+        # the modeled clock: service construction stamps no
+        # timestamps, only gauges.
+        service = self._make_chunk_service(
+            all_chunks, job, schedule=schedule, obs=obs
+        )
         result = self.runtime.run(
-            job, dataset=dataset, chunks=chunks, schedule=schedule, obs=obs
+            job,
+            chunks=all_chunks,
+            schedule=schedule,
+            obs=obs,
+            service=service,
         )
         self._finish_obs(obs, result.stats)
         return result
@@ -220,7 +347,29 @@ def make_executor(backend: str, n_workers: int, **kwargs) -> Executor:
     ``trace_path=`` (write the run's JSONL span/event trace there;
     implies tracing) — both off by default, and passive when on, so
     traced runs stay bit-identical to untraced runs.
+
+    ``executor=`` short-circuits construction with a pre-built
+    instance — the job service's warm-pool path: every app's ``run_*``
+    convenience funnels through here, so a pool lease passed as
+    ``executor=`` reuses the warm instance while one-shot callers keep
+    building fresh ones.  The instance must match ``backend`` and
+    ``n_workers``; no other kwargs may accompany it (they would be
+    silently ignored otherwise).
     """
+    pre_built = kwargs.pop("executor", None)
+    if pre_built is not None:
+        if kwargs:
+            raise ValueError(
+                "executor= supplies a fully configured instance; "
+                f"conflicting kwargs {sorted(kwargs)} would be ignored"
+            )
+        if pre_built.name != backend or pre_built.n_workers != int(n_workers):
+            raise ValueError(
+                f"pre-built executor is {pre_built.name!r}×"
+                f"{pre_built.n_workers}, caller asked for "
+                f"{backend!r}×{n_workers}"
+            )
+        return pre_built
     if backend not in _BACKENDS and backend in _LAZY_BACKENDS:
         _import_lazy(backend)
     if backend not in _BACKENDS:

@@ -154,6 +154,7 @@ class GPMRRuntime:
         chunks: Optional[Sequence[Chunk]] = None,
         schedule: Optional[ScheduleTrace] = None,
         obs: Optional[Observability] = None,
+        service: Optional[ChunkService] = None,
     ) -> JobResult:
         """Execute ``job`` over ``dataset`` (or explicit ``chunks``).
 
@@ -168,6 +169,12 @@ class GPMRRuntime:
         ``obs`` observes the run: spans and events are stamped with
         the *modeled* clock (``env.now``), so the trace timeline is
         the simulated cluster's, not this process's wall-clock.
+
+        ``service`` supplies a pre-built pull authority (an executor's
+        :meth:`~repro.core.executor.Executor._make_chunk_service`
+        product, possibly a job-scoped namespace on a shared
+        :class:`~repro.core.scheduler.JobChunkAuthority`); when omitted
+        the runtime builds its own private one, as before.
         """
         chunks = resolve_chunks(dataset, chunks)
         fault = self.fault_plan
@@ -183,15 +190,16 @@ class GPMRRuntime:
             # Trace in modeled time: every span/event is stamped with
             # the simulated cluster's clock.
             obs.tracer.clock = lambda: env.now
-        service = ChunkService(
-            chunks,
-            self.n_gpus,
-            initial_distribution=self.initial_distribution,
-            enable_stealing=job.config.enable_stealing,
-            schedule=schedule,
-            context=job.name,
-            obs=obs,
-        )
+        if service is None:
+            service = ChunkService(
+                chunks,
+                self.n_gpus,
+                initial_distribution=self.initial_distribution,
+                enable_stealing=job.config.enable_stealing,
+                schedule=schedule,
+                context=job.name,
+                obs=obs,
+            )
 
         workers = [
             Worker(

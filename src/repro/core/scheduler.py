@@ -33,6 +33,7 @@ __all__ = [
     "Assignment",
     "ChunkScheduler",
     "ChunkService",
+    "JobChunkAuthority",
     "DISTRIBUTIONS",
     "RETRY",
     "ReplayScheduler",
@@ -675,9 +676,16 @@ class ChunkService:
         context: Optional[str] = None,
         speculate_after: Optional[float] = None,
         obs=None,
+        job_id: Optional[str] = None,
     ) -> None:
         self.n_workers = int(n_workers)
         self.context = context
+        #: namespace this service serves under a multi-job authority;
+        #: None for standalone one-shot runs.  When set, every traced
+        #: grant/steal/reclaim event carries ``job=<job_id>`` so
+        #: interleaved multi-job traces stay attributable.
+        self.job_id = job_id
+        self._job_kw = {"job": job_id} if job_id is not None else {}
         #: the run's observability bundle; grants/steals/reclaims are
         #: recorded as point events and counters (no-ops when untraced)
         self.obs = obs or NULL_OBS
@@ -726,16 +734,18 @@ class ChunkService:
         speculative = len(grantees.get(cid, ())) > 1
         if speculative:
             tracer.event("grant", rank=worker, chunk=cid,
-                         victim=a.victim, speculative=True)
-            tracer.event("speculate", rank=worker, chunk=cid, holder=a.victim)
+                         victim=a.victim, speculative=True, **self._job_kw)
+            tracer.event("speculate", rank=worker, chunk=cid,
+                         holder=a.victim, **self._job_kw)
             metrics.counter("speculative_grants").inc()
         elif a.victim != worker:
             tracer.event("grant", rank=worker, chunk=cid,
-                         victim=a.victim, steal=True)
-            tracer.event("steal", rank=worker, chunk=cid, victim=a.victim)
+                         victim=a.victim, steal=True, **self._job_kw)
+            tracer.event("steal", rank=worker, chunk=cid,
+                         victim=a.victim, **self._job_kw)
             metrics.counter("steals").inc()
         else:
-            tracer.event("grant", rank=worker, chunk=cid)
+            tracer.event("grant", rank=worker, chunk=cid, **self._job_kw)
         metrics.counter("chunks_granted").inc()
 
     @contextlib.contextmanager
@@ -768,7 +778,8 @@ class ChunkService:
         :meth:`ChunkScheduler.reclaim`)."""
         with self._lock:
             requeued = self._scheduler.reclaim(worker)
-            self.obs.tracer.event("reclaim", rank=worker, requeued=requeued)
+            self.obs.tracer.event("reclaim", rank=worker,
+                                  requeued=requeued, **self._job_kw)
             self.obs.metrics.counter("chunks_reclaimed").inc(requeued)
             return requeued
 
@@ -792,7 +803,8 @@ class ChunkService:
                 first = grantees[cid][0] if grantees.get(cid) else winner
                 name = ("speculation_win" if winner != first
                         else "speculation_loss")
-                self.obs.tracer.event(name, rank=winner, chunk=cid)
+                self.obs.tracer.event(name, rank=winner, chunk=cid,
+                                      **self._job_kw)
 
     # -- ledgers -------------------------------------------------------------
     @property
@@ -864,3 +876,113 @@ class ChunkService:
                     f"service granted {steals[w.rank]} steal(s), worker "
                     f"fetched {w.chunks_stolen}"
                 )
+
+
+class JobChunkAuthority:
+    """One pull front over many concurrent jobs' chunk queues.
+
+    The job service (:mod:`repro.service`) runs many jobs at once, each
+    with its own chunks, workers, and schedule — but operators want one
+    place to see and manage all in-flight chunk state.  The authority
+    is that place: a registry of *job-scoped* :class:`ChunkService`
+    namespaces keyed by ``job_id``.  A pool-managed executor whose
+    :attr:`~repro.core.executor.Executor.chunk_authority` is set routes
+    its run's service construction here (see
+    :meth:`~repro.core.executor.Executor._make_chunk_service`), so the
+    daemon can enumerate :attr:`active_jobs`, inspect a job's
+    :attr:`~ChunkService.remaining` count mid-flight, and retire its
+    queues with :meth:`close_job` once results are collected.
+
+    Chunk queues are deliberately *not* shared between jobs: stealing
+    never crosses a job boundary (a thief finishing job A's queue must
+    not drain job B's), which is exactly what per-job namespaces give
+    us for free while keeping every existing parity/replay contract
+    per job.  Thread-safe: open/close/get may race with job-runner
+    threads.
+    """
+
+    def __init__(self, obs=None) -> None:
+        self.obs = obs or NULL_OBS
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, ChunkService] = {}
+        self._seq = 0
+
+    def open_job(
+        self,
+        chunks: Sequence[Chunk],
+        n_workers: int,
+        *,
+        job_id: Optional[str] = None,
+        initial_distribution: str = "round_robin",
+        enable_stealing: bool = True,
+        schedule: Optional[ScheduleTrace] = None,
+        context: Optional[str] = None,
+        speculate_after: Optional[float] = None,
+        obs=None,
+    ) -> ChunkService:
+        """Open a job-scoped :class:`ChunkService` namespace.
+
+        ``job_id`` defaults to a fresh ``job<N>`` when the caller has
+        none.  Re-opening an id whose chunks are all drained supersedes
+        the old namespace (multi-phase apps like MM run several
+        ``ex.run`` calls under one job id, one phase at a time);
+        re-opening an id with chunks still in flight is an error — two
+        live services under one name would make the registry ambiguous.
+        """
+        with self._lock:
+            if job_id is None:
+                self._seq += 1
+                job_id = f"job{self._seq}"
+            existing = self._jobs.get(job_id)
+            if existing is not None and existing.remaining > 0:
+                raise ValueError(
+                    f"job {job_id!r} still has {existing.remaining} chunks "
+                    "in flight on this authority; close_job() it before "
+                    "reusing the id"
+                )
+            service = ChunkService(
+                chunks,
+                n_workers,
+                initial_distribution=initial_distribution,
+                enable_stealing=enable_stealing,
+                schedule=schedule,
+                context=context,
+                speculate_after=speculate_after,
+                obs=obs,
+                job_id=job_id,
+            )
+            self._jobs[job_id] = service
+            self.obs.metrics.counter("jobs_opened").inc()
+            self.obs.metrics.gauge("jobs_active").set(len(self._jobs))
+            return service
+
+    def get(self, job_id: str) -> ChunkService:
+        """The live service for ``job_id`` (KeyError when not open)."""
+        with self._lock:
+            return self._jobs[job_id]
+
+    def close_job(self, job_id: str) -> ChunkService:
+        """Retire a job's namespace and return its (final) service.
+
+        The service object stays valid for post-run ledger reads
+        (``trace``, ``steals``, ...); only the registry entry goes.
+        """
+        with self._lock:
+            service = self._jobs.pop(job_id)
+            self.obs.metrics.gauge("jobs_active").set(len(self._jobs))
+            return service
+
+    @property
+    def active_jobs(self) -> Tuple[str, ...]:
+        """Ids of jobs with live chunk namespaces, sorted."""
+        with self._lock:
+            return tuple(sorted(self._jobs))
+
+    @property
+    def remaining(self) -> int:
+        """Undelivered chunks across every open job."""
+        with self._lock:
+            return sum(s.remaining for s in self._jobs.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<JobChunkAuthority jobs={len(self._jobs)}>"

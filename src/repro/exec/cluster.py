@@ -45,7 +45,7 @@ from ..core.faults import FaultPlan
 from ..core.job import MapReduceJob
 from ..core.kvset import KeyValueSet
 from ..core.runtime import JobResult, resolve_chunks
-from ..core.scheduler import ChunkService, ScheduleTrace
+from ..core.scheduler import ScheduleTrace
 from ..core.stats import JobStats, WorkerStats
 from ..obs import Observability
 from ..fabric import (
@@ -68,6 +68,7 @@ def _rank_main(
     max_frame_bytes: int,
     listen_port: int = 0,
     rejoin: bool = False,
+    auth_key: Optional[bytes] = None,
 ) -> None:
     """Process target for one locally spawned rank."""
     try:
@@ -79,6 +80,7 @@ def _rank_main(
             max_frame_bytes=max_frame_bytes,
             listen_port=listen_port,
             rejoin=rejoin,
+            auth_key=auth_key,
         )
     except Exception:
         # The endpoint could not ship its traceback over the control
@@ -108,8 +110,14 @@ class ClusterExecutor(Executor):
         fault_plan: Optional[FaultPlan] = None,
         obs: Optional[Observability] = None,
         trace_path: Optional[str] = None,
+        auth_key: Optional[bytes] = None,
     ) -> None:
         super().__init__(n_workers, obs=obs, trace_path=trace_path)
+        #: shared HMAC key; when set the coordinator challenges every
+        #: connection and spawned local ranks answer with the same key
+        #: (externally launched ranks pass it via
+        #: ``repro.fabric.launch --auth-key-env/--auth-key-file``)
+        self.auth_key = auth_key
         self.initial_distribution = initial_distribution
         self.start_method = start_method or _default_start_method()
         self.timeout_seconds = float(timeout_seconds)
@@ -140,6 +148,7 @@ class ClusterExecutor(Executor):
         chunks: Optional[Sequence[Chunk]] = None,
         schedule: Optional[ScheduleTrace] = None,
     ) -> JobResult:
+        self._check_open()
         all_chunks = resolve_chunks(dataset, chunks)
         fault = self.fault_plan
         if fault is not None and schedule is not None:
@@ -161,13 +170,10 @@ class ClusterExecutor(Executor):
         run_obs = self._begin_obs()
         # The driver hosts the pull authority; ranks reach it through
         # the coordinator's CHUNK_REQ/CHUNK_GRANT control frames.
-        service = ChunkService(
+        service = self._make_chunk_service(
             all_chunks,
-            self.n_workers,
-            initial_distribution=self.initial_distribution,
-            enable_stealing=job.config.enable_stealing,
+            job,
             schedule=schedule,
-            context=job.name,
             speculate_after=None if fault is None else fault.speculate_after,
             obs=run_obs,
         )
@@ -201,6 +207,7 @@ class ClusterExecutor(Executor):
             liveness_probe=_probe if self.spawn_ranks else None,
             compress_exchange=self.compress_exchange,
             obs=run_obs,
+            auth_key=self.auth_key,
         ) as coordinator:
             self.coordinator_address = coordinator.address
             respawner = None
@@ -225,6 +232,7 @@ class ClusterExecutor(Executor):
                             self.max_frame_bytes,
                             listen_port,
                             incarnation > 0,
+                            self.auth_key,
                         ),
                         name=f"gpmr-cluster-r{rank}.{incarnation}",
                         daemon=True,

@@ -438,6 +438,7 @@ class LocalExecutor(Executor):
         chunks: Optional[Sequence[Chunk]] = None,
         schedule: Optional[ScheduleTrace] = None,
     ) -> JobResult:
+        self._check_open()
         all_chunks = resolve_chunks(dataset, chunks)
         fault = self.fault_plan
         if fault is not None and schedule is not None:
@@ -459,13 +460,10 @@ class LocalExecutor(Executor):
         run_obs = self._begin_obs()
         # Replay validation happens here, in the driver, before any
         # process exists — a bad trace fails fast with full context.
-        service = ChunkService(
+        service = self._make_chunk_service(
             all_chunks,
-            self.n_workers,
-            initial_distribution=self.initial_distribution,
-            enable_stealing=job.config.enable_stealing,
+            job,
             schedule=schedule,
-            context=job.name,
             speculate_after=None if fault is None else fault.speculate_after,
             obs=run_obs,
         )

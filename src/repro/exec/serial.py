@@ -27,7 +27,7 @@ from ..core.faults import FaultPlan
 from ..core.job import MapReduceJob
 from ..core.kvset import KeyValueSet
 from ..core.runtime import JobResult, resolve_chunks
-from ..core.scheduler import ChunkService, ScheduleTrace
+from ..core.scheduler import ScheduleTrace
 from ..core.stats import JobStats, WorkerStats
 from ..obs import NULL_OBS, Observability
 from ..workloads.base import Dataset
@@ -74,6 +74,7 @@ class SerialExecutor(Executor):
         chunks: Optional[Sequence[Chunk]] = None,
         schedule: Optional[ScheduleTrace] = None,
     ) -> JobResult:
+        self._check_open()
         all_chunks = resolve_chunks(dataset, chunks)
         fault = self.fault_plan
         if fault is not None and schedule is not None:
@@ -84,14 +85,8 @@ class SerialExecutor(Executor):
             )
         run_obs = self._begin_obs()
         obs = run_obs if run_obs is not None else NULL_OBS
-        service = ChunkService(
-            all_chunks,
-            self.n_workers,
-            initial_distribution=self.initial_distribution,
-            enable_stealing=job.config.enable_stealing,
-            schedule=schedule,
-            context=job.name,
-            obs=run_obs,
+        service = self._make_chunk_service(
+            all_chunks, job, schedule=schedule, obs=run_obs
         )
         grant_latency = obs.metrics.histogram("grant_latency_s")
 

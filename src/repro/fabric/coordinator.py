@@ -50,12 +50,15 @@ from .wire import (
     MSG_RESUME,
     MSG_WELCOME,
     DEFAULT_MAX_FRAME_BYTES,
+    AuthenticationError,
     FabricError,
     PeerDisconnected,
     ProtocolError,
     ProtocolVersionError,
+    deliver_challenge,
     recv_frame,
     send_frame,
+    send_versioned_error,
 )
 from ..core.scheduler import RETRY
 from ..obs import NULL_OBS
@@ -102,6 +105,7 @@ class Coordinator:
         liveness_probe: Optional[Callable[[], None]] = None,
         compress_exchange: bool = False,
         obs: Optional[Any] = None,
+        auth_key: Optional[bytes] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -109,6 +113,10 @@ class Coordinator:
         self.timeout_seconds = float(timeout_seconds)
         self.max_frame_bytes = int(max_frame_bytes)
         self.liveness_probe = liveness_probe
+        #: when set, every accepted connection (registration and
+        #: mid-run rejoin alike) must pass the HMAC challenge-response
+        #: handshake before its first pickled frame is read
+        self.auth_key = auth_key
         #: ranks zlib-deflate their shuffle chunks (shipped via ASSIGN)
         self.compress_exchange = bool(compress_exchange)
         #: driver-side observability bundle; when set, ASSIGN frames
@@ -173,6 +181,36 @@ class Coordinator:
                 f"still waiting on rank(s) {sorted(waiting_on)}"
             )
 
+    def _authenticate(self, conn: socket.socket) -> bool:
+        """Run the HMAC handshake on a fresh connection (when keyed).
+
+        True means the peer may proceed to pickled frames.  A peer
+        with the wrong key (or no auth at all) is refused and dropped
+        — False, keep listening; the handshake never aborts the run
+        the way a misconfiguration does.  The exception is version
+        skew: a legacy client gets a versioned refusal frame and the
+        error propagates, matching the registration path's existing
+        fail-fast contract.
+        """
+        if self.auth_key is None:
+            return True
+        try:
+            deliver_challenge(
+                conn, self.auth_key, max_frame_bytes=self.max_frame_bytes
+            )
+            return True
+        except ProtocolVersionError as exc:
+            send_versioned_error(
+                conn, str(exc), peer_version=exc.peer_version,
+                max_frame_bytes=self.max_frame_bytes,
+            )
+            conn.close()
+            raise
+        except (AuthenticationError, ProtocolError, PeerDisconnected,
+                socket.timeout, OSError):
+            conn.close()
+            return False
+
     # -- 1. registration ---------------------------------------------------
     def wait_for_ranks(self) -> None:
         """Accept HELLOs until every rank 0..n-1 has registered.
@@ -193,6 +231,8 @@ class Coordinator:
             except socket.timeout:
                 continue
             conn.settimeout(min(5.0, self.timeout_seconds))
+            if not self._authenticate(conn):
+                continue
             try:
                 _, hello = recv_frame(
                     conn, max_frame_bytes=self.max_frame_bytes, expect=MSG_HELLO
@@ -487,6 +527,8 @@ class Coordinator:
         except (socket.timeout, OSError):
             return
         conn.settimeout(min(5.0, self.timeout_seconds))
+        if not self._authenticate(conn):
+            return
         try:
             _, hello = recv_frame(
                 conn, max_frame_bytes=self.max_frame_bytes, expect=MSG_HELLO

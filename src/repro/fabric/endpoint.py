@@ -63,10 +63,12 @@ from .wire import (
     MSG_RESUME,
     MSG_WELCOME,
     DEFAULT_MAX_FRAME_BYTES,
+    AuthenticationError,
     FabricError,
     PeerDisconnected,
     ProtocolError,
     ProtocolVersionError,
+    answer_challenge,
     recv_frame,
     recv_raw_frame,
     send_frame,
@@ -94,11 +96,15 @@ class RankEndpoint:
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         listen_port: int = 0,
         rejoin: bool = False,
+        auth_key: Optional[bytes] = None,
     ) -> None:
         self.rank = int(rank)
         self.coordinator_address = tuple(coordinator)
         self.timeout_seconds = float(timeout_seconds)
         self.max_frame_bytes = int(max_frame_bytes)
+        #: shared secret for the coordinator's HMAC handshake; must
+        #: match the coordinator's key (or be None when it has none)
+        self.auth_key = auth_key
         #: True when this endpoint is a replacement incarnation joining
         #: a run already past its start barrier (its HELLO says so, and
         #: :meth:`run_job` skips the barrier)
@@ -152,6 +158,13 @@ class RankEndpoint:
         self._control = socket.create_connection(
             self.coordinator_address, timeout=self.timeout_seconds
         )
+        if self.auth_key is not None:
+            # The coordinator challenges first thing on accept; answer
+            # before any other frame goes out.
+            answer_challenge(
+                self._control, self.auth_key,
+                max_frame_bytes=self.max_frame_bytes,
+            )
         send_frame(
             self._control,
             MSG_HELLO,
@@ -159,9 +172,20 @@ class RankEndpoint:
              "rejoin": self.rejoin},
             max_frame_bytes=self.max_frame_bytes,
         )
-        _, welcome = recv_frame(
-            self._control, max_frame_bytes=self.max_frame_bytes, expect=MSG_WELCOME
-        )
+        try:
+            _, welcome = recv_frame(
+                self._control, max_frame_bytes=self.max_frame_bytes,
+                expect=MSG_WELCOME,
+            )
+        except ProtocolError as exc:
+            if "AUTH_CHALLENGE" in str(exc):
+                # A keyed coordinator challenged us and we had nothing
+                # to answer with — name the fix, not the symptom.
+                raise AuthenticationError(
+                    "coordinator requires an auth key but this rank has "
+                    "none configured (pass auth_key= / --auth-key-env)"
+                ) from exc
+            raise
         self.n_workers = int(welcome["n_workers"])
         self.max_frame_bytes = int(
             welcome.get("max_frame_bytes", self.max_frame_bytes)
@@ -556,6 +580,7 @@ def run_rank(
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
     listen_port: int = 0,
     rejoin: bool = False,
+    auth_key: Optional[bytes] = None,
 ) -> None:
     """Join the fabric as ``rank`` and run one job end to end.
 
@@ -574,6 +599,7 @@ def run_rank(
         max_frame_bytes=max_frame_bytes,
         listen_port=listen_port,
         rejoin=rejoin,
+        auth_key=auth_key,
     ) as endpoint:
         endpoint.connect()
         endpoint.run_job()

@@ -34,7 +34,7 @@ import sys
 from typing import Optional, Sequence
 
 from .endpoint import run_rank
-from .wire import DEFAULT_MAX_FRAME_BYTES, parse_address
+from .wire import DEFAULT_MAX_FRAME_BYTES, load_auth_key, parse_address
 
 __all__ = ["main", "build_parser"]
 
@@ -92,6 +92,20 @@ def build_parser() -> argparse.ArgumentParser:
         "chunks (requires --listen-port set to the dead rank's "
         "shuffle port)",
     )
+    parser.add_argument(
+        "--auth-key-env",
+        default=None,
+        metavar="VAR",
+        help="environment variable holding the fabric's shared auth "
+        "key (the coordinator must be started with the same key)",
+    )
+    parser.add_argument(
+        "--auth-key-file",
+        default=None,
+        metavar="PATH",
+        help="file holding the shared auth key (trailing whitespace "
+        "stripped); mutually exclusive with --auth-key-env",
+    )
     return parser
 
 
@@ -110,6 +124,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             else socket.gethostname()
         )
     try:
+        auth_key = load_auth_key(args.auth_key_env, args.auth_key_file)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
         run_rank(
             args.rank,
             parse_address(args.coordinator),
@@ -119,6 +138,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             max_frame_bytes=args.max_frame_bytes,
             listen_port=args.listen_port,
             rejoin=args.rejoin,
+            auth_key=auth_key,
         )
     except Exception as exc:  # noqa: BLE001 - CLI boundary
         print(f"rank {args.rank} failed: {exc}", file=sys.stderr)

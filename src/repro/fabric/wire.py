@@ -28,18 +28,31 @@ EOF handling distinguishes two cases the coordinator cares about:
 
 **Trust model**: control-plane payloads are pickles, and unpickling
 attacker-supplied bytes is code execution — the frame bound guards
-allocation, not authenticity.  Like the MPI interconnect it reproduces, the fabric
+allocation, not authenticity.  v5 adds the HMAC challenge-response
+handshake (:func:`deliver_challenge` / :func:`answer_challenge`, à la
+``multiprocessing.connection``): when a listener holds a key, every
+accepted connection must answer a fresh random challenge with
+``HMAC-SHA256(key, challenge)`` before *any* pickled frame is read —
+the pre-auth exchange rides raw frames only, so unauthenticated bytes
+are never unpickled.  The handshake authenticates connection
+establishment, not the stream (no per-frame MAC, no encryption), so a
+shared-key deployment still wants the private network below; it stops
+is-anyone-listening port scans and wrong-cluster cross-talk, not an
+on-path attacker.  Like the MPI interconnect it reproduces, the fabric
 assumes a *private, trusted network*: bind ``127.0.0.1`` (the default)
 or an isolated cluster interface, never an internet-facing address.
-An authenticated (HMAC-challenge) handshake is a roadmap item.
 """
 
 from __future__ import annotations
 
+import hmac
+import json
+import os
 import pickle
+import secrets
 import socket
 import struct
-from typing import Any, Optional, Tuple
+from typing import Any, Optional, Tuple, Union
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -59,16 +72,28 @@ __all__ = [
     "MSG_CHUNKS_DONE",
     "MSG_BATCH_ACK",
     "MSG_MAPS_DONE",
+    "MSG_AUTH_CHALLENGE",
+    "MSG_AUTH_RESPONSE",
+    "MSG_AUTH_OK",
+    "MSG_SUBMIT",
+    "MSG_JOB_RESULT",
+    "MSG_JOB_ERROR",
+    "CHALLENGE_BYTES",
     "FabricError",
     "ProtocolError",
     "ProtocolVersionError",
     "FrameTooLarge",
     "TruncatedFrame",
     "PeerDisconnected",
+    "AuthenticationError",
     "send_frame",
     "recv_frame",
     "send_raw_frame",
     "recv_raw_frame",
+    "send_versioned_error",
+    "deliver_challenge",
+    "answer_challenge",
+    "load_auth_key",
     "parse_address",
 ]
 
@@ -84,8 +109,13 @@ __all__ = [
 #: received batch is confirmed with BATCH_ACK (senders retry
 #: unconfirmed batches, so a batch lost in a dead peer's kernel
 #: buffers is re-routed to its replacement), and ranks announce the
-#: end of their map phase with MAPS_DONE before shuffling.
-PROTOCOL_VERSION = 4
+#: end of their map phase with MAPS_DONE before shuffling.  v5: the
+#: job-service era — an HMAC challenge-response handshake
+#: (AUTH_CHALLENGE/AUTH_RESPONSE/AUTH_OK, raw frames, required before
+#: any pickled frame whenever the listener holds a key) and the
+#: multi-job control frames SUBMIT/JOB_RESULT/JOB_ERROR spoken by
+#: ``repro.service``'s daemon and client.
+PROTOCOL_VERSION = 5
 
 MAGIC = b"GPMR"
 
@@ -111,6 +141,12 @@ MSG_CHUNK_GRANT = 11  #: coordinator -> rank: {chunk, victim}
 MSG_CHUNKS_DONE = 12  #: coordinator -> rank: no more work for you
 MSG_BATCH_ACK = 13    #: rank -> rank: your shuffle batch arrived intact
 MSG_MAPS_DONE = 14    #: rank -> coordinator: map phase over, posting batches
+MSG_AUTH_CHALLENGE = 15  #: listener -> peer: random nonce to HMAC (raw)
+MSG_AUTH_RESPONSE = 16   #: peer -> listener: HMAC-SHA256(key, nonce) (raw)
+MSG_AUTH_OK = 17         #: listener -> peer: digest verified, proceed (raw)
+MSG_SUBMIT = 18      #: client -> daemon: run this job {app, dataset, ...}
+MSG_JOB_RESULT = 19  #: daemon -> client: finished job's outputs + stats
+MSG_JOB_ERROR = 20   #: daemon -> client: the job (or submission) failed
 
 MSG_NAMES = {
     MSG_HELLO: "HELLO",
@@ -127,6 +163,12 @@ MSG_NAMES = {
     MSG_CHUNKS_DONE: "CHUNKS_DONE",
     MSG_BATCH_ACK: "BATCH_ACK",
     MSG_MAPS_DONE: "MAPS_DONE",
+    MSG_AUTH_CHALLENGE: "AUTH_CHALLENGE",
+    MSG_AUTH_RESPONSE: "AUTH_RESPONSE",
+    MSG_AUTH_OK: "AUTH_OK",
+    MSG_SUBMIT: "SUBMIT",
+    MSG_JOB_RESULT: "JOB_RESULT",
+    MSG_JOB_ERROR: "JOB_ERROR",
 }
 
 
@@ -139,7 +181,16 @@ class ProtocolError(FabricError):
 
 
 class ProtocolVersionError(ProtocolError):
-    """Peer speaks a different fabric protocol revision."""
+    """Peer speaks a different fabric protocol revision.
+
+    ``peer_version`` carries the revision the peer's frame header
+    declared (None when unknowable), so listeners can answer legacy
+    clients with a useful versioned refusal instead of a bare close.
+    """
+
+    def __init__(self, message: str, peer_version: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.peer_version = peer_version
 
 
 class FrameTooLarge(ProtocolError):
@@ -152,6 +203,10 @@ class TruncatedFrame(ProtocolError):
 
 class PeerDisconnected(FabricError):
     """The peer closed the connection at a frame boundary."""
+
+
+class AuthenticationError(FabricError):
+    """The HMAC challenge-response handshake failed."""
 
 
 def _recv_exact(sock: socket.socket, n: int, *, at_boundary: bool) -> bytes:
@@ -218,7 +273,8 @@ def recv_raw_frame(
     if version != PROTOCOL_VERSION:
         raise ProtocolVersionError(
             f"peer speaks fabric protocol v{version}, "
-            f"this build speaks v{PROTOCOL_VERSION}"
+            f"this build speaks v{PROTOCOL_VERSION}",
+            peer_version=version,
         )
     if length > max_frame_bytes:
         raise FrameTooLarge(
@@ -261,6 +317,155 @@ def recv_frame(
         sock, max_frame_bytes=max_frame_bytes, expect=expect
     )
     return msg_type, pickle.loads(payload)
+
+
+# -- authentication ---------------------------------------------------------
+
+#: Challenge nonce size.  32 random bytes per connection: a replayed
+#: AUTH_RESPONSE from a sniffed handshake never matches the next
+#: connection's fresh nonce.
+CHALLENGE_BYTES = 32
+
+
+def _coerce_auth_key(key: Union[str, bytes, bytearray]) -> bytes:
+    if isinstance(key, str):
+        key = key.encode("utf-8")
+    if not isinstance(key, (bytes, bytearray)) or len(key) == 0:
+        raise ValueError("auth key must be a non-empty str or bytes")
+    return bytes(key)
+
+
+def _auth_digest(key: bytes, nonce: bytes) -> bytes:
+    return hmac.new(key, nonce, "sha256").digest()
+
+
+def deliver_challenge(
+    sock: socket.socket,
+    key: Union[str, bytes],
+    *,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> None:
+    """Listener side of the HMAC handshake (à la
+    ``multiprocessing.connection.deliver_challenge``).
+
+    Sends a fresh random nonce, reads the peer's ``AUTH_RESPONSE``
+    digest, and compares it in constant time
+    (:func:`secrets.compare_digest`).  On a match the peer gets
+    ``AUTH_OK``; on a mismatch it gets a raw ``JOB_ERROR`` refusal and
+    this raises :class:`AuthenticationError` — callers close the
+    socket.  Every frame in the exchange is raw: no byte from the peer
+    is unpickled before its key checks out.
+    """
+    key = _coerce_auth_key(key)
+    nonce = os.urandom(CHALLENGE_BYTES)
+    send_raw_frame(sock, MSG_AUTH_CHALLENGE, nonce, max_frame_bytes=max_frame_bytes)
+    _, response = recv_raw_frame(
+        sock, max_frame_bytes=max_frame_bytes, expect=MSG_AUTH_RESPONSE
+    )
+    if not secrets.compare_digest(response, _auth_digest(key, nonce)):
+        try:
+            send_raw_frame(
+                sock,
+                MSG_JOB_ERROR,
+                json.dumps({"error": "authentication failed"}).encode("utf-8"),
+                max_frame_bytes=max_frame_bytes,
+            )
+        except FabricError:
+            pass
+        raise AuthenticationError("peer answered the challenge with a bad digest")
+    send_raw_frame(sock, MSG_AUTH_OK, b"", max_frame_bytes=max_frame_bytes)
+
+
+def answer_challenge(
+    sock: socket.socket,
+    key: Union[str, bytes],
+    *,
+    challenge: Optional[bytes] = None,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> None:
+    """Connecting side of the HMAC handshake.
+
+    Reads the listener's ``AUTH_CHALLENGE`` nonce (or takes one a
+    caller already pulled off the wire while sniffing the first frame,
+    via ``challenge=``), answers with ``HMAC-SHA256(key, nonce)``, and
+    waits for ``AUTH_OK``.  Anything else back — the listener's
+    refusal — raises :class:`AuthenticationError`.
+    """
+    key = _coerce_auth_key(key)
+    if challenge is not None:
+        nonce = challenge
+    else:
+        _, nonce = recv_raw_frame(
+            sock, max_frame_bytes=max_frame_bytes, expect=MSG_AUTH_CHALLENGE
+        )
+    send_raw_frame(
+        sock, MSG_AUTH_RESPONSE, _auth_digest(key, nonce),
+        max_frame_bytes=max_frame_bytes,
+    )
+    msg_type, payload = recv_raw_frame(sock, max_frame_bytes=max_frame_bytes)
+    if msg_type != MSG_AUTH_OK:
+        detail = payload.decode("utf-8", "replace") or "no detail"
+        raise AuthenticationError(
+            f"listener rejected our key "
+            f"({MSG_NAMES.get(msg_type, msg_type)}: {detail})"
+        )
+
+
+def load_auth_key(
+    env: Optional[str] = None, path: Optional[str] = None
+) -> Optional[bytes]:
+    """Resolve a shared auth key from an env var or a key file.
+
+    The CLI surfaces (``repro.fabric.launch``, ``repro.service.daemon``
+    and its client) all take the key indirectly — an environment
+    variable name or a file path — so the secret itself never appears
+    in ``argv`` or shell history.  Returns None when neither source is
+    given; raises when a named source is missing or empty.
+    """
+    if env is not None and path is not None:
+        raise ValueError("give the auth key via env var or file, not both")
+    if env is not None:
+        value = os.environ.get(env)
+        if not value:
+            raise ValueError(f"auth-key env var {env!r} is unset or empty")
+        return _coerce_auth_key(value)
+    if path is not None:
+        with open(path, "rb") as fh:
+            value = fh.read().strip()
+        if not value:
+            raise ValueError(f"auth-key file {path!r} is empty")
+        return _coerce_auth_key(value)
+    return None
+
+
+def send_versioned_error(
+    sock: socket.socket,
+    detail: str,
+    *,
+    peer_version: Optional[int] = None,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> None:
+    """Refuse a mis-versioned or unauthorized peer with a raw frame.
+
+    The payload is UTF-8 JSON naming this build's protocol version
+    (and the peer's, when its header revealed one) — raw, never
+    pickled, so even a legacy or hostile peer gets a parseable reason
+    instead of a silent close.  The v5 frame header itself tells a
+    well-behaved older client what the listener speaks.  Best-effort:
+    send failures are swallowed (the peer may already be gone).
+    """
+    body = {"error": detail, "protocol_version": PROTOCOL_VERSION}
+    if peer_version is not None:
+        body["peer_version"] = peer_version
+    try:
+        send_raw_frame(
+            sock,
+            MSG_JOB_ERROR,
+            json.dumps(body).encode("utf-8"),
+            max_frame_bytes=max_frame_bytes,
+        )
+    except FabricError:
+        pass
 
 
 def parse_address(spec: str) -> Tuple[str, int]:

@@ -83,10 +83,18 @@ class Observability:
 
     enabled = True
 
-    def __init__(self, run_id: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        run_id: Optional[str] = None,
+        job_id: Optional[str] = None,
+    ) -> None:
         self.run_id = run_id or uuid.uuid4().hex[:12]
-        self.tracer = Tracer()
-        self.metrics = MetricsRegistry()
+        #: service-job namespace: stamped on every trace record and
+        #: metrics snapshot so interleaved multi-job traces stay
+        #: attributable (None outside a job service)
+        self.job_id = job_id
+        self.tracer = Tracer(job_id=job_id)
+        self.metrics = MetricsRegistry(job_id=job_id)
         self.meta: Dict[str, Any] = {}
 
     # -- lifecycle ----------------------------------------------------
@@ -96,6 +104,17 @@ class Observability:
         self.tracer.clear()
         self.metrics.clear()
         self.meta = {}
+
+    def set_job(self, job_id: Optional[str]) -> None:
+        """Re-namespace the bundle for the next observed job.
+
+        A pool-managed executor's bundle observes many jobs back to
+        back; the service calls this per lease so each run's records
+        and snapshots carry the job they belong to.
+        """
+        self.job_id = job_id
+        self.tracer.job_id = job_id
+        self.metrics.job_id = job_id
 
     def finish(
         self,
@@ -116,6 +135,8 @@ class Observability:
             "clock": clock,
             **extra,
         })
+        if self.job_id is not None:
+            self.meta.setdefault("job_id", self.job_id)
         if stats is not None:
             self.meta.update({
                 "job": stats.job_name,
@@ -162,11 +183,15 @@ class _NullObservability:
 
     enabled = False
     run_id = None
+    job_id = None
     tracer = NULL_TRACER
     metrics = NULL_METRICS
     meta: Dict[str, Any] = {}
 
     def reset(self) -> None:
+        pass
+
+    def set_job(self, job_id: Optional[str]) -> None:
         pass
 
     def finish(self, backend: str, stats: Any = None, **extra: Any) -> None:

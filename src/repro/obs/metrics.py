@@ -205,7 +205,11 @@ class MetricsRegistry:
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, job_id: Optional[str] = None) -> None:
+        #: job this registry's numbers belong to (multi-job service
+        #: runs); rides every :meth:`snapshot` so interleaved jobs'
+        #: metrics stay attributable.  None for one-shot runs.
+        self.job_id = job_id
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
@@ -237,13 +241,16 @@ class MetricsRegistry:
     def snapshot(self) -> Dict[str, Any]:
         """A plain-dict export, picklable and JSON-serializable."""
         with self._lock:
-            return {
+            snap: Dict[str, Any] = {
                 "counters": {k: c.value for k, c in self._counters.items()},
                 "gauges": {k: g.value for k, g in self._gauges.items()},
                 "histograms": {
                     k: h.to_dict() for k, h in self._histograms.items()
                 },
             }
+            if self.job_id is not None:
+                snap["job_id"] = self.job_id
+            return snap
 
     def absorb(self, snapshot: Optional[Dict[str, Any]]) -> None:
         """Merge a snapshot from another registry (e.g. a worker's)."""

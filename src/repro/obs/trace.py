@@ -54,9 +54,15 @@ class Tracer:
         self,
         clock: Callable[[], float] = time.time,
         rank: Optional[int] = None,
+        job_id: Optional[str] = None,
     ) -> None:
         self.clock = clock
         self.rank = rank  #: default rank attribution for worker-side tracers
+        #: default job attribution (multi-job service runs): stamped on
+        #: every record this tracer writes *and* on absorbed worker
+        #: records that lack one, so interleaved jobs' spans never
+        #: cross-attribute.  None (one-shot runs) adds no field at all.
+        self.job_id = job_id
         self._records: List[Record] = []
         self._lock = threading.Lock()
         self._seq = 0
@@ -70,6 +76,7 @@ class Tracer:
         t1: float,
         rank: Optional[int] = None,
         chunk: Optional[int] = None,
+        job: Optional[str] = None,
         **args: Any,
     ) -> None:
         """Record a completed interval with explicit endpoints.
@@ -86,6 +93,9 @@ class Tracer:
             "rank": self.rank if rank is None else rank,
             "chunk": chunk,
         }
+        job = self.job_id if job is None else job
+        if job is not None:
+            rec["job"] = job
         if args:
             rec["args"] = args
         with self._lock:
@@ -114,6 +124,7 @@ class Tracer:
         rank: Optional[int] = None,
         chunk: Optional[int] = None,
         ts: Optional[float] = None,
+        job: Optional[str] = None,
         **args: Any,
     ) -> None:
         """Record a point event, stamped by ``self.clock`` unless given."""
@@ -124,6 +135,9 @@ class Tracer:
             "rank": self.rank if rank is None else rank,
             "chunk": chunk,
         }
+        job = self.job_id if job is None else job
+        if job is not None:
+            rec["job"] = job
         if args:
             rec["args"] = args
         with self._lock:
@@ -134,12 +148,19 @@ class Tracer:
     # -- merging / access ---------------------------------------------
 
     def absorb(self, records: Optional[Iterable[Record]]) -> None:
-        """Merge another tracer's exported records (e.g. from a worker)."""
+        """Merge another tracer's exported records (e.g. from a worker).
+
+        Worker-side tracers don't know which service job their run
+        belongs to; when this (driver-side) tracer does, absorbed
+        records missing a ``job`` field inherit it here.
+        """
         if not records:
             return
         with self._lock:
             for rec in records:
                 rec = dict(rec)
+                if self.job_id is not None:
+                    rec.setdefault("job", self.job_id)
                 rec["seq"] = self._seq
                 self._seq += 1
                 self._records.append(rec)
@@ -168,6 +189,7 @@ class NullTracer:
 
     enabled = False
     rank = None
+    job_id = None
     _NULL_CTX = None  # set below; a reusable no-op context manager
 
     def add_span(self, *args: Any, **kwargs: Any) -> None:

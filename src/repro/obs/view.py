@@ -76,16 +76,27 @@ def _stage_table(stats: Dict[str, Any]) -> List[str]:
 
 
 def _timelines(records: List[Dict[str, Any]], t0: float, limit: int) -> List[str]:
-    by_rank: Dict[Any, List[Dict[str, Any]]] = {}
+    # Group by (job, rank): a multi-job service trace interleaves
+    # several jobs' spans, and rank 2 of job A is not rank 2 of job B.
+    # Single-job traces have no "job" field, collapsing this to the
+    # familiar per-rank grouping.
+    by_lane: Dict[Any, List[Dict[str, Any]]] = {}
     for rec in records:
         if rec.get("ev") == "span":
-            by_rank.setdefault(rec.get("rank"), []).append(rec)
-    if not by_rank:
+            by_lane.setdefault((rec.get("job"), rec.get("rank")), []).append(rec)
+    if not by_lane:
         return []
+    multi_job = len({job for job, _rank in by_lane}) > 1 or any(
+        job is not None for job, _rank in by_lane
+    )
     lines = ["per-rank timelines (spans; t=0 at first record)"]
-    for rank in sorted(by_rank, key=lambda r: (r is None, r)):
+    for job, rank in sorted(
+        by_lane, key=lambda k: (k[0] is None, k[0], k[1] is None, k[1])
+    ):
         label = "driver" if rank is None else f"rank {rank}"
-        spans = by_rank[rank]
+        if multi_job:
+            label = f"job {job or '?'} · {label}"
+        spans = by_lane[(job, rank)]
         lines.append(f"{label}: {len(spans)} span(s)")
         shown = spans if limit <= 0 else spans[:limit]
         for rec in shown:
@@ -115,6 +126,8 @@ def _chronology(
     for rec in events:
         rank = rec.get("rank")
         who = "driver" if rank is None else f"rank={rank}"
+        if rec.get("job") is not None:
+            who = f"job={rec['job']} {who}"
         chunk = f" chunk={rec['chunk']}" if rec.get("chunk") is not None else ""
         args = rec.get("args") or {}
         extra = "".join(f" {k}={v}" for k, v in args.items())
@@ -128,6 +141,8 @@ def _metrics_summary(metrics: Optional[Dict[str, Any]]) -> List[str]:
     if not metrics:
         return []
     lines = ["metrics"]
+    if metrics.get("job_id"):
+        lines[0] = f"metrics (job {metrics['job_id']})"
     counters = metrics.get("counters") or {}
     if counters:
         lines.append("  counters: " + "  ".join(
@@ -162,8 +177,9 @@ def render(
     )
     t0 = records[0]["ts"] if records else 0.0
     clock = meta.get("clock", "wall")
+    job_id = f" [job {meta['job_id']}]" if meta.get("job_id") else ""
     out: List[str] = [
-        f"run {meta.get('run_id', '?')} — {meta.get('job', '?')} on "
+        f"run {meta.get('run_id', '?')}{job_id} — {meta.get('job', '?')} on "
         f"{meta.get('backend', '?')} ×{meta.get('n_workers', '?')} "
         f"({clock} clock), elapsed {meta.get('elapsed', 0.0):.4f}s, "
         f"{len(records)} record(s)"

@@ -1,0 +1,223 @@
+"""Concurrent-client load generator for the job service.
+
+Spawns N client threads, each holding its own authenticated connection
+and firing M submissions (round-robin over a mixed app set), and
+reports what the service's multi-job scheduling actually delivers:
+end-to-end jobs/sec and the p50/p95/p99 submit-to-result latency
+distribution (the same :class:`~repro.obs.metrics.Histogram`
+instrument the runtime uses, so the numbers aggregate the same way).
+
+Use it three ways: as a CLI against a running daemon
+(``python -m repro.service.loadgen --port 7711 ...``), self-contained
+with ``--self-host`` (spins a daemon up in-process first), or from
+benchmark/CI code via :func:`run_load`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..obs.metrics import Histogram
+from .client import ServiceClient
+
+__all__ = ["LoadReport", "run_load", "main"]
+
+#: Latency bucket edges (seconds) sized for service round-trips.
+LATENCY_BUCKETS = (
+    0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5,
+    1.0, 2.0, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Default mixed-app workload: small specs so smoke runs stay fast.
+DEFAULT_MIX: Tuple[Tuple[str, Dict[str, Any]], ...] = (
+    ("SIO", {"n_elements": 6000, "chunk_elements": 1500,
+             "key_space": 512, "seed": 11}),
+    ("WO", {"n_chars": 4000, "chunk_chars": 1000, "seed": 12}),
+    ("LR", {"n_points": 4000, "chunk_points": 1000, "seed": 13}),
+)
+
+
+@dataclass
+class LoadReport:
+    """What one load run measured."""
+
+    clients: int
+    jobs_per_client: int
+    completed: int
+    failed: int
+    wall_s: float
+    latency: Histogram
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def jobs_per_sec(self) -> float:
+        return self.completed / self.wall_s if self.wall_s > 0 else 0.0
+
+    def render(self) -> str:
+        s = self.latency.summary()
+        lines = [
+            f"clients={self.clients} jobs/client={self.jobs_per_client} "
+            f"completed={self.completed} failed={self.failed}",
+            f"wall      {self.wall_s:8.3f} s",
+            f"jobs/sec  {self.jobs_per_sec:8.2f}",
+            "latency (submit -> result, seconds):",
+            f"  p50 {s['p50']:8.4f}   p95 {s['p95']:8.4f}   "
+            f"p99 {s['p99']:8.4f}   max {s['max']:8.4f}",
+        ]
+        for err in self.errors[:5]:
+            lines.append(f"  error: {err.splitlines()[-1] if err else err}")
+        return "\n".join(lines)
+
+
+def _client_worker(
+    address: Tuple[str, int],
+    auth_key,
+    jobs: Sequence[Tuple[str, Dict[str, Any]]],
+    backend: Optional[str],
+    n_gpus: Optional[int],
+    latency: Histogram,
+    errors: List[str],
+    counts: Dict[str, int],
+    lock: threading.Lock,
+    start_gate: threading.Event,
+) -> None:
+    try:
+        client = ServiceClient(address[0], address[1], auth_key=auth_key)
+    except Exception as exc:  # noqa: BLE001 - reported, not raised
+        with lock:
+            errors.append(f"connect: {exc}")
+            counts["failed"] += len(jobs)
+        return
+    start_gate.wait()
+    with client:
+        # Pipeline every submission, then collect: measures the
+        # service's concurrency, not this thread's round-trip loop.
+        t_submits = []
+        futures = []
+        for app, spec in jobs:
+            t_submits.append(time.perf_counter())
+            futures.append(
+                client.submit_async(
+                    app, spec, backend=backend, n_gpus=n_gpus
+                )
+            )
+        for t0, fut in zip(t_submits, futures):
+            try:
+                fut.result(timeout=300.0)
+            except Exception as exc:  # noqa: BLE001
+                with lock:
+                    errors.append(str(exc))
+                    counts["failed"] += 1
+                continue
+            latency.observe(time.perf_counter() - t0)
+            with lock:
+                counts["completed"] += 1
+
+
+def run_load(
+    address: Tuple[str, int],
+    n_clients: int = 4,
+    jobs_per_client: int = 4,
+    mix: Sequence[Tuple[str, Dict[str, Any]]] = DEFAULT_MIX,
+    auth_key=None,
+    backend: Optional[str] = None,
+    n_gpus: Optional[int] = None,
+) -> LoadReport:
+    """Drive ``n_clients`` concurrent clients; return the measurements."""
+    latency = Histogram(LATENCY_BUCKETS)
+    errors: List[str] = []
+    counts = {"completed": 0, "failed": 0}
+    lock = threading.Lock()
+    start_gate = threading.Event()
+    threads = []
+    for c in range(n_clients):
+        # Stagger the mix so concurrent clients hit different apps.
+        jobs = [mix[(c + j) % len(mix)] for j in range(jobs_per_client)]
+        t = threading.Thread(
+            target=_client_worker,
+            args=(address, auth_key, jobs, backend, n_gpus,
+                  latency, errors, counts, lock, start_gate),
+            name=f"loadgen-client{c}",
+        )
+        t.start()
+        threads.append(t)
+    t0 = time.perf_counter()
+    start_gate.set()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    return LoadReport(
+        clients=n_clients,
+        jobs_per_client=jobs_per_client,
+        completed=counts["completed"],
+        failed=counts["failed"],
+        wall_s=wall,
+        latency=latency,
+        errors=errors,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.loadgen",
+        description="Benchmark a running job service with concurrent clients.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7711)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--jobs-per-client", type=int, default=4)
+    parser.add_argument("--backend", default=None,
+                        help="backend override (default: daemon's default)")
+    parser.add_argument("--n-gpus", type=int, default=None)
+    parser.add_argument("--auth-key-env", default=None, metavar="VAR")
+    parser.add_argument("--auth-key-file", default=None, metavar="PATH")
+    parser.add_argument("--self-host", action="store_true",
+                        help="start a daemon in-process and load it "
+                        "(ignores --host/--port)")
+    args = parser.parse_args(argv)
+
+    from ..fabric.wire import load_auth_key
+
+    try:
+        auth_key = load_auth_key(args.auth_key_env, args.auth_key_file)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    service = None
+    if args.self_host:
+        from .daemon import JobService
+
+        service = JobService(
+            port=0, auth_key=auth_key,
+            max_concurrent_jobs=max(2, args.clients // 2),
+            default_backend=args.backend or "local",
+        ).start()
+        address = service.address
+        print(f"self-hosted daemon on {address[0]}:{address[1]}")
+    else:
+        address = (args.host, args.port)
+
+    try:
+        report = run_load(
+            address,
+            n_clients=args.clients,
+            jobs_per_client=args.jobs_per_client,
+            auth_key=auth_key,
+            backend=args.backend,
+            n_gpus=args.n_gpus,
+        )
+    finally:
+        if service is not None:
+            service.close()
+    print(report.render())
+    return 0 if report.failed == 0 else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

@@ -1,0 +1,140 @@
+"""Warm executor pool: reuse backends across jobs instead of rebuilding.
+
+One-shot ``run_app`` pays full executor construction per call.  The
+pool inverts that for the job service: executors are built once per
+*configuration* — ``(backend, n_workers, kwargs)`` — leased to a job,
+and returned warm for the next job with the same shape.  Warmth here
+is honest about what the built-in backends keep between runs: the
+instance (no re-validation or registry dispatch), the process-wide
+shared-memory resource tracker (pre-started once for the local
+backend, not per run), and the daemon-resident imports; per-run worker
+processes and fabric sockets are still acquired inside ``run()``
+today, which is the elastic follow-up noted in ROADMAP item 2.
+
+Every lease is stamped with the daemon's shared
+:class:`~repro.core.scheduler.JobChunkAuthority` (when the pool has
+one), so runs on pooled executors open job-scoped chunk namespaces
+behind the one multi-job front rather than private services.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..core.executor import Executor, make_executor
+from ..core.scheduler import JobChunkAuthority
+from ..obs import NULL_OBS
+
+__all__ = ["ExecutorPool"]
+
+#: A lease key: backend name, worker count, and the frozen kwargs.
+PoolKey = Tuple[str, int, Tuple[Tuple[str, str], ...]]
+
+
+def _freeze_kwargs(kwargs: Dict) -> Tuple[Tuple[str, str], ...]:
+    # repr, not the value: executor kwargs may be unhashable
+    # (FaultPlan, Observability) and only equality-of-configuration
+    # matters for pooling.
+    return tuple(sorted((k, repr(v)) for k, v in kwargs.items()))
+
+
+class ExecutorPool:
+    """Reusable executors keyed by configuration; thread-safe.
+
+    ``lease()`` hands out a warm idle instance when one exists
+    (``pool_warm_hits``) and builds cold otherwise
+    (``pool_cold_builds``); ``release()`` resets the instance and
+    shelves it for the next job, retiring surplus instances beyond
+    ``max_idle_per_key`` via the executors' idempotent ``close()``.
+    """
+
+    def __init__(
+        self,
+        chunk_authority: Optional[JobChunkAuthority] = None,
+        obs=None,
+        max_idle_per_key: int = 4,
+    ) -> None:
+        self.chunk_authority = chunk_authority
+        self.obs = obs or NULL_OBS
+        self.max_idle_per_key = int(max_idle_per_key)
+        self._idle: Dict[PoolKey, List[Executor]] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        self._tracker_started = False
+
+    # -- leasing -----------------------------------------------------------
+
+    def lease(self, backend: str, n_workers: int, **kwargs) -> Executor:
+        """A runnable executor for this configuration, warm if possible."""
+        key: PoolKey = (backend, int(n_workers), _freeze_kwargs(kwargs))
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot lease from a closed ExecutorPool")
+            stack = self._idle.get(key)
+            ex = stack.pop() if stack else None
+        if ex is not None:
+            self.obs.metrics.counter("pool_warm_hits").inc()
+        else:
+            self.obs.metrics.counter("pool_cold_builds").inc()
+            if backend == "local":
+                self._ensure_tracker()
+            ex = make_executor(backend, n_workers, **kwargs)
+            ex._pool_key = key
+        # The daemon's shared multi-job chunk front; runs on this lease
+        # open job-scoped namespaces instead of private services.
+        ex.chunk_authority = self.chunk_authority
+        return ex
+
+    def release(self, executor: Executor) -> None:
+        """Return a lease; the instance is reset and shelved (or retired)."""
+        key = getattr(executor, "_pool_key", None)
+        if executor.closed or key is None:
+            return
+        executor.reset()
+        executor.chunk_authority = None
+        with self._lock:
+            stack = self._idle.setdefault(key, [])
+            if self._closed or len(stack) >= self.max_idle_per_key:
+                retire = True
+            else:
+                retire = False
+                stack.append(executor)
+        if retire:
+            executor.close()
+
+    def _ensure_tracker(self) -> None:
+        """Pre-start the shm resource tracker once, daemon-side.
+
+        One-shot local runs pay this fork on their first run; pooled
+        runs pay it once per daemon lifetime.
+        """
+        if self._tracker_started:
+            return
+        from ..exec.exchange import ensure_shared_tracker
+
+        ensure_shared_tracker()
+        self._tracker_started = True
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def idle_count(self) -> int:
+        with self._lock:
+            return sum(len(s) for s in self._idle.values())
+
+    def close(self) -> None:
+        """Retire every idle executor; later releases retire too."""
+        with self._lock:
+            self._closed = True
+            stacks = list(self._idle.values())
+            self._idle = {}
+        for stack in stacks:
+            for ex in stack:
+                ex.close()
+
+    def __enter__(self) -> "ExecutorPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

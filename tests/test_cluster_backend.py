@@ -214,3 +214,16 @@ def test_cluster_compressed_exchange_parity():
         if a is not None:
             assert np.array_equal(a.keys, b.keys)
             assert a.values.tobytes() == b.values.tobytes()
+
+
+def test_cluster_backend_with_auth_key_bit_identical():
+    """A keyed cluster run: spawned ranks answer the coordinator's
+    HMAC challenge and the outputs stay bit-identical to keyless."""
+    job, ds = _job_and_dataset()
+    ref = make_executor("cluster", 2).run(job, dataset=ds)
+    got = make_executor("cluster", 2, auth_key=b"fabric-key").run(
+        job, dataset=ds
+    )
+    for a, b in zip(ref.outputs, got.outputs):
+        assert np.array_equal(a.keys, b.keys)
+        assert a.values.tobytes() == b.values.tobytes()

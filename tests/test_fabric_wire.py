@@ -679,3 +679,75 @@ def test_duplicate_rank_is_rejected():
                 t.join(timeout=5.0)
             for ep in eps:
                 ep.close()
+
+
+# -- authenticated registration (protocol v5) --------------------------------
+
+FABRIC_KEY = b"fabric-shared-key"
+
+
+def test_authenticated_registration_round_trip():
+    """Keyed coordinator + keyed ranks: the handshake completes and the
+    cluster forms exactly as in the keyless case."""
+    with Coordinator(2, timeout_seconds=10.0, auth_key=FABRIC_KEY) as coord:
+        eps = []
+
+        def _keyed(rank):
+            ep = RankEndpoint(rank, coord.address, timeout_seconds=10.0,
+                              auth_key=FABRIC_KEY)
+            ep.connect()
+            eps.append(ep)
+
+        threads = [threading.Thread(target=_keyed, args=(r,), daemon=True)
+                   for r in (0, 1)]
+        for t in threads:
+            t.start()
+        try:
+            coord.wait_for_ranks()
+            for t in threads:
+                t.join(timeout=10.0)
+            assert len(eps) == 2
+            assert all(ep.n_workers == 2 for ep in eps)
+        finally:
+            for ep in eps:
+                ep.close()
+
+
+def test_wrong_key_rank_is_dropped_not_fatal():
+    """A rank with the wrong key is refused like a port scanner — the
+    coordinator keeps listening and the registration deadline, not an
+    auth crash, reports the missing rank."""
+    with Coordinator(2, timeout_seconds=0.8, auth_key=FABRIC_KEY) as coord:
+        failures = []
+
+        def _wrong_key():
+            try:
+                RankEndpoint(0, coord.address, timeout_seconds=5.0,
+                             auth_key=b"not-it").connect()
+            except FabricError as exc:
+                failures.append(exc)
+
+        t = threading.Thread(target=_wrong_key, daemon=True)
+        t.start()
+        with pytest.raises(ClusterTimeout):
+            coord.wait_for_ranks()
+        t.join(timeout=5.0)
+        assert failures, "wrong-key rank should have been refused"
+
+
+def test_keyless_rank_against_keyed_coordinator_names_the_problem():
+    with Coordinator(1, timeout_seconds=0.8, auth_key=FABRIC_KEY) as coord:
+        errors = []
+
+        def _keyless():
+            try:
+                RankEndpoint(0, coord.address, timeout_seconds=5.0).connect()
+            except FabricError as exc:
+                errors.append(str(exc))
+
+        t = threading.Thread(target=_keyless, daemon=True)
+        t.start()
+        with pytest.raises(ClusterTimeout):
+            coord.wait_for_ranks()
+        t.join(timeout=5.0)
+        assert errors and "auth key" in errors[0]

@@ -394,3 +394,57 @@ def test_local_speculation_events_traced():
     assert len(verdicts) == len({r["chunk"] for r in speculates})
     wins = sum(r["name"] == "speculation_win" for r in verdicts)
     assert wins == result.stats.speculative_wins
+
+
+# -- multi-job tagging (the job service's interleaved traces) ----------------
+
+def test_tracer_job_id_tags_records():
+    tagged = Tracer(job_id="j1")
+    tagged.add_span("chunk_map", 0.0, 1.0, rank=0)
+    tagged.event("grant", rank=0, ts=0.5)
+    assert all(r["job"] == "j1" for r in tagged.records)
+    # Without a job id, records stay exactly as before this field
+    # existed — no "job" key at all.
+    plain = Tracer()
+    plain.add_span("chunk_map", 0.0, 1.0, rank=0)
+    assert "job" not in plain.records[0]
+
+
+def test_absorb_stamps_absorbing_job():
+    worker = Tracer(rank=0)
+    worker.add_span("chunk_map", 0.0, 1.0)
+    driver = Tracer(job_id="j9")
+    driver.absorb(worker.records)
+    assert driver.records[-1]["job"] == "j9"
+    # An already-tagged record keeps its own job through absorption.
+    other = Tracer(job_id="j2")
+    other.add_span("chunk_map", 2.0, 3.0, rank=1)
+    driver.absorb(other.records)
+    assert driver.records[-1]["job"] == "j2"
+
+
+def test_observability_set_job_flows_everywhere():
+    obs = Observability()
+    obs.set_job("jX")
+    obs.tracer.event("grant", rank=0, ts=0.0)
+    assert obs.tracer.records[0]["job"] == "jX"
+    snap = obs.metrics.snapshot()
+    assert snap["job_id"] == "jX"
+    obs.finish(backend="sim")
+    assert obs.meta["job_id"] == "jX"
+
+
+def test_view_renders_interleaved_jobs():
+    records = []
+    for seq, (job, rank, t0) in enumerate(
+        [("a", 0, 0.0), ("b", 0, 0.5), ("a", 1, 1.0), ("b", 1, 1.5)]
+    ):
+        records.append({
+            "ev": "span", "name": "chunk_map", "ts": t0, "dur": 0.4,
+            "rank": rank, "seq": seq, "job": job,
+        })
+    text = render({"meta": {"job_id": None}, "records": records,
+                   "metrics": None})
+    # Two jobs sharing ranks must render as separate labelled
+    # timelines, not one merged lane per rank.
+    assert "job a" in text and "job b" in text
