@@ -6,13 +6,33 @@ requirement, chunks must implement a serialization method."  A
 :class:`Chunk` therefore provides ``to_bytes``/``from_bytes`` (NumPy
 ``save``-based, not pickle, so the format is explicit), and the
 scheduler prices a steal as serialise + wire transfer + deserialise.
+
+Chunks come in two flavours:
+
+* **materialised** — the payload arrays are resident (``data=`` at
+  construction), as every chunk was before streaming ingest;
+* **descriptor-backed** — built from a
+  :class:`~repro.workloads.readers.ChunkReader` source via
+  :meth:`from_descriptor`: the payload is materialised lazily on first
+  :attr:`data` access and can be dropped again with :meth:`release`.
+  Pickling a descriptor-backed chunk ships only the tiny
+  ``(reader, index)`` descriptor — grants stay small on the wire, the
+  receiving worker re-materialises locally, and a reclaimed chunk
+  re-granted to a respawned rank rebuilds from the same descriptor.
+
+Everything the scheduler touches while routing work — ``index``,
+``logical_items``, ``logical_bytes``, ``wire_bytes``, ``meta`` — is
+carried on the descriptor and never materialises the payload.
+Payload-dependent properties (``data``, ``actual_items``, ``scale``,
+``to_bytes``) materialise on demand, so the bit-parity contract is
+unchanged: a streamed chunk maps to exactly the arrays its
+materialised twin holds.
 """
 
 from __future__ import annotations
 
 import io
-from dataclasses import dataclass
-from typing import Any, Tuple
+from typing import Any, Optional, Tuple
 
 import numpy as np
 
@@ -21,15 +41,32 @@ from ..workloads.base import WorkItem
 __all__ = ["Chunk"]
 
 
-@dataclass
 class Chunk:
     """One map-input chunk (wraps a workload :class:`WorkItem`)."""
 
-    index: int
-    data: Any                 #: functional payload (array or tuple of arrays)
-    logical_items: int        #: full-scale element count (cost model)
-    logical_bytes: int        #: full-scale bytes (PCI-e / steal pricing)
-    meta: Any = None          #: app-specific tag (e.g. a TileTask)
+    __slots__ = (
+        "index", "logical_items", "logical_bytes", "meta", "_data", "_source"
+    )
+
+    def __init__(
+        self,
+        index: int,
+        data: Any = None,
+        logical_items: int = 0,
+        logical_bytes: int = 0,
+        meta: Any = None,
+        source: Optional[Tuple[Any, int]] = None,
+    ) -> None:
+        self.index = index                  #: chunk id (scheduling key)
+        self.logical_items = logical_items  #: full-scale element count
+        self.logical_bytes = logical_bytes  #: full-scale bytes (steal pricing)
+        self.meta = meta                    #: app-specific tag (e.g. a TileTask)
+        #: resident functional payload (array or tuple of arrays); None
+        #: while a descriptor-backed chunk is unmaterialised
+        self._data = data
+        #: lazy re-materialisation handle: ``(reader, index)``, or None
+        #: for a chunk that was built with its payload resident
+        self._source = source
 
     @classmethod
     def from_work_item(cls, item: WorkItem, meta: Any = None) -> "Chunk":
@@ -41,6 +78,72 @@ class Chunk:
             meta=meta,
         )
 
+    @classmethod
+    def from_descriptor(
+        cls,
+        reader: Any,
+        index: int,
+        logical_items: int,
+        logical_bytes: int,
+        meta: Any = None,
+    ) -> "Chunk":
+        """A lazy chunk: payload re-materialised from ``reader`` on
+        first :attr:`data` access (and again after :meth:`release`)."""
+        return cls(
+            index=index,
+            logical_items=logical_items,
+            logical_bytes=logical_bytes,
+            meta=meta,
+            source=(reader, index),
+        )
+
+    # -- lazy payload ------------------------------------------------------
+    @property
+    def data(self) -> Any:
+        """The functional payload, materialising from source if needed."""
+        if self._data is None and self._source is not None:
+            reader, index = self._source
+            self._data = reader.materialize(index).data
+        return self._data
+
+    @property
+    def materialized(self) -> bool:
+        """True when the payload is resident right now."""
+        return self._data is not None
+
+    def release(self) -> None:
+        """Drop a descriptor-backed chunk's resident payload.
+
+        The descriptor stays, so the payload comes back on the next
+        :attr:`data` access.  No-op for chunks built with their payload
+        (there is nowhere to rebuild from).
+        """
+        if self._source is not None:
+            self._data = None
+
+    # -- pickling ----------------------------------------------------------
+    # Descriptor-backed chunks ship *only* the descriptor (readers
+    # themselves pickle to a tiny key and rebuild once per process, see
+    # repro.workloads.readers), so a CHUNK_GRANT or mp.Queue grant stays
+    # bytes-sized no matter the payload; the receiver re-materialises.
+    def __getstate__(self):
+        return {
+            "index": self.index,
+            "logical_items": self.logical_items,
+            "logical_bytes": self.logical_bytes,
+            "meta": self.meta,
+            "data": None if self._source is not None else self._data,
+            "source": self._source,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.index = state["index"]
+        self.logical_items = state["logical_items"]
+        self.logical_bytes = state["logical_bytes"]
+        self.meta = state["meta"]
+        self._data = state["data"]
+        self._source = state["source"]
+
     @property
     def scale(self) -> float:
         """Logical items per functional item."""
@@ -49,20 +152,22 @@ class Chunk:
 
     @property
     def actual_items(self) -> int:
-        if isinstance(self.data, np.ndarray):
-            return len(self.data)
-        if isinstance(self.data, (tuple, list)) and self.data and isinstance(
-            self.data[0], np.ndarray
+        data = self.data
+        if isinstance(data, np.ndarray):
+            return len(data)
+        if isinstance(data, (tuple, list)) and data and isinstance(
+            data[0], np.ndarray
         ):
-            return len(self.data[0])
+            return len(data[0])
         return self.logical_items
 
     # -- serialisation (the load-balancing requirement) --------------------
     def _arrays(self) -> Tuple[np.ndarray, ...]:
-        if isinstance(self.data, np.ndarray):
-            return (self.data,)
-        if isinstance(self.data, (tuple, list)):
-            return tuple(a for a in self.data if isinstance(a, np.ndarray))
+        data = self.data
+        if isinstance(data, np.ndarray):
+            return (data,)
+        if isinstance(data, (tuple, list)):
+            return tuple(a for a in data if isinstance(a, np.ndarray))
         return ()
 
     def to_bytes(self) -> bytes:
@@ -86,7 +191,14 @@ class Chunk:
         metadata must be re-attached by the caller via ``meta``.
         """
         with np.load(io.BytesIO(blob)) as z:
-            arrays = [z[k] for k in sorted(k for k in z.files if k.startswith("arr"))]
+            # Keys sort on their numeric suffix: lexicographic order
+            # would interleave arr10 before arr2 and scramble any
+            # payload of 11+ arrays.
+            keys = sorted(
+                (k for k in z.files if k.startswith("arr")),
+                key=lambda k: int(k[3:]),
+            )
+            arrays = [z[k] for k in keys]
             data: Any = arrays[0] if len(arrays) == 1 else tuple(arrays)
             return cls(
                 index=int(z["__index"]),
@@ -100,3 +212,10 @@ class Chunk:
     def wire_bytes(self) -> int:
         """Bytes a steal moves over the network (logical payload)."""
         return self.logical_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "resident" if self._data is not None else "descriptor"
+        return (
+            f"<Chunk {self.index} {state} "
+            f"logical_items={self.logical_items}>"
+        )

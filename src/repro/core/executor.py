@@ -220,6 +220,10 @@ class Executor(ABC):
         context = (
             f"{job.name}@{self.job_id}" if self.job_id else job.name
         )
+        # Prefetching backends (local, cluster) pipeline requests, so
+        # the service must not treat a rank's newest grants as mapped
+        # on its next request — see ChunkScheduler(prefetch=).
+        prefetch = getattr(self, "prefetch_window", 0)
         if self.chunk_authority is not None:
             return self.chunk_authority.open_job(
                 chunks,
@@ -230,6 +234,7 @@ class Executor(ABC):
                 schedule=schedule,
                 context=context,
                 speculate_after=speculate_after,
+                prefetch=prefetch,
                 obs=obs,
             )
         return ChunkService(
@@ -240,6 +245,7 @@ class Executor(ABC):
             schedule=schedule,
             context=context,
             speculate_after=speculate_after,
+            prefetch=prefetch,
             obs=obs,
             job_id=self.job_id,
         )

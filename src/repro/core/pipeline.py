@@ -210,6 +210,10 @@ class Worker:
                     yield from self._transfer_and_bin(kv, defer_bin=False)
 
             self.gpu.free(in_alloc)
+            # Streamed (descriptor-backed) chunks drop their payload
+            # once mapped, so a whole-dataset sim run stays bounded by
+            # the in-flight window, not the logical dataset size.
+            assignment.chunk.release()
             self.tracer.add_span(
                 "chunk_map", t_chunk, self.env.now,
                 rank=self.rank, chunk=assignment.chunk.index,
@@ -279,6 +283,7 @@ class Worker:
                 else:
                     yield from self._transfer_and_bin(kv, defer_bin=False)
             self.gpu.free(in_alloc)
+            assignment.chunk.release()  # streamed payloads re-materialise
             self.tracer.add_span(
                 "chunk_map", t_chunk, self.env.now,
                 rank=self.rank, chunk=assignment.chunk.index,

@@ -35,6 +35,7 @@ __all__ = [
     "ChunkService",
     "JobChunkAuthority",
     "DISTRIBUTIONS",
+    "DEFAULT_PREFETCH_WINDOW",
     "RETRY",
     "ReplayScheduler",
     "ScheduleGrant",
@@ -47,13 +48,36 @@ __all__ = [
 DISTRIBUTIONS = ("round_robin", "blocks", "single")
 
 
+#: Default pull-ahead window: each worker keeps this many chunk
+#: requests in flight beyond the one it is mapping, so the grant
+#: round-trip (and the payload materialisation behind it) overlaps map
+#: compute — the real backends' analogue of the sim's double buffer.
+#: 0 disables prefetch (request/map strictly alternate, the pre-PR-9
+#: behaviour).
+DEFAULT_PREFETCH_WINDOW = 1
+
+
 def resolve_chunks(
     dataset: Optional[Dataset], chunks: Optional[Sequence[Chunk]]
 ) -> List[Chunk]:
-    """Materialise the job's input chunks from exactly one source."""
+    """The job's input chunks from exactly one source.
+
+    A dataset exposing a ``chunk_reader``
+    (:class:`~repro.workloads.readers.StreamedDataset`) resolves to
+    *descriptor-backed* chunks: the scheduler routes and prices them on
+    ``chunk_meta`` sizes alone, and payload arrays materialise lazily —
+    on worker ranks, at grant time — instead of here in the driver.
+    Any other dataset materialises every chunk up front, as always.
+    """
     if (dataset is None) == (chunks is None):
         raise ValueError("provide exactly one of dataset or chunks")
     if chunks is None:
+        reader = getattr(dataset, "chunk_reader", None)
+        if reader is not None:
+            return [
+                Chunk.from_descriptor(reader, i, *reader.chunk_meta(i))
+                for i in range(reader.n_chunks)
+            ]
         return [Chunk.from_work_item(item) for item in dataset.chunks()]
     return list(chunks)
 
@@ -297,12 +321,19 @@ class ChunkScheduler:
         n_workers: int,
         enable_stealing: bool = True,
         speculate_after: Optional[float] = None,
+        prefetch: int = 0,
     ) -> None:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
         self.n_workers = n_workers
         self.enable_stealing = enable_stealing
         self.speculate_after = speculate_after
+        #: grants per worker that may still be *unmapped* when its next
+        #: request arrives.  A prefetching worker keeps ``1 + prefetch``
+        #: requests pipelined, so its k-th request only proves grants
+        #: older than the newest ``prefetch`` have been mapped — those
+        #: newest grants must stay speculation-eligible.
+        self.prefetch = max(0, int(prefetch))
         self._queues: List[Deque[Chunk]] = [deque() for _ in range(n_workers)]
         self.steals = 0
         self.steals_by_worker: List[int] = [0] * n_workers
@@ -383,15 +414,21 @@ class ChunkScheduler:
         """
         if not (0 <= worker < self.n_workers):
             raise ValueError(f"worker {worker} out of range")
-        # A worker's pull loop is sequential: by the time it asks
-        # again, everything granted earlier has been mapped.  Those
-        # grants stop being speculation candidates (duplicating
-        # finished work is pure waste) but stay reclaimable until the
-        # worker posts.
+        # A worker's pull loop answers grants in order, so a new
+        # request proves it has mapped everything except the newest
+        # ``prefetch`` grants (those may still sit in its pipeline
+        # buffer).  The proven-mapped ones stop being speculation
+        # candidates (duplicating finished work is pure waste) but stay
+        # reclaimable until the worker posts; the buffered tail stays
+        # in-flight — a stalled prefetcher's buffered chunk is exactly
+        # what speculation must be allowed to duplicate.
         if self._outstanding[worker]:
-            for cid, (chunk, _t) in self._outstanding[worker].items():
+            entries = list(self._outstanding[worker].items())
+            mapped = entries[: len(entries) - self.prefetch] \
+                if self.prefetch else entries
+            for cid, (chunk, _t) in mapped:
                 self._mapped[worker][cid] = chunk
-            self._outstanding[worker].clear()
+                del self._outstanding[worker][cid]
         q = self._queues[worker]
         if q:
             return self._grant(worker, q.popleft(), worker)
@@ -675,6 +712,7 @@ class ChunkService:
         schedule: Optional[ScheduleTrace] = None,
         context: Optional[str] = None,
         speculate_after: Optional[float] = None,
+        prefetch: int = 0,
         obs=None,
         job_id: Optional[str] = None,
     ) -> None:
@@ -704,6 +742,7 @@ class ChunkService:
                 n_workers,
                 enable_stealing=enable_stealing,
                 speculate_after=speculate_after,
+                prefetch=prefetch,
             )
         self._scheduler.assign(chunks, initial_distribution)
         # Re-entrant: recovery needs to drain a dead worker's pending
@@ -918,6 +957,7 @@ class JobChunkAuthority:
         schedule: Optional[ScheduleTrace] = None,
         context: Optional[str] = None,
         speculate_after: Optional[float] = None,
+        prefetch: int = 0,
         obs=None,
     ) -> ChunkService:
         """Open a job-scoped :class:`ChunkService` namespace.
@@ -948,6 +988,7 @@ class JobChunkAuthority:
                 schedule=schedule,
                 context=context,
                 speculate_after=speculate_after,
+                prefetch=prefetch,
                 obs=obs,
                 job_id=job_id,
             )

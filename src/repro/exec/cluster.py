@@ -45,7 +45,7 @@ from ..core.faults import FaultPlan
 from ..core.job import MapReduceJob
 from ..core.kvset import KeyValueSet
 from ..core.runtime import JobResult, resolve_chunks
-from ..core.scheduler import ScheduleTrace
+from ..core.scheduler import DEFAULT_PREFETCH_WINDOW, ScheduleTrace
 from ..core.stats import JobStats, WorkerStats
 from ..obs import Observability
 from ..fabric import (
@@ -111,8 +111,14 @@ class ClusterExecutor(Executor):
         obs: Optional[Observability] = None,
         trace_path: Optional[str] = None,
         auth_key: Optional[bytes] = None,
+        prefetch_window: int = DEFAULT_PREFETCH_WINDOW,
     ) -> None:
         super().__init__(n_workers, obs=obs, trace_path=trace_path)
+        #: grant pipelining depth shipped to ranks via ASSIGN: each
+        #: rank keeps up to ``1 + prefetch_window`` CHUNK_REQ frames in
+        #: flight so the next grant's wire time hides under the current
+        #: chunk's map (0 restores strict request/reply)
+        self.prefetch_window = max(0, int(prefetch_window))
         #: shared HMAC key; when set the coordinator challenges every
         #: connection and spawned local ranks answer with the same key
         #: (externally launched ranks pass it via
@@ -208,6 +214,7 @@ class ClusterExecutor(Executor):
             compress_exchange=self.compress_exchange,
             obs=run_obs,
             auth_key=self.auth_key,
+            prefetch_window=self.prefetch_window,
         ) as coordinator:
             self.coordinator_address = coordinator.address
             respawner = None

@@ -59,6 +59,45 @@ __all__ = [
 ]
 
 
+_tracker_fork_hooks_installed = False
+
+
+def _install_tracker_fork_hooks(tracker: Any) -> None:
+    """Make forking safe against the tracker's process-local RLock.
+
+    The tracker guards its state with a ``threading.RLock`` that every
+    ``register``/``unregister``/``Process.start`` acquires briefly.  A
+    multi-threaded driver (the job-service daemon runs concurrent jobs)
+    can fork a rank at the exact moment another thread holds that lock;
+    the child then inherits it in the locked state forever, and its
+    first shm registration deadlocks inside ``ensure_running``.  The
+    standard remedy (what ``logging`` does for its own locks): hold the
+    lock across the fork in the parent, and hand the child a fresh one.
+    """
+    global _tracker_fork_hooks_installed
+    if _tracker_fork_hooks_installed:
+        return
+    import os
+    import threading
+
+    if not hasattr(os, "register_at_fork"):  # pragma: no cover
+        return  # no fork on this platform, nothing to guard
+    if not isinstance(
+        getattr(tracker, "_lock", None), type(threading.RLock())
+    ):  # pragma: no cover
+        return  # tracker internals changed; skip rather than guess
+
+    def _reset_in_child() -> None:
+        tracker._lock = threading.RLock()
+
+    os.register_at_fork(
+        before=lambda: tracker._lock.acquire(),
+        after_in_parent=lambda: tracker._lock.release(),
+        after_in_child=_reset_in_child,
+    )
+    _tracker_fork_hooks_installed = True
+
+
 def ensure_shared_tracker() -> None:
     """Start the ``multiprocessing`` resource tracker in *this* process.
 
@@ -72,6 +111,7 @@ def ensure_shared_tracker() -> None:
         from multiprocessing import resource_tracker
 
         resource_tracker.ensure_running()
+        _install_tracker_fork_hooks(resource_tracker._resource_tracker)
     except (ImportError, AttributeError, OSError):  # pragma: no cover
         pass  # platform without a tracker; the backstop just isn't shared
 

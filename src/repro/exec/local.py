@@ -68,7 +68,12 @@ from ..core.faults import FaultPlan
 from ..core.job import MapReduceJob
 from ..core.kvset import KeyValueSet
 from ..core.runtime import JobResult, resolve_chunks
-from ..core.scheduler import RETRY, ChunkService, ScheduleTrace
+from ..core.scheduler import (
+    DEFAULT_PREFETCH_WINDOW,
+    RETRY,
+    ChunkService,
+    ScheduleTrace,
+)
 from ..core.stats import JobStats, WorkerStats
 from ..obs import BYTES_BUCKETS, NULL_TRACER, Observability
 from ..workloads.base import Dataset
@@ -129,12 +134,26 @@ class _PullChunkSource:
         grant_queue,
         stall_seconds: float = 0.0,
         kill_at_chunk: Optional[int] = None,
+        prefetch: int = 0,
     ) -> None:
         self.rank = rank
         self.request_queue = request_queue
         self.grant_queue = grant_queue
         self.stall_seconds = float(stall_seconds)
         self.kill_at_chunk = kill_at_chunk
+        #: extra requests kept in flight beyond the one being answered:
+        #: the service grants chunk i+1 while this rank maps chunk i,
+        #: so the grant round-trip overlaps map compute (the sim's
+        #: double buffer, for real).  0 restores strict alternation.
+        self.prefetch = max(0, int(prefetch))
+        #: requests posted but not yet answered
+        self._pending = 0
+        #: True after a DONE answer: stop posting new requests, but
+        #: keep draining pending answers — a pipelined answer behind a
+        #: DONE may still be a chunk (reclaim/speculation), which
+        #: resumes the loop.  Only "draining with nothing pending"
+        #: ends the pull.
+        self._draining = False
         self._grants_received = 0
         #: set in-child by :func:`_worker_main` when tracing is on; the
         #: source itself is pickled to the child, an
@@ -146,29 +165,44 @@ class _PullChunkSource:
         while True:
             if self.stall_seconds:
                 time.sleep(self.stall_seconds)
+            while not self._draining and self._pending < 1 + self.prefetch:
+                self.request_queue.put(("req", self.rank))
+                self._pending += 1
+            if self._draining and self._pending == 0:
+                return None
+            # With prefetch the answer was (usually) already served
+            # while the previous chunk mapped, so the measured grant
+            # wait is only the residual blocking time — the overlap the
+            # streaming bench's p99 column quantifies.
             w0 = time.time()
-            self.request_queue.put(("req", self.rank))
             status, chunk, victim = self.grant_queue.get()
+            self._pending -= 1
             if obs is not None:
                 w1 = time.time()
                 obs.tracer.add_span("grant_wait", w0, w1, rank=self.rank)
                 obs.metrics.histogram("grant_latency_s").observe(w1 - w0)
             if status == _GRANT_RETRY:
+                self._draining = False
                 time.sleep(0.02)
                 continue
             if status == _GRANT_DONE:
-                return None
+                self._draining = True
+                continue
+            self._draining = False
             self._grants_received += 1
             if (
                 self.kill_at_chunk is not None
                 and self._grants_received >= self.kill_at_chunk
             ):
                 # Die exactly as "kill -9" would: no cleanup, no
-                # courtesy batches, the grant never mapped.  (The kill
-                # fires only here, *after* the grant was consumed, so a
-                # dead rank never leaves an unanswered request behind —
-                # the driver relies on that when it swaps in a fresh
-                # grant queue for the replacement.)
+                # courtesy batches, the grant never mapped.  (A
+                # pipelined request this death leaves unanswered is
+                # safe: the service answers it either onto the old
+                # grant queue — which the driver replaces under the
+                # service lock, so the grant dies with it — or, after
+                # reclaim, onto the replacement's queue, where a chunk
+                # is simply mapped by the new incarnation and a
+                # trailing DONE goes unread.)
                 os.kill(os.getpid(), signal.SIGKILL)
             return chunk, victim
 
@@ -414,11 +448,15 @@ class LocalExecutor(Executor):
         fault_plan: Optional[FaultPlan] = None,
         obs: Optional[Observability] = None,
         trace_path: Optional[str] = None,
+        prefetch_window: int = DEFAULT_PREFETCH_WINDOW,
     ) -> None:
         super().__init__(n_workers, obs=obs, trace_path=trace_path)
         self.initial_distribution = initial_distribution
         self.start_method = start_method or _default_start_method()
         self.timeout_seconds = float(timeout_seconds)
+        #: chunk requests each rank keeps in flight beyond the one it
+        #: is mapping (grant prefetch); 0 disables the overlap
+        self.prefetch_window = max(0, int(prefetch_window))
         if exchange not in EXCHANGE_TRANSPORTS:
             raise ValueError(
                 f"unknown exchange transport {exchange!r}; "
@@ -512,6 +550,7 @@ class LocalExecutor(Executor):
                         grant_queues[rank],
                         self.stall_seconds.get(rank, 0.0),
                         kill_at,
+                        self.prefetch_window,
                     ),
                     shuffle_queues,
                     result_queue,

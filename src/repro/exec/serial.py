@@ -141,6 +141,10 @@ class SerialExecutor(Executor):
                 w0 = time.time()
                 t0 = time.perf_counter()
                 runners[rank].feed(assignment.chunk)
+                # A streamed chunk's payload is done with once mapped;
+                # dropping it keeps the whole-run footprint bounded by
+                # one in-flight chunk, not the logical dataset.
+                assignment.chunk.release()
                 t1 = time.perf_counter()
                 stats[rank].add("map", t1 - t0)
                 # Spans are anchored at wall-clock (the tracer's

@@ -60,7 +60,7 @@ from .wire import (
     send_frame,
     send_versioned_error,
 )
-from ..core.scheduler import RETRY
+from ..core.scheduler import DEFAULT_PREFETCH_WINDOW, RETRY
 from ..obs import NULL_OBS
 
 __all__ = ["Coordinator", "ClusterTimeout", "RankFailure"]
@@ -106,6 +106,7 @@ class Coordinator:
         compress_exchange: bool = False,
         obs: Optional[Any] = None,
         auth_key: Optional[bytes] = None,
+        prefetch_window: int = DEFAULT_PREFETCH_WINDOW,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -113,6 +114,10 @@ class Coordinator:
         self.timeout_seconds = float(timeout_seconds)
         self.max_frame_bytes = int(max_frame_bytes)
         self.liveness_probe = liveness_probe
+        #: grant pipelining depth shipped to every rank via ASSIGN:
+        #: ranks keep up to ``1 + prefetch_window`` CHUNK_REQ frames in
+        #: flight so the next grant overlaps the current chunk's map
+        self.prefetch_window = max(0, int(prefetch_window))
         #: when set, every accepted connection (registration and
         #: mid-run rejoin alike) must pass the HMAC challenge-response
         #: handshake before its first pickled frame is read
@@ -325,6 +330,7 @@ class Coordinator:
             "fault": fault,
             "rejoin": rejoin,
             "obs": self.obs.enabled,
+            "prefetch": self.prefetch_window,
         }
 
     # -- 3. barrier ---------------------------------------------------------

@@ -151,6 +151,27 @@ class RankEndpoint:
         #: rank-side observability bundle, armed by the ``obs`` flag on
         #: ASSIGN; the export payload rides home on the RESULT frame
         self.obs = NULL_OBS
+        #: grant pipelining depth, learned from ASSIGN: up to
+        #: ``1 + prefetch_window`` CHUNK_REQ frames ride ahead of their
+        #: answers so the next grant is usually already buffered while
+        #: the current chunk maps (0 = fully synchronous request/reply)
+        self.prefetch_window = 0
+        #: CHUNK_REQ frames sent but not yet answered
+        self._pending_reqs = 0
+        #: a non-retry CHUNKS_DONE arrived; stop topping up and drain
+        self._draining = False
+        # Early-exchange inbox: a background thread accepts inbound
+        # shuffle batches while this rank is still mapping, so the
+        # exchange barrier only waits for genuinely late data.
+        self._inbox_lock = threading.Lock()
+        self._inbox_batches: List[Tuple[int, List[Any], Optional[List[int]]]] = []
+        self._inbox_have: set = set()
+        self._inbox_error: Optional[BaseException] = None
+        self._inbox_stop = threading.Event()
+        self._inbox_thread: Optional[threading.Thread] = None
+        #: set once MAPS_DONE is on the wire — inbound batches may not
+        #: be ACKed before this (see :meth:`_inbox_loop`)
+        self._posted_event = threading.Event()
 
     # -- control plane -----------------------------------------------------
     def connect(self) -> None:
@@ -207,6 +228,7 @@ class RankEndpoint:
         self.epoch = int(assign.get("epoch", self.epoch))
         if assign.get("obs"):
             self.obs = Observability()
+        self.prefetch_window = max(0, int(assign.get("prefetch", 0)))
         fault = assign.get("fault") or {}
         self._kill_at_chunk = fault.get("kill_at_chunk")
         self._stall_seconds = float(fault.get("stall_seconds", 0.0))
@@ -217,26 +239,47 @@ class RankEndpoint:
         """Pull the rank's next chunk from the coordinator's service.
 
         Returns ``(chunk, victim_rank)``, or ``None`` once the
-        coordinator answers CHUNKS_DONE.  A grant whose victim is not
-        this rank was stolen from that rank's queue at runtime.  A
-        ``retry``-flagged CHUNKS_DONE (speculation may still free up
-        work) re-polls after a short sleep.  Scripted fault injection
-        from ASSIGN lives here: ``stall_seconds`` sleeps before every
-        request, and the rank SIGKILLs itself upon receiving its
-        ``kill_at_chunk``-th grant — genuinely mid-map.
+        coordinator answers CHUNKS_DONE and every in-flight request has
+        drained.  Requests are *pipelined*: up to
+        ``1 + prefetch_window`` CHUNK_REQ frames ride ahead of their
+        answers, so the grant for chunk ``i+1`` is usually already in
+        the socket buffer while chunk ``i`` is mapping and the
+        ``grant_wait`` span measures only the exposed wait.  The
+        coordinator answers strictly one frame per request, so the
+        drain never leaves an answer unread (an unread grant would
+        strand a chunk the service considers delivered).
+
+        A grant whose victim is not this rank was stolen from that
+        rank's queue at runtime.  A ``retry``-flagged CHUNKS_DONE
+        (speculation may still free up work) re-opens the window after
+        a short sleep.  Scripted fault injection from ASSIGN lives
+        here: ``stall_seconds`` sleeps before every round, and the rank
+        SIGKILLs itself upon receiving its ``kill_at_chunk``-th grant —
+        genuinely mid-map, with requests possibly still in flight
+        exactly like a real crash (recovery reclaims any grant the
+        coordinator answered into the dead connection, because the
+        rank never posted).
         """
         obs = self.obs
         while True:
             if self._stall_seconds:
                 time.sleep(self._stall_seconds)
+            while (
+                not self._draining
+                and self._pending_reqs < 1 + self.prefetch_window
+            ):
+                send_frame(
+                    self._control, MSG_CHUNK_REQ, {"rank": self.rank},
+                    max_frame_bytes=self.max_frame_bytes,
+                )
+                self._pending_reqs += 1
+            if self._draining and self._pending_reqs == 0:
+                return None
             w0 = time.time()
-            send_frame(
-                self._control, MSG_CHUNK_REQ, {"rank": self.rank},
-                max_frame_bytes=self.max_frame_bytes,
-            )
             msg_type, payload = recv_frame(
                 self._control, max_frame_bytes=self.max_frame_bytes
             )
+            self._pending_reqs -= 1
             if obs.enabled:
                 w1 = time.time()
                 obs.tracer.add_span("grant_wait", w0, w1, rank=self.rank)
@@ -245,14 +288,17 @@ class RankEndpoint:
                 self.epoch = int(payload["epoch"])
             if msg_type == MSG_CHUNKS_DONE:
                 if payload.get("retry"):
+                    self._draining = False
                     time.sleep(0.02)
                     continue
-                return None
+                self._draining = True
+                continue
             if msg_type != MSG_CHUNK_GRANT:
                 raise FabricError(
                     f"expected CHUNK_GRANT or CHUNKS_DONE, got "
                     f"{MSG_NAMES.get(msg_type, msg_type)}"
                 )
+            self._draining = False
             self._grants_received += 1
             if (
                 self._kill_at_chunk is not None
@@ -372,6 +418,106 @@ class RankEndpoint:
         with self._frames_lock:
             self.frames_sent += counters.get("frames", 0)
 
+    def start_inbox(self) -> None:
+        """Begin accepting inbound shuffle batches in the background.
+
+        :meth:`run_job` starts the inbox *before* its map loop: a peer
+        that finishes mapping early streams its batch into this rank
+        while it is still mapping, so the exchange barrier afterwards
+        only waits for genuinely late data — the early-reduce overlap.
+        Idempotent; :meth:`exchange` starts it lazily for direct
+        callers.
+
+        ACK discipline: a batch that arrives before this rank has
+        posted MAPS_DONE is received and buffered, but its BATCH_ACK is
+        *withheld* until the rank posts.  An ACK confirms delivery, and
+        a rank that dies mid-map must look undelivered-to — recovery
+        respawns it and reclaims exactly its un-posted map phase, so
+        its senders must resend to the replacement incarnation.  An
+        early ACK would let a batch vanish with the dead process.
+        """
+        if self._inbox_thread is not None:
+            return
+        assert self.n_workers is not None, "inbox before connect()"
+        expected = self.n_workers - 1
+        self._inbox_thread = threading.Thread(
+            target=self._inbox_loop, args=(expected,),
+            name=f"gpmr-inbox-{self.rank}", daemon=True,
+        )
+        self._inbox_thread.start()
+
+    def _inbox_loop(self, expected: int) -> None:
+        """Accept, dedup, and buffer inbound batches until all arrive.
+
+        Every fully received batch is confirmed with BATCH_ACK (held
+        back until MAPS_DONE is posted, see :meth:`start_inbox`); a
+        second batch from a source that already delivered (its ACK got
+        lost, or a speculative-recovery resend) is acknowledged and
+        dropped by the dedup on source rank.
+        """
+        unacked: List[socket.socket] = []
+
+        def _flush_acks() -> None:
+            for held in unacked:
+                try:
+                    send_raw_frame(
+                        held, MSG_BATCH_ACK, b"",
+                        max_frame_bytes=self.max_frame_bytes,
+                    )
+                except (OSError, FabricError):
+                    pass  # sender abandoned this attempt; dedup covers it
+                try:
+                    held.close()
+                except OSError:
+                    pass
+            unacked.clear()
+
+        try:
+            while not self._inbox_stop.is_set():
+                if self._posted_event.is_set() and unacked:
+                    _flush_acks()
+                with self._inbox_lock:
+                    done = len(self._inbox_have) >= expected
+                if done and not unacked:
+                    break
+                try:
+                    conn, _addr = self._shuffle_listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break  # listener closed; shutdown path
+                try:
+                    conn.settimeout(self.timeout_seconds)
+                    src, parts, tags = recv_batch(
+                        conn, max_frame_bytes=self.max_frame_bytes
+                    )
+                except ProtocolVersionError:
+                    conn.close()
+                    raise  # a version-skewed peer is a real failure
+                except (ProtocolError, PeerDisconnected, socket.timeout,
+                        OSError):
+                    conn.close()  # stray or abandoned connection; drop it
+                    continue
+                with self._inbox_lock:
+                    if int(src) not in self._inbox_have:
+                        self._inbox_have.add(int(src))
+                        self._inbox_batches.append((int(src), parts, tags))
+                if self._posted_event.is_set():
+                    try:
+                        send_raw_frame(
+                            conn, MSG_BATCH_ACK, b"",
+                            max_frame_bytes=self.max_frame_bytes,
+                        )
+                    except (OSError, FabricError):
+                        pass  # sender resends; the dedup drops the copy
+                    conn.close()
+                else:
+                    unacked.append(conn)
+        except BaseException as exc:
+            self._inbox_error = exc
+        finally:
+            _flush_acks()
+
     def exchange(
         self,
         parts_for: Sequence[Sequence[Any]],
@@ -383,10 +529,11 @@ class RankEndpoint:
         ``chunk_ids_for`` (optional) the matching provenance tags.
         Returns ``(source_rank, parts, chunk_ids)`` batches for *every*
         source including self, in arrival order (callers canonicalise
-        with :func:`repro.exec.dataflow.merge_incoming`).  Every fully
-        received batch is confirmed with BATCH_ACK; a second batch from
-        a source that already delivered (its ACK got lost, or a
-        speculative-recovery resend) is acknowledged and dropped.
+        with :func:`repro.exec.dataflow.merge_incoming`).  Inbound
+        batches are collected by the background inbox (possibly running
+        since before this rank's map phase ended — see
+        :meth:`start_inbox`); this method starts the senders, waits the
+        inbox out, and joins.
         """
         assert self.n_workers is not None, "exchange before connect()"
         n = self.n_workers
@@ -413,48 +560,34 @@ class RankEndpoint:
         for t in senders:
             t.start()
 
+        # By the time exchange runs the map/post boundary has passed
+        # (run_job posts MAPS_DONE first; direct callers have no map
+        # phase at all), so withheld ACKs may flush.
+        self._posted_event.set()
+        self.start_inbox()
+
         self_tags = (
             None if chunk_ids_for is None else list(chunk_ids_for[self.rank])
         )
-        batches: List[Tuple[int, List[Any], Optional[List[int]]]] = [
-            (self.rank, list(parts_for[self.rank]), self_tags)
-        ]
-        have = {self.rank}
         deadline = time.monotonic() + self.timeout_seconds
-        while len(batches) < n:
+        while True:
+            if self._inbox_error is not None:
+                raise FabricError(
+                    f"rank {self.rank} inbox failed: {self._inbox_error}"
+                ) from self._inbox_error
+            with self._inbox_lock:
+                count = len(self._inbox_have)
+                have = set(self._inbox_have)
+            if count >= n - 1:
+                break
             if time.monotonic() > deadline:
                 raise FabricError(
                     f"rank {self.rank} shuffle timed out after "
                     f"{self.timeout_seconds}s; received batches only from "
-                    f"{sorted(have)}"
+                    f"{sorted(have | {self.rank})}"
                 )
-            try:
-                conn, _addr = self._shuffle_listener.accept()
-            except socket.timeout:
-                continue
-            try:
-                with conn:
-                    conn.settimeout(self.timeout_seconds)
-                    src, parts, tags = recv_batch(
-                        conn, max_frame_bytes=self.max_frame_bytes
-                    )
-                    try:
-                        send_raw_frame(
-                            conn, MSG_BATCH_ACK, b"",
-                            max_frame_bytes=self.max_frame_bytes,
-                        )
-                    except (OSError, FabricError):
-                        # The sender gave up on this attempt; it will
-                        # resend and the dedup below drops the copy.
-                        pass
-            except ProtocolVersionError:
-                raise  # a version-skewed peer is a real failure
-            except (ProtocolError, PeerDisconnected, socket.timeout):
-                continue  # stray or abandoned connection; drop it
-            if int(src) in have:
-                continue  # duplicate delivery (lost ACK); ACKed, dropped
-            have.add(int(src))
-            batches.append((int(src), parts, tags))
+            time.sleep(_POLL_SECONDS / 4)
+        self._inbox_thread.join(timeout=self.timeout_seconds)
 
         for t in senders:
             t.join(timeout=self.timeout_seconds)
@@ -462,6 +595,9 @@ class RankEndpoint:
             raise FabricError(
                 f"rank {self.rank} failed sending shuffle batches: {errors[0]}"
             ) from errors[0]
+        with self._inbox_lock:
+            batches = [(self.rank, list(parts_for[self.rank]), self_tags)]
+            batches.extend(self._inbox_batches)
         return batches
 
     # -- full worker flow --------------------------------------------------
@@ -489,6 +625,9 @@ class RankEndpoint:
             tracer = self.obs.tracer
             t0 = time.perf_counter()
             runner = MapRunner(job, self.n_workers)
+            # Accept peers' batches concurrently with our own map phase
+            # (early-exchange overlap; ACKs withheld until we post).
+            self.start_inbox()
             while True:
                 grant = self.request_chunk()
                 if grant is None:
@@ -519,6 +658,7 @@ class RankEndpoint:
                 max_frame_bytes=self.max_frame_bytes,
             )
             posted = True  # exchange() sends every outbound batch itself
+            self._posted_event.set()  # inbox may flush withheld ACKs
             r0 = time.time()
             batches = self.exchange(mapped.parts, mapped.part_chunk_ids)
             incoming = merge_incoming(batches)
@@ -553,6 +693,7 @@ class RankEndpoint:
             self.send_error(traceback.format_exc(), stats)
 
     def close(self) -> None:
+        self._inbox_stop.set()
         if self._control is not None:
             try:
                 self._control.close()

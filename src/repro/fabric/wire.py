@@ -114,7 +114,14 @@ __all__ = [
 #: (AUTH_CHALLENGE/AUTH_RESPONSE/AUTH_OK, raw frames, required before
 #: any pickled frame whenever the listener holds a key) and the
 #: multi-job control frames SUBMIT/JOB_RESULT/JOB_ERROR spoken by
-#: ``repro.service``'s daemon and client.
+#: ``repro.service``'s daemon and client.  Still v5 (no frame change):
+#: ranks may *pipeline* CHUNK_REQ frames — up to ``1 + prefetch``
+#: requests in flight, the window shipped as ASSIGN's ``prefetch`` key
+#: — because the coordinator has always answered exactly one frame per
+#: request; a CHUNK_GRANT may carry a descriptor-only streamed chunk
+#: that the rank re-materialises locally, and BATCH frames may arrive
+#: at a peer that is still mapping (its ACK is simply withheld until
+#: it posts MAPS_DONE).
 PROTOCOL_VERSION = 5
 
 MAGIC = b"GPMR"

@@ -8,9 +8,18 @@ first submission builds (ingests) the dataset, later identical
 submissions reuse the resident object with near-zero ingest time — the
 MapSQ-style amortization the service exists for.
 
+A spec may carry ``"stream": True``: the cache then builds (and holds)
+a :class:`~repro.workloads.readers.StreamedDataset` — a chunk *reader*
+over the factory, not materialised arrays — so cached entries stay
+descriptor-sized no matter the dataset, and jobs that hit the entry
+run out-of-core with grant-time materialisation on the workers.
+
 LRU with a bounded entry count.  Entries are shared across concurrent
 jobs; datasets are treated as immutable after construction (the
-backends already rely on that for replay).
+backends already rely on that for replay).  Builds run under a
+*per-key* lock: concurrent identical submissions still wait for one
+ingest (build-once), but a slow ingest never blocks hits — or other
+builds — on different keys.
 """
 
 from __future__ import annotations
@@ -22,14 +31,17 @@ from typing import Any, Dict, Tuple
 
 from ..apps import APPS
 from ..obs import NULL_OBS
+from ..util.freeze import freeze_kwargs
+from ..workloads.readers import streamed
 
 __all__ = ["DatasetCache"]
 
 
-def _freeze_spec(spec: Dict[str, Any]) -> Tuple[Tuple[str, str], ...]:
-    # repr-frozen like the executor pool's kwargs: spec values are
-    # normally scalars, but equality-of-spec is all the key needs.
-    return tuple(sorted((k, repr(v)) for k, v in spec.items()))
+def _freeze_spec(spec: Dict[str, Any]) -> Tuple:
+    # Canonical content-based freeze (shared with the executor pool):
+    # address-bearing reprs would never hit, truncated array reprs
+    # would collide — see repro.util.freeze.
+    return freeze_kwargs(spec)
 
 
 class DatasetCache:
@@ -40,15 +52,20 @@ class DatasetCache:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = int(max_entries)
         self.obs = obs or NULL_OBS
-        self._entries: "OrderedDict[Tuple[str, Tuple], Any]" = OrderedDict()
+        self._entries: "OrderedDict[Tuple[str, bool, Tuple], Any]" = OrderedDict()
+        #: guards ``_entries`` and ``_building`` only — never held
+        #: across a dataset build
         self._lock = threading.Lock()
+        #: one in-flight build lock per key, discarded after the build
+        self._building: Dict[Tuple[str, bool, Tuple], threading.Lock] = {}
 
     def get(self, app: str, spec: Dict[str, Any]) -> Tuple[Any, bool]:
         """The dataset for ``(app, spec)`` and whether it was a hit.
 
         Misses build through the app's registered factory and record
         the build (ingest) time in the ``dataset_build_s`` histogram;
-        hits only bump the LRU order.
+        hits only bump the LRU order.  A ``"stream": True`` spec entry
+        builds the streaming wrapper instead of materialising.
         """
         try:
             factory = APPS[app].dataset
@@ -56,24 +73,37 @@ class DatasetCache:
             raise ValueError(
                 f"unknown app {app!r}; registered: {sorted(APPS)}"
             ) from None
-        key = (app, _freeze_spec(spec))
+        spec = dict(spec)
+        stream = bool(spec.pop("stream", False))
+        key = (app, stream, _freeze_spec(spec))
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self.obs.metrics.counter("dataset_cache_hits").inc()
                 return self._entries[key], True
-            # Build under the lock: concurrent identical submissions
-            # wait for one ingest instead of racing duplicates (the
-            # point of the cache is to not ingest twice).
+            build_lock = self._building.get(key)
+            if build_lock is None:
+                build_lock = self._building[key] = threading.Lock()
+        # Serialise identical submissions on the per-key lock (one
+        # ingest, the rest wait and hit); different keys build — and
+        # hit — concurrently.
+        with build_lock:
+            with self._lock:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                    self.obs.metrics.counter("dataset_cache_hits").inc()
+                    return self._entries[key], True
             t0 = time.perf_counter()
-            dataset = factory(**spec)
+            dataset = streamed(factory, **spec) if stream else factory(**spec)
             self.obs.metrics.histogram("dataset_build_s").observe(
                 time.perf_counter() - t0
             )
-            self.obs.metrics.counter("dataset_cache_misses").inc()
-            self._entries[key] = dataset
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+            with self._lock:
+                self.obs.metrics.counter("dataset_cache_misses").inc()
+                self._entries[key] = dataset
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                self._building.pop(key, None)
             return dataset, False
 
     def __len__(self) -> int:

@@ -25,18 +25,22 @@ from typing import Dict, List, Optional, Tuple
 from ..core.executor import Executor, make_executor
 from ..core.scheduler import JobChunkAuthority
 from ..obs import NULL_OBS
+from ..util.freeze import freeze_kwargs
 
 __all__ = ["ExecutorPool"]
 
 #: A lease key: backend name, worker count, and the frozen kwargs.
-PoolKey = Tuple[str, int, Tuple[Tuple[str, str], ...]]
+PoolKey = Tuple[str, int, Tuple]
 
 
-def _freeze_kwargs(kwargs: Dict) -> Tuple[Tuple[str, str], ...]:
-    # repr, not the value: executor kwargs may be unhashable
-    # (FaultPlan, Observability) and only equality-of-configuration
-    # matters for pooling.
-    return tuple(sorted((k, repr(v)) for k, v in kwargs.items()))
+def _freeze_kwargs(kwargs: Dict) -> Tuple:
+    # Canonical content-based freeze: kwargs may be unhashable
+    # (FaultPlan) and only equality-of-configuration matters for
+    # pooling, but repr-keys would never match for address-bearing
+    # reprs and would collide for truncated array reprs — see
+    # repro.util.freeze for the rules (and the rejection of live
+    # objects that cannot be keyed soundly).
+    return freeze_kwargs(kwargs)
 
 
 class ExecutorPool:
@@ -62,6 +66,7 @@ class ExecutorPool:
         self._lock = threading.Lock()
         self._closed = False
         self._tracker_started = False
+        self._tracker_lock = threading.Lock()
 
     # -- leasing -----------------------------------------------------------
 
@@ -91,7 +96,15 @@ class ExecutorPool:
         key = getattr(executor, "_pool_key", None)
         if executor.closed or key is None:
             return
-        executor.reset()
+        try:
+            executor.reset()
+        except Exception:
+            # A lease that cannot be returned to a runnable state must
+            # not be shelved (the next lease would inherit the broken
+            # state) nor leaked open — retire it and surface the reset
+            # failure to the caller.
+            executor.close()
+            raise
         executor.chunk_authority = None
         with self._lock:
             stack = self._idle.setdefault(key, [])
@@ -107,14 +120,17 @@ class ExecutorPool:
         """Pre-start the shm resource tracker once, daemon-side.
 
         One-shot local runs pay this fork on their first run; pooled
-        runs pay it once per daemon lifetime.
+        runs pay it once per daemon lifetime.  The dedicated lock
+        closes the check-then-act race: two concurrent cold local
+        leases would otherwise both fork a tracker.
         """
-        if self._tracker_started:
-            return
-        from ..exec.exchange import ensure_shared_tracker
+        with self._tracker_lock:
+            if self._tracker_started:
+                return
+            from ..exec.exchange import ensure_shared_tracker
 
-        ensure_shared_tracker()
-        self._tracker_started = True
+            ensure_shared_tracker()
+            self._tracker_started = True
 
     # -- lifecycle ---------------------------------------------------------
 

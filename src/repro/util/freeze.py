@@ -1,0 +1,79 @@
+"""Canonical freezing of configuration values into hashable keys.
+
+The executor pool and the dataset cache key entries on "same
+configuration": the kwargs of a lease, the spec of a dataset.  Keying
+on ``repr(value)`` is wrong twice over — objects with default reprs
+embed their *address* (``<Observability object at 0x...>``), so equal
+configurations never collide and nothing pools; and numpy arrays
+truncate (``[0 1 2 ... 97 98 99]``), so *distinct* large specs collide
+onto one key.  :func:`freeze_value` canonicalises instead:
+
+* scalars (None/bool/int/float/str/bytes) freeze by type and value;
+* tuples/lists/sets/dicts freeze recursively (sets and dicts sorted);
+* numpy arrays freeze as ``(dtype, shape, content digest)`` — full
+  content, no truncation;
+* dataclass instances (e.g. :class:`~repro.core.faults.FaultPlan`)
+  freeze field-by-field, so two equal plans share a key;
+* anything else — objects whose repr would be an address — is
+  **rejected** with :class:`TypeError`, because a key that can never
+  match is a silent cache-miss generator, and one that matches by
+  accident is corruption.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+__all__ = ["freeze_value", "freeze_kwargs"]
+
+_SCALARS = (type(None), bool, int, float, complex, str, bytes)
+
+
+def freeze_value(v: Any) -> Any:
+    """A hashable, content-based canonical form of ``v``.
+
+    Raises :class:`TypeError` for values with no canonical form (see
+    module docstring) — callers should pass configuration by value, not
+    by live object.
+    """
+    if isinstance(v, _SCALARS):
+        return (type(v).__name__, v)
+    if isinstance(v, np.generic):
+        return ("npscalar", v.dtype.str, v.item())
+    if isinstance(v, np.ndarray):
+        arr = np.ascontiguousarray(v)
+        digest = hashlib.sha256(arr.tobytes()).hexdigest()
+        return ("ndarray", arr.dtype.str, arr.shape, digest)
+    if isinstance(v, (tuple, list)):
+        return ("seq", tuple(freeze_value(x) for x in v))
+    if isinstance(v, (set, frozenset)):
+        return ("set", tuple(sorted(freeze_value(x) for x in v)))
+    if isinstance(v, dict):
+        return (
+            "map",
+            tuple(sorted((str(k), freeze_value(x)) for k, x in v.items())),
+        )
+    if dataclasses.is_dataclass(v) and not isinstance(v, type):
+        fields = {
+            f.name: getattr(v, f.name) for f in dataclasses.fields(v)
+        }
+        return (
+            "dataclass",
+            f"{type(v).__module__}.{type(v).__qualname__}",
+            freeze_value(fields),
+        )
+    raise TypeError(
+        f"cannot canonicalise a {type(v).__name__} into a cache key: "
+        "its repr would key on object identity (or truncate), so equal "
+        "configurations would never (or wrongly) share a pool entry; "
+        "pass scalars, arrays, or dataclasses instead"
+    )
+
+
+def freeze_kwargs(kwargs: Dict[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    """Freeze a kwargs/spec dict into a sorted hashable tuple."""
+    return tuple(sorted((k, freeze_value(v)) for k, v in kwargs.items()))

@@ -4,6 +4,14 @@ from .base import Dataset, WorkItem
 from .integers import IntegerDataset
 from .matrices import MatrixDataset, PanelTask
 from .points import KMeansDataset, RegressionDataset
+from .readers import (
+    ChunkReader,
+    DatasetReader,
+    NpySpanReader,
+    StreamedDataset,
+    TextSpanReader,
+    streamed,
+)
 from .text import DICTIONARY_WORDS, TextDataset, build_dictionary, tokenize
 
 __all__ = [
@@ -18,4 +26,10 @@ __all__ = [
     "build_dictionary",
     "tokenize",
     "DICTIONARY_WORDS",
+    "ChunkReader",
+    "DatasetReader",
+    "NpySpanReader",
+    "TextSpanReader",
+    "StreamedDataset",
+    "streamed",
 ]

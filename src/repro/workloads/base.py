@@ -16,7 +16,7 @@ the property GPMR needs to move (serialise) chunks between workers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import Any, Iterator, Tuple
 
 from ..util.validation import check_positive
 
@@ -68,6 +68,19 @@ class Dataset:
     def chunks(self) -> Iterator[WorkItem]:
         for i in range(self.n_chunks):
             yield self.chunk(i)
+
+    def chunk_meta(self, index: int) -> Tuple[int, int]:
+        """``(logical_items, logical_bytes)`` of chunk ``index``.
+
+        The *descriptor* a streamed run schedules and prices steals on,
+        exact by contract (the scheduler's ledgers and the cost model
+        must see the same sizes streamed or materialised).  Subclasses
+        override with a payload-free computation; this default
+        materialises the chunk and reads the sizes off it, correct for
+        any dataset but paying the build.
+        """
+        item = self.chunk(index)
+        return item.logical_items, item.logical_bytes
 
     def _check_index(self, index: int) -> None:
         if not (0 <= index < self.n_chunks):

@@ -51,6 +51,11 @@ class IntegerDataset(Dataset):
         lo = index * self.chunk_elements
         return min(self.chunk_elements, self.n_elements - lo)
 
+    def chunk_meta(self, index: int):
+        self._check_index(index)
+        logical = self._logical_items(index)
+        return logical, logical * ELEMENT_BYTES
+
     def chunk(self, index: int) -> WorkItem:
         self._check_index(index)
         logical = self._logical_items(index)

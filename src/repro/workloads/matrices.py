@@ -140,6 +140,10 @@ class MatrixDataset(Dataset):
         return 2.0 * self.tile * self.tile * (task.kspan * self.tile)
 
     # -- Dataset interface -------------------------------------------------
+    def chunk_meta(self, index: int):
+        task = self.task(index)
+        return self.tile_elems, self.panel_bytes(task)
+
     def chunk(self, index: int) -> WorkItem:
         task = self.task(index)
         data = (self.a_panel(task), self.b_panel(task))

@@ -63,6 +63,12 @@ class KMeansDataset(Dataset):
         rng = generator(self.seed, stream=(0xC1,))
         return rng.random((self.n_centers, self.dims))
 
+    def chunk_meta(self, index: int):
+        self._check_index(index)
+        lo = index * self.chunk_points
+        logical = min(self.chunk_points, self.n_points - lo)
+        return logical, logical * self.element_bytes
+
     def chunk(self, index: int) -> WorkItem:
         self._check_index(index)
         lo = index * self.chunk_points
@@ -111,6 +117,12 @@ class RegressionDataset(Dataset):
     @property
     def n_chunks(self) -> int:
         return (self.n_points + self.chunk_points - 1) // self.chunk_points
+
+    def chunk_meta(self, index: int):
+        self._check_index(index)
+        lo = index * self.chunk_points
+        logical = min(self.chunk_points, self.n_points - lo)
+        return logical, logical * self.ELEMENT_BYTES
 
     def chunk(self, index: int) -> WorkItem:
         self._check_index(index)

@@ -129,6 +129,21 @@ class TextDataset(Dataset):
         lo = index * self.chunk_chars
         return min(self.chunk_chars, self.n_chars - lo)
 
+    def chunk_meta(self, index: int):
+        # Replays chunk()'s first (and size-determining) RNG draw to
+        # compute the exact generated byte count without assembling the
+        # payload — a streamed descriptor must carry the same logical
+        # sizes the materialised chunk would.
+        self._check_index(index)
+        logical = self._logical_chars(index)
+        actual_target = max(16, logical // self.sample_factor)
+        rng = generator(self.seed, stream=(index,))
+        n_words_est = max(1, int(actual_target / self._mean_word))
+        ids = rng.integers(0, len(self.dictionary), size=n_words_est)
+        total = int(self._word_lens[ids].sum()) + n_words_est
+        logical_exact = total * self.sample_factor
+        return logical_exact, logical_exact
+
     def chunk(self, index: int) -> WorkItem:
         self._check_index(index)
         logical = self._logical_chars(index)

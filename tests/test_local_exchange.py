@@ -12,7 +12,9 @@ parity, and three exchange-path regressions:
   leave the process), reported separately as ``bytes_kept_local``.
 """
 
+import multiprocessing as mp
 import os
+import threading
 import time
 from multiprocessing import shared_memory
 
@@ -28,6 +30,7 @@ from repro.exec.exchange import (
     SHM_MIN_BYTES,
     decode_batch,
     encode_batch,
+    ensure_shared_tracker,
     release_message,
     release_segment,
 )
@@ -212,6 +215,58 @@ def test_clean_exit_without_result_is_prompt_failure():
     with pytest.raises(WorkerFailure, match="exited cleanly without posting"):
         make_executor("local", 3, timeout_seconds=60.0).run(job, dataset=ds)
     assert time.monotonic() - t0 < 30.0
+
+
+def _shm_roundtrip_child() -> None:
+    seg = shared_memory.SharedMemory(create=True, size=4096)
+    try:
+        seg.buf[:4] = b"ok!!"
+    finally:
+        seg.close()
+        seg.unlink()
+
+
+def test_fork_while_tracker_lock_held_does_not_deadlock_child():
+    """A multi-threaded driver (the job-service daemon runs concurrent
+    jobs) can fork a rank at the exact moment another thread holds the
+    resource tracker's process-local RLock; the child used to inherit
+    it locked forever and deadlock on its first shm registration.
+    ``ensure_shared_tracker`` installs at-fork hooks that serialise the
+    fork against the lock and hand the child a fresh one."""
+    if "fork" not in mp.get_all_start_methods():
+        pytest.skip("platform without fork")
+    from multiprocessing import resource_tracker
+
+    ensure_shared_tracker()
+    tracker = resource_tracker._resource_tracker
+
+    release = threading.Event()
+    entered = threading.Event()
+
+    def _hold() -> None:
+        with tracker._lock:
+            entered.set()
+            release.wait(10.0)
+
+    holder = threading.Thread(target=_hold, daemon=True)
+    holder.start()
+    assert entered.wait(5.0)
+    # Let the fork through after a beat: the before-fork hook must wait
+    # for the holder rather than snapshotting the lock mid-hold.
+    threading.Timer(0.3, release.set).start()
+
+    proc = mp.get_context("fork").Process(target=_shm_roundtrip_child)
+    try:
+        proc.start()
+        proc.join(20.0)
+        # Without the at-fork hooks the child hangs in ensure_running.
+        assert proc.exitcode == 0
+    finally:
+        release.set()
+        if proc.is_alive():  # pragma: no cover - only on regression
+            proc.kill()
+            proc.join(5.0)
+        holder.join(5.0)
 
 
 # -- regression: self vs remote byte split ----------------------------------

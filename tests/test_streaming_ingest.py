@@ -1,0 +1,335 @@
+"""Streaming ingest: parity, faults, readers, and the satellite fixes.
+
+The out-of-core contract: a ``streamed(factory, **spec)`` dataset runs
+every job **bit-identically** to the conventionally materialised
+``factory(**spec)`` on all four backends — the only difference is
+*where* payloads live (re-materialised on workers at grant time, never
+resident in the driver).  The fault-tolerance corollary: a rank killed
+mid-map on a streamed run recovers exactly like a materialised one,
+because reclaimed descriptor chunks rebuild their payloads from
+``(reader, index)`` on the respawned rank.
+
+Also regression-tests the satellite fixes that rode along with the
+streaming PR: the ``Chunk`` codec's numeric key sort past 10 arrays,
+the dataset cache's per-key build locks (and its ``stream`` flag), the
+executor pool's retire-on-failed-reset path, and the canonical
+content-based freeze keys.
+"""
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.apps.kmeans import kmc_dataset, kmc_job
+from repro.apps.linear_regression import lr_dataset, lr_job
+from repro.apps.matmul import mm_dataset, mm_phase1_job
+from repro.apps.sparse_int_occurrence import sio_dataset, sio_job
+from repro.apps.word_occurrence import wo_dataset, wo_job
+from repro.core import FaultPlan, make_executor
+from repro.core.chunk import Chunk
+from repro.obs import Observability
+from repro.service.cache import DatasetCache
+from repro.service.pool import ExecutorPool
+from repro.util.freeze import freeze_kwargs, freeze_value
+from repro.workloads import (
+    DatasetReader,
+    NpySpanReader,
+    StreamedDataset,
+    TextSpanReader,
+    streamed,
+)
+
+BACKENDS = ("sim", "serial", "local", "cluster")
+PROCESS_BACKENDS = ("local", "cluster")
+N_WORKERS = 2
+
+
+def _assert_outputs_identical(ref, other, tag):
+    assert len(ref.outputs) == len(other.outputs), tag
+    for rank, (a, b) in enumerate(zip(ref.outputs, other.outputs)):
+        where = f"{tag} rank {rank}"
+        assert (a is None) == (b is None), where
+        if a is None:
+            continue
+        assert a.keys.dtype == b.keys.dtype, where
+        assert a.values.dtype == b.values.dtype, where
+        assert np.array_equal(a.keys, b.keys), where
+        # Bitwise on purpose: streamed payloads must be the *same
+        # arrays*, so reductions happen in the same order.
+        assert a.values.tobytes() == b.values.tobytes(), where
+        assert a.scale == b.scale, where
+
+
+# --- streamed vs materialised bit-parity, five apps x four backends ---
+
+#: app -> (dataset factory, scalar spec, job builder over the
+#: materialised dataset).  The job is built ONCE and shared by the
+#: streamed and materialised runs, so only the dataset flavour varies.
+APP_CASES = {
+    "SIO": (
+        sio_dataset,
+        dict(n_elements=30_000, chunk_elements=4_500, key_space=1 << 12, seed=7),
+        lambda ds: sio_job(key_space=1 << 12),
+    ),
+    "WO": (
+        wo_dataset,
+        dict(n_chars=1 << 16, chunk_chars=10_000, n_words=500, seed=11),
+        lambda ds: wo_job(N_WORKERS, n_words=500),
+    ),
+    "KMC": (
+        kmc_dataset,
+        dict(n_points=6_000, n_centers=8, dims=3, chunk_points=1_000, seed=5),
+        lambda ds: kmc_job(ds),
+    ),
+    "LR": (
+        lr_dataset,
+        dict(n_points=8_000, chunk_points=1_500, seed=13),
+        lambda ds: lr_job(),
+    ),
+    "MM": (
+        mm_dataset,
+        dict(m=256, tile=64, kspan=2, seed=17),
+        lambda ds: mm_phase1_job(ds),
+    ),
+}
+
+
+@pytest.mark.parametrize("app", sorted(APP_CASES))
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_streamed_matches_materialised(app, backend):
+    factory, spec, job_fn = APP_CASES[app]
+    materialised = factory(**spec)
+    stream = streamed(factory, **spec)
+    assert stream.n_chunks == materialised.n_chunks
+    job = job_fn(materialised).with_config(enable_stealing=False)
+    ref = make_executor(backend, N_WORKERS).run(job, dataset=materialised)
+    got = make_executor(backend, N_WORKERS).run(job, dataset=stream)
+    _assert_outputs_identical(ref, got, f"{app}/{backend}/streamed")
+
+
+def test_streamed_dataset_delegates_app_attributes():
+    ds = kmc_dataset(**APP_CASES["KMC"][1])
+    stream = streamed(kmc_dataset, **APP_CASES["KMC"][1])
+    # kmc_job reads start_centers() off the dataset; the facade must
+    # forward it (and refuse private names so pickle probes stay sane).
+    assert np.array_equal(stream.start_centers(), ds.start_centers())
+    with pytest.raises(AttributeError):
+        stream._nonexistent_private
+
+
+# --- kill -9 mid-map on a streamed run --------------------------------
+
+@pytest.mark.parametrize("backend", PROCESS_BACKENDS)
+def test_streamed_run_survives_mid_map_kill(backend):
+    spec = dict(n_elements=42_000, chunk_elements=6_000, key_space=1 << 12, seed=9)
+    job = sio_job(key_space=1 << 12).with_config(enable_stealing=False)
+    clean = make_executor(backend, 3).run(
+        job, dataset=streamed(sio_dataset, **spec)
+    )
+    faulted = make_executor(
+        backend, 3, fault_plan=FaultPlan(kill_rank_at_chunk={1: 2})
+    ).run(job, dataset=streamed(sio_dataset, **spec))
+    # The respawned rank re-granted reclaimed *descriptor* chunks and
+    # re-materialised their payloads locally — same answer, bit for bit.
+    assert faulted.stats.chunks_reclaimed > 0
+    _assert_outputs_identical(clean, faulted, f"SIO/{backend}/streamed-kill")
+
+
+# --- reader unit tests ------------------------------------------------
+
+def test_npy_span_reader_round_trip(tmp_path):
+    arr = np.arange(23 * 4, dtype=np.int64).reshape(23, 4)
+    path = tmp_path / "rows.npy"
+    np.save(path, arr)
+    reader = NpySpanReader(path, rows_per_chunk=5)
+    assert reader.n_chunks == 5  # 4 full spans + a 3-row tail
+    rebuilt = np.concatenate(
+        [reader.materialize(i).data for i in range(reader.n_chunks)]
+    )
+    assert np.array_equal(rebuilt, arr)
+    # chunk_meta is exact and payload-free: rows and row-bytes.
+    assert reader.chunk_meta(0) == (5, 5 * 4 * 8)
+    assert reader.chunk_meta(4) == (3, 3 * 4 * 8)
+    # The span copy owns its bytes (not a view into the mmap).
+    item = reader.materialize(1)
+    assert item.data.base is None or not isinstance(
+        item.data.base, np.memmap
+    )
+
+
+def test_text_span_reader_line_boundaries(tmp_path):
+    lines = [f"word{i} " * (i % 5 + 1) for i in range(200)]
+    blob = "\n".join(lines).encode() + b"\n"
+    path = tmp_path / "corpus.txt"
+    path.write_bytes(blob)
+    reader = TextSpanReader(path, chunk_bytes=256)
+    assert reader.n_chunks > 1
+    spans = [reader.materialize(i).data for i in range(reader.n_chunks)]
+    assert b"".join(s.tobytes() for s in spans) == blob
+    for span in spans[:-1]:
+        # No word is ever split: every non-final span ends on a newline.
+        assert span[-1] == ord("\n")
+    for span in spans:
+        assert span.dtype == np.uint8
+
+
+def test_text_span_reader_rejects_empty_file(tmp_path):
+    path = tmp_path / "empty.txt"
+    path.write_bytes(b"")
+    with pytest.raises(ValueError, match="empty"):
+        TextSpanReader(path, chunk_bytes=64)
+
+
+def test_reader_pickle_round_trips_to_process_cache(tmp_path):
+    np.save(tmp_path / "a.npy", np.arange(12, dtype=np.uint32))
+    reader = NpySpanReader(tmp_path / "a.npy", rows_per_chunk=4)
+    blob = pickle.dumps(reader)
+    # Unpickling twice yields the *same* cached instance: one open
+    # mmap / boundary scan per (path, geometry) per worker process,
+    # however many descriptor chunks name it.
+    r1, r2 = pickle.loads(blob), pickle.loads(blob)
+    assert r1 is r2
+    assert np.array_equal(r1.materialize(0).data, reader.materialize(0).data)
+
+
+def test_dataset_reader_rejects_live_object_specs():
+    with pytest.raises(TypeError):
+        DatasetReader(sio_dataset, {"n_elements": 1024, "rng": object()})
+
+
+# --- satellite 1: chunk codec past ten arrays -------------------------
+
+def test_chunk_codec_preserves_order_past_ten_arrays():
+    # 12 distinct arrays: the npz member names run arr0..arr11, and a
+    # lexicographic sort would interleave arr10/arr11 before arr2 —
+    # the regression the numeric-suffix sort fixes.
+    payload = tuple(
+        np.full(3, i, dtype=np.int32) + np.arange(3, dtype=np.int32)
+        for i in range(12)
+    )
+    chunk = Chunk(index=4, data=payload, logical_items=36, logical_bytes=144)
+    rebuilt = Chunk.from_bytes(chunk.to_bytes())
+    assert isinstance(rebuilt.data, tuple) and len(rebuilt.data) == 12
+    for i, (a, b) in enumerate(zip(payload, rebuilt.data)):
+        assert np.array_equal(a, b), f"array {i} out of order"
+    assert rebuilt.index == 4
+    assert rebuilt.logical_items == 36
+    assert rebuilt.logical_bytes == 144
+
+
+def test_descriptor_chunk_pickles_small_and_rematerialises(tmp_path):
+    np.save(tmp_path / "d.npy", np.arange(1 << 16, dtype=np.uint32))
+    reader = NpySpanReader(tmp_path / "d.npy", rows_per_chunk=1 << 14)
+    items, bytes_ = reader.chunk_meta(2)
+    chunk = Chunk.from_descriptor(reader, 2, items, bytes_)
+    assert not chunk.materialized
+    blob = pickle.dumps(chunk)
+    # Descriptor-only on the wire: far smaller than the 64 KiB payload.
+    assert len(blob) < 4096
+    clone = pickle.loads(blob)
+    assert np.array_equal(clone.data, reader.materialize(2).data)
+    clone.release()
+    assert not clone.materialized
+    assert np.array_equal(clone.data, reader.materialize(2).data)
+
+
+# --- satellite 2: per-key cache build locks ---------------------------
+
+def test_dataset_cache_builds_once_under_contention():
+    obs = Observability()
+    cache = DatasetCache(max_entries=8, obs=obs)
+    specs = [
+        {"n_elements": 4096, "chunk_elements": 1024, "seed": 1},
+        {"n_elements": 4096, "chunk_elements": 1024, "seed": 2},
+    ]
+    got = []
+    lock = threading.Lock()
+
+    def worker(spec):
+        ds, _hit = cache.get("SIO", spec)
+        with lock:
+            got.append((spec["seed"], ds))
+
+    threads = [
+        threading.Thread(target=worker, args=(specs[i % 2],))
+        for i in range(16)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # Exactly one ingest per distinct spec, every caller sharing it.
+    assert obs.metrics.counter("dataset_cache_misses").value == 2
+    assert obs.metrics.counter("dataset_cache_hits").value == 14
+    for seed in (1, 2):
+        objs = {id(ds) for s, ds in got if s == seed}
+        assert len(objs) == 1, f"seed {seed} built more than once"
+
+
+def test_dataset_cache_stream_flag_builds_streamed_entry():
+    cache = DatasetCache(max_entries=8)
+    spec = {"n_elements": 4096, "chunk_elements": 1024, "seed": 3}
+    plain, hit = cache.get("SIO", dict(spec))
+    assert not hit and not isinstance(plain, StreamedDataset)
+    stream, hit = cache.get("SIO", {**spec, "stream": True})
+    assert not hit and isinstance(stream, StreamedDataset)
+    # Distinct entries: the flag is part of the key, not of the spec
+    # handed to the factory.
+    again, hit = cache.get("SIO", {**spec, "stream": True})
+    assert hit and again is stream
+    assert len(cache) == 2
+
+
+# --- satellite 3: pool retires a lease whose reset fails --------------
+
+def test_pool_retires_executor_when_reset_raises():
+    pool = ExecutorPool()
+    ex = pool.lease("serial", 2)
+
+    def broken_reset():
+        raise RuntimeError("reset exploded")
+
+    ex.reset = broken_reset
+    with pytest.raises(RuntimeError, match="reset exploded"):
+        pool.release(ex)
+    # The broken lease was closed, not shelved: the next lease must
+    # not inherit un-resettable state.
+    assert ex.closed
+    assert pool.idle_count == 0
+    replacement = pool.lease("serial", 2)
+    assert replacement is not ex
+    pool.release(replacement)
+    pool.close()
+
+
+# --- satellite 4: canonical content-based freeze keys -----------------
+
+def test_freeze_rejects_address_bearing_reprs():
+    # A default repr embeds the object's address — such a key would
+    # never match again, silently defeating the pool/cache.  Rejecting
+    # is the fix; keying on repr was the bug.
+    with pytest.raises(TypeError, match="canonicalise"):
+        freeze_kwargs({"obs": object()})
+
+
+def test_freeze_distinguishes_truncation_colliding_arrays():
+    a = np.arange(10_000, dtype=np.int64)
+    b = a.copy()
+    b[5_000] += 1
+    # repr() truncates both to "[0 1 2 ... 9997 9998 9999]" — a repr
+    # key would collide these distinct specs onto one cache entry.
+    assert repr(a) == repr(b)
+    assert freeze_value(a) != freeze_value(b)
+    # ...while genuinely equal arrays (even non-contiguous views that
+    # compare equal) share a key.
+    assert freeze_value(a) == freeze_value(np.arange(10_000, dtype=np.int64))
+    assert freeze_kwargs({"x": 1, "y": a}) == freeze_kwargs({"y": b - (b - a), "x": 1})
+
+
+def test_freeze_plans_and_scalars_share_keys_by_value():
+    plan_a = FaultPlan(kill_rank_at_chunk={1: 2})
+    plan_b = FaultPlan(kill_rank_at_chunk={1: 2})
+    assert freeze_value(plan_a) == freeze_value(plan_b)
+    assert freeze_value(True) != freeze_value(1)  # no bool/int aliasing
