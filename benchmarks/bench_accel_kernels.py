@@ -1,0 +1,39 @@
+"""Fused map+partial-reduce kernels vs the staged pipeline.
+
+The acceleration layer's value proposition, measured: fusing map with
+partial reduce keeps the per-rank table resident instead of streaming
+a pair per input element, so the bytes handed to the exchange collapse
+for KMC/WO/LR, and SIO's per-chunk combine merges like keys before the
+shuffle.  On the numpy tier nothing crosses device→host (parts are
+born on host) — the crossing counter must read zero.
+"""
+
+from repro.harness import accel_kernels
+
+
+def test_accel_kernels(benchmark, save_result, check):
+    result = benchmark.pedantic(accel_kernels, rounds=1, iterations=1)
+    save_result("accel_kernels", result.render())
+
+    f = result.findings
+    benchmark.extra_info.update({k: round(v, 2) for k, v in f.items()})
+
+    # The headline: fused KMC/WO emit one resident table instead of a
+    # pair stream — orders of magnitude fewer exchange bytes.
+    check(f["kmc_emission_reduction"] > 4,
+          "fused KMC must emit far fewer bytes than the raw port")
+    check(f["wo_emission_reduction"] > 4,
+          "fused WO must emit far fewer bytes than the raw port")
+    # SIO's per-chunk combine merges duplicate keys before the shuffle
+    # (the bench key space is chosen dense enough to have some).
+    check(f["sio_emission_reduction"] > 1.0,
+          "fused SIO must compact duplicate keys per chunk")
+    # MM's fused kernel is a data-movement restructure, not a
+    # compaction: emission volume is unchanged.
+    check(0.99 <= f["mm_p1_emission_reduction"] <= 1.01,
+          "fused MM emits the same partial tiles")
+    # numpy tier: parts are born on host, the one-crossing counter
+    # must not move.
+    for key, value in f.items():
+        if key.endswith("_d2h_bytes"):
+            check(value == 0.0, f"{key} must be zero on the numpy tier")

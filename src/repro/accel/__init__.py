@@ -1,0 +1,34 @@
+"""Acceleration tier: pluggable array namespaces + fused kernels.
+
+``repro.accel`` hosts the :class:`ArrayNamespace` abstraction (NumPy /
+CuPy / Torch array libraries behind one op vocabulary) and the
+:class:`FusedMapper` protocol for single-call map+partial-reduce
+kernels.  ``accel="numpy"`` is always available and bit-identical to
+the seed pipeline; CuPy/Torch resolve only when importable.
+"""
+
+from .fused import FusedMapper
+from .namespace import (
+    ACCEL_TIERS,
+    AccelUnavailable,
+    ArrayNamespace,
+    CupyNamespace,
+    NumpyNamespace,
+    TorchNamespace,
+    available_tiers,
+    namespace_of,
+    resolve_namespace,
+)
+
+__all__ = [
+    "ACCEL_TIERS",
+    "AccelUnavailable",
+    "ArrayNamespace",
+    "CupyNamespace",
+    "FusedMapper",
+    "NumpyNamespace",
+    "TorchNamespace",
+    "available_tiers",
+    "namespace_of",
+    "resolve_namespace",
+]

@@ -1,0 +1,75 @@
+"""The fused map + partial-reduce protocol.
+
+GPMR's speed case is that map and partial reduce are *one* kernel per
+chunk: each device walks its chunk once, folds pairs into a small
+per-rank state (or a combined per-chunk emission) on the spot, and
+only the reduced result ever crosses the device→host boundary.  The
+seed pipeline expresses the same semantics as three separate stages
+(``map_chunk`` → accumulate/partial-reduce → partition), each of which
+materialises a full :class:`~repro.core.kvset.KeyValueSet`.
+
+A :class:`FusedMapper` collapses those stages into one namespace-level
+call per chunk.  Attaching one to a job (``MapReduceJob(fused=...)``)
+is purely additive: the unfused stages stay on the job and remain the
+bit-parity reference; executors run the fused path only when asked
+(``fused=True`` / ``PipelineConfig.fused``).
+
+Contract (enforced by the accel-parity tests): on the ``"numpy"``
+namespace a fused run's per-rank outputs are **bit-identical** to the
+unfused run of the same job — same key/value dtypes, same bytes.  The
+easiest way to honour that is for the fused kernel to share its
+per-chunk arithmetic with the app's unfused mapper (see
+``apps/kmeans._chunk_table`` for the pattern) rather than re-deriving
+it.
+
+This module deliberately imports nothing from :mod:`repro.core` at
+runtime — core.job imports *us*, and the namespace layer sits below
+both.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.chunk import Chunk
+    from ..core.kvset import KeyValueSet
+    from .namespace import ArrayNamespace
+
+__all__ = ["FusedMapper"]
+
+
+class FusedMapper:
+    """One call per chunk covering map + partial reduce (+ combine).
+
+    A fused kernel threads an opaque per-rank ``state`` (device-resident
+    running totals, or ``None`` for stateless apps) through every chunk
+    the rank maps, and may emit a per-chunk
+    :class:`~repro.core.kvset.KeyValueSet` (already partially reduced)
+    for jobs whose results can't fold into bounded state.  Emissions may
+    hold namespace-native (device) arrays; the runner exports them to
+    host exactly once, when the map phase posts its parts.
+    """
+
+    def initial_state(self, ns: "ArrayNamespace") -> Any:
+        """Per-rank state before the first chunk (None for stateless)."""
+        return None
+
+    def map_reduce_chunk(
+        self, chunk: "Chunk", state: Any, ns: "ArrayNamespace"
+    ) -> Tuple[Any, Optional["KeyValueSet"]]:
+        """Fold one chunk: return ``(new_state, emission_or_None)``."""
+        raise NotImplementedError
+
+    def finish_state(
+        self, state: Any, ns: "ArrayNamespace"
+    ) -> Optional["KeyValueSet"]:
+        """Flush the per-rank state after the last chunk.
+
+        Called exactly once per rank, *including* ranks that mapped
+        zero chunks (``state`` is then the ``initial_state`` result) —
+        mirroring the accumulator contract so every rank contributes
+        its identity element to the reduce phase.  Return None for
+        stateless kernels whose work is all in per-chunk emissions.
+        """
+        return None

@@ -24,6 +24,7 @@ from typing import List, Tuple
 
 import numpy as np
 
+from ..accel import ArrayNamespace, FusedMapper
 from ..baselines.mars import MarsWorkload
 from ..baselines.phoenix import PhoenixWorkload
 from ..core import (
@@ -45,6 +46,7 @@ from ..workloads import KMeansDataset
 __all__ = [
     "KMCMapper",
     "NaiveKMCMapper",
+    "FusedKMCMapper",
     "KMCReducer",
     "CenterPartitioner",
     "kmc_job",
@@ -61,6 +63,34 @@ def _key_of(center: int, field: int, dims: int) -> int:
     return center * (dims + 1) + field
 
 
+def _chunk_table(
+    pts: np.ndarray, centers: np.ndarray, k: int, dims: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One chunk's block-accumulated ``<key, partial>`` table.
+
+    Shared by the staged mapper and the fused kernel's host path, so
+    fused and unfused runs perform the *same* float operations in the
+    same order — the bit-parity contract rests on this sharing, not on
+    two implementations happening to agree.
+    """
+    d2 = ((pts[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+    nearest = d2.argmin(axis=1).astype(np.int64)
+
+    sums = np.zeros((k, dims), dtype=np.float64)
+    np.add.at(sums, nearest, pts)
+    counts = np.bincount(nearest, minlength=k).astype(np.float64)
+
+    keys = np.empty(k * (dims + 1), dtype=np.uint32)
+    values = np.empty(k * (dims + 1), dtype=np.float64)
+    for c in range(k):
+        for d in range(dims):
+            keys[_key_of(c, d, dims)] = _key_of(c, d, dims)
+            values[_key_of(c, d, dims)] = sums[c, d]
+        keys[_key_of(c, dims, dims)] = _key_of(c, dims, dims)
+        values[_key_of(c, dims, dims)] = counts[c]
+    return keys, values
+
+
 class KMCMapper(Mapper):
     """Persistent-thread distance map with block-level accumulation."""
 
@@ -71,23 +101,7 @@ class KMCMapper(Mapper):
         self.scratch_bytes = self.centers.nbytes + (1 << 20)
 
     def map_chunk(self, chunk: Chunk) -> KeyValueSet:
-        pts = chunk.data
-        d2 = ((pts[:, None, :] - self.centers[None, :, :]) ** 2).sum(axis=2)
-        nearest = d2.argmin(axis=1).astype(np.int64)
-
-        dims = self.dims
-        sums = np.zeros((self.k, dims), dtype=np.float64)
-        np.add.at(sums, nearest, pts)
-        counts = np.bincount(nearest, minlength=self.k).astype(np.float64)
-
-        keys = np.empty(self.k * (dims + 1), dtype=np.uint32)
-        values = np.empty(self.k * (dims + 1), dtype=np.float64)
-        for c in range(self.k):
-            for d in range(dims):
-                keys[_key_of(c, d, dims)] = _key_of(c, d, dims)
-                values[_key_of(c, d, dims)] = sums[c, d]
-            keys[_key_of(c, dims, dims)] = _key_of(c, dims, dims)
-            values[_key_of(c, dims, dims)] = counts[c]
+        keys, values = _chunk_table(chunk.data, self.centers, self.k, self.dims)
         # Block-reduced emissions are exact per chunk: scale=1 pair-wise
         # byte accounting happens at the accumulator table level.
         return KeyValueSet(keys=keys, values=values, scale=1.0)
@@ -180,6 +194,59 @@ class NaiveKMCMapper(Mapper):
         return chunk.logical_items * 12 * (self.dims + 1)
 
 
+class FusedKMCMapper(FusedMapper):
+    """Fused Lloyd step: distances, argmin, per-centre partial sums and
+    the accumulator's scatter-add collapse into one call per chunk.
+
+    The per-rank state is the accumulator table's value vector
+    (``k * (dims + 1)`` float64), kept namespace-resident across
+    chunks; nothing is emitted until :meth:`finish_state`, which posts
+    the same ``<arange key, total>`` table the staged
+    ``KMCMapper + SumAccumulator`` pipeline posts.  On the host tier
+    the per-chunk table comes from the same :func:`_chunk_table` the
+    staged mapper uses and folds in with the same ``np.add.at``, so
+    fused output is bit-identical to unfused.
+    """
+
+    def __init__(self, centers: np.ndarray) -> None:
+        self.centers = np.asarray(centers, dtype=np.float64)
+        self.k, self.dims = self.centers.shape
+        self.n_keys = self.k * (self.dims + 1)
+        self._device_centers = None
+
+    def initial_state(self, ns: ArrayNamespace):
+        return ns.zeros(self.n_keys, dtype=np.float64)
+
+    def map_reduce_chunk(self, chunk: Chunk, state, ns: ArrayNamespace):
+        if ns.is_host:
+            keys, values = _chunk_table(
+                chunk.data, self.centers, self.k, self.dims
+            )
+            # Exactly SumAccumulator.accumulate's fold.
+            ns.add_at(state, keys, values)
+            return state, None
+        if self._device_centers is None:
+            self._device_centers = ns.from_host(self.centers)
+        pts = ns.from_host(np.asarray(chunk.data, dtype=np.float64))
+        centers = self._device_centers
+        d2 = ((pts[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        nearest = ns.argmin(d2, axis=1)
+        sums = ns.zeros((self.k, self.dims), dtype=np.float64)
+        ns.add_at(sums, nearest, pts)
+        counts = ns.astype(
+            ns.bincount(nearest, minlength=self.k), np.float64
+        )
+        table = ns.concatenate([sums, counts.reshape(self.k, 1)], axis=1)
+        return state + table.reshape(-1), None
+
+    def finish_state(self, state, ns: ArrayNamespace):
+        return KeyValueSet(
+            keys=ns.arange(self.n_keys, dtype=np.uint32),
+            values=state,
+            scale=1.0,
+        )
+
+
 class KMCReducer(Reducer):
     """Thread-per-key sum of the per-GPU partial values."""
 
@@ -253,15 +320,20 @@ def kmc_job(
         accumulator = SumAccumulator(
             n_keys, value_dtype=np.float64, use_atomics=False  # no FP atomics
         )
+        fused = FusedKMCMapper(centers)
     else:
         mapper = NaiveKMCMapper(centers)
         accumulator = None
+        # The fused kernel is the accumulation pipeline collapsed into
+        # one call; the naive per-point port has no fused analogue.
+        fused = None
     return MapReduceJob(
         name="k-means" if use_accumulation else "k-means-naive",
         mapper=mapper,
         reducer=KMCReducer(),
         partitioner=CenterPartitioner(dims),
         accumulator=accumulator,
+        fused=fused,
         sorter=RadixSorter(key_bits=key_bits),
         key_bytes=4,
         value_bytes=8,

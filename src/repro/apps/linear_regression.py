@@ -18,6 +18,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from ..accel import ArrayNamespace, FusedMapper
 from ..baselines.mars import MarsWorkload
 from ..baselines.phoenix import PhoenixWorkload
 from ..core import (
@@ -37,6 +38,7 @@ from ..workloads import RegressionDataset
 
 __all__ = [
     "LRMapper",
+    "FusedLRMapper",
     "NaiveLRMapper",
     "LRReducer",
     "LR_KEYS",
@@ -53,27 +55,37 @@ __all__ = [
 LR_KEYS = ("n", "sx", "sy", "sxx", "syy", "sxy")
 
 
+def _chunk_stats(data: np.ndarray) -> np.ndarray:
+    """The six per-chunk sufficient statistics, in key order.
+
+    Shared by the staged mapper and the fused host path so both fold
+    the exact same float64 values — the bit-parity contract.
+    """
+    x = data[:, 0].astype(np.float64)
+    y = data[:, 1].astype(np.float64)
+    return np.array(
+        [
+            float(len(x)),
+            float(x.sum()),
+            float(y.sum()),
+            float((x * x).sum()),
+            float((y * y).sum()),
+            float((x * y).sum()),
+        ],
+        dtype=np.float64,
+    )
+
+
 class LRMapper(Mapper):
     """Persistent-thread sums of the six regression statistics."""
 
     scratch_bytes = 1 << 20  # per-block pools
 
     def map_chunk(self, chunk: Chunk) -> KeyValueSet:
-        x = chunk.data[:, 0].astype(np.float64)
-        y = chunk.data[:, 1].astype(np.float64)
-        values = np.array(
-            [
-                float(len(x)),
-                float(x.sum()),
-                float(y.sum()),
-                float((x * x).sum()),
-                float((y * y).sum()),
-                float((x * y).sum()),
-            ],
-            dtype=np.float64,
-        )
         return KeyValueSet(
-            keys=np.arange(6, dtype=np.uint32), values=values, scale=1.0
+            keys=np.arange(6, dtype=np.uint32),
+            values=_chunk_stats(chunk.data),
+            scale=1.0,
         )
 
     def map_cost(self, chunk: Chunk) -> List[KernelLaunch]:
@@ -93,6 +105,45 @@ class LRMapper(Mapper):
 
     def output_bytes_estimate(self, chunk: Chunk) -> int:
         return 6 * 12
+
+
+class FusedLRMapper(FusedMapper):
+    """Map + accumulate in one call: the six-sum table never leaves
+    the rank until finish.
+
+    The host path folds :func:`_chunk_stats` into the resident table
+    with the same element-wise add the accumulator performs
+    (``np.add.at`` over the distinct keys 0..5), so it is bit-identical
+    to the staged ``LRMapper + SumAccumulator`` pipeline.  The device
+    path keeps the (x, y) reductions namespace-resident.
+    """
+
+    def initial_state(self, ns: ArrayNamespace):
+        return ns.zeros(6, dtype=np.float64)
+
+    def map_reduce_chunk(self, chunk: Chunk, state, ns: ArrayNamespace):
+        if ns.is_host:
+            state += _chunk_stats(chunk.data)
+            return state, None
+        data = ns.from_host(chunk.data)
+        x = ns.astype(data[:, 0], np.float64)
+        y = ns.astype(data[:, 1], np.float64)
+        stats = ns.concatenate(
+            [
+                ns.ones(1, dtype=np.float64) * float(len(chunk.data)),
+                x.sum().reshape(1),
+                y.sum().reshape(1),
+                (x * x).sum().reshape(1),
+                (y * y).sum().reshape(1),
+                (x * y).sum().reshape(1),
+            ]
+        )
+        return state + stats, None
+
+    def finish_state(self, state, ns: ArrayNamespace):
+        return KeyValueSet(
+            keys=ns.arange(6, dtype=np.uint32), values=state, scale=1.0
+        )
 
 
 class NaiveLRMapper(Mapper):
@@ -197,6 +248,9 @@ def lr_job(use_accumulation: bool = True) -> MapReduceJob:
             if use_accumulation
             else None
         ),
+        # Fused analogue of the accumulation pipeline only; the naive
+        # per-warp port has none.
+        fused=FusedLRMapper() if use_accumulation else None,
         sorter=RadixSorter(key_bits=4),
         key_bytes=4,
         value_bytes=8,

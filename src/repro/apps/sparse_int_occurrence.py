@@ -26,6 +26,7 @@ from typing import List
 
 import numpy as np
 
+from ..accel import ArrayNamespace, FusedMapper
 from ..baselines.mars import MarsWorkload
 from ..baselines.phoenix import PhoenixWorkload
 from ..core import (
@@ -36,6 +37,7 @@ from ..core import (
     RoundRobinPartitioner,
     make_executor,
 )
+from ..core.combine import combine_by_key_sum
 from ..core.chunk import Chunk
 from ..core.runtime import JobResult
 from ..hw.kernel import KernelLaunch
@@ -44,6 +46,7 @@ from ..workloads import IntegerDataset
 
 __all__ = [
     "SIOMapper",
+    "FusedSIOMapper",
     "SIOReducer",
     "sio_job",
     "sio_dataset",
@@ -95,6 +98,40 @@ class SIOMapper(Mapper):
         return chunk.logical_items * PAIR_BYTES
 
 
+class FusedSIOMapper(FusedMapper):
+    """Map + per-chunk combine in one call: sort/compact each chunk's
+    pairs before they leave the map kernel.
+
+    SIO carries no rank-resident state (sparse keys do not compact
+    across chunks — the paper's reason for skipping Accumulation), so
+    the fusion win is *emission volume*: like keys inside a chunk merge
+    before partitioning, shrinking shuffle bytes while the reducer's
+    integer sums stay exact.  The host path delegates to the staged
+    mapper (honouring its ``sleep_per_chunk`` hook) and the vectorised
+    combine oracle; the device path runs the same sort → segment →
+    sum through the namespace.
+    """
+
+    def __init__(self, mapper: SIOMapper, key_bits: int) -> None:
+        self.mapper = mapper
+        self.key_bits = int(key_bits)
+
+    def map_reduce_chunk(self, chunk: Chunk, state, ns: ArrayNamespace):
+        kv = self.mapper.map_chunk(chunk)
+        if len(kv) == 0:
+            return state, None
+        if ns.is_host:
+            return state, combine_by_key_sum(kv)
+        keys, values = ns.sort_pairs(
+            ns.from_host(kv.keys), ns.from_host(kv.values), key_bits=self.key_bits
+        )
+        runs = ns.unique_segments(keys)
+        summed = ns.segmented_reduce(values, runs.offsets, op="sum")
+        return state, KeyValueSet(
+            keys=runs.unique_keys, values=summed, scale=kv.scale
+        )
+
+
 class SIOReducer(Reducer):
     """One key per thread; the thread sums all its values."""
 
@@ -140,14 +177,18 @@ def sio_job(key_space: int = 1 << 28, map_sleep_seconds: float = 0.0) -> MapRedu
     ``map_sleep_seconds`` feeds :class:`SIOMapper`'s per-chunk delay
     hook (load-balancing tests only; 0 for real runs).
     """
+    mapper = SIOMapper(sleep_per_chunk=map_sleep_seconds)
+    key_bits = max(int(np.ceil(np.log2(key_space))), 1)
     return MapReduceJob(
         name="sparse-integer-occurrence",
-        mapper=SIOMapper(sleep_per_chunk=map_sleep_seconds),
+        mapper=mapper,
         reducer=SIOReducer(),
         partitioner=RoundRobinPartitioner(),
+        # Per-chunk combine fusion: like keys merge before the shuffle.
+        fused=FusedSIOMapper(mapper, key_bits),
         key_bytes=4,
         value_bytes=4,
-        key_bits=max(int(np.ceil(np.log2(key_space))), 1),
+        key_bits=key_bits,
     )
 
 

@@ -71,10 +71,24 @@ class Executor(ABC):
         n_workers: int,
         obs: Optional[Observability] = None,
         trace_path: Optional[str] = None,
+        accel: Optional[str] = None,
+        fused: Optional[bool] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.n_workers = int(n_workers)
+        #: acceleration-tier overrides for every run: ``accel`` names
+        #: the array namespace ("numpy" | "cupy" | "torch"), ``fused``
+        #: turns the fused map+partial-reduce path on/off.  ``None``
+        #: (default) respects whatever the job's own PipelineConfig
+        #: says; a non-None value is stamped into each run's job config
+        #: (which travels in the job pickle, so remote ranks see it).
+        if accel is not None:
+            from ..accel.namespace import resolve_namespace  # noqa: PLC0415
+
+            resolve_namespace(accel)  # fail fast on unknown/missing tiers
+        self.accel = accel
+        self.fused = fused
         #: where to write the run's JSONL trace (tracing implied when set)
         self.trace_path = trace_path
         if obs is None and trace_path is not None:
@@ -189,6 +203,22 @@ class Executor(ABC):
         if self.obs is not None:
             self.obs.reset()
 
+    def _configure_job(self, job: MapReduceJob) -> MapReduceJob:
+        """Apply the executor's accel/fused overrides to one run's job.
+
+        Called by every backend at the top of :meth:`run`; the
+        configured copy is what gets pickled to workers, so the choice
+        rides the existing job plumbing with no wire changes.
+        Validation (unknown tier, ``fused=True`` on a job without a
+        fused kernel) happens here, driver-side, not on a remote rank.
+        """
+        changes = {}
+        if self.accel is not None and job.config.accel != self.accel:
+            changes["accel"] = self.accel
+        if self.fused is not None and job.config.fused != bool(self.fused):
+            changes["fused"] = bool(self.fused)
+        return job.with_config(**changes) if changes else job
+
     def _check_open(self, action: str = "run") -> None:
         """Raise clearly when a closed executor is asked to work again."""
         if self._closed:
@@ -275,9 +305,13 @@ class SimExecutor(Executor):
         n_workers: int,
         obs: Optional[Observability] = None,
         trace_path: Optional[str] = None,
+        accel: Optional[str] = None,
+        fused: Optional[bool] = None,
         **runtime_kwargs,
     ) -> None:
-        super().__init__(n_workers, obs=obs, trace_path=trace_path)
+        super().__init__(
+            n_workers, obs=obs, trace_path=trace_path, accel=accel, fused=fused
+        )
         self.runtime = GPMRRuntime(n_gpus=n_workers, **runtime_kwargs)
         #: mirrored from the runtime so :meth:`_make_chunk_service`
         #: sees the same initial-placement policy the sim models
@@ -291,6 +325,7 @@ class SimExecutor(Executor):
         schedule: Optional[ScheduleTrace] = None,
     ) -> JobResult:
         self._check_open()
+        job = self._configure_job(job)
         obs = self._begin_obs()
         all_chunks = resolve_chunks(dataset, chunks)
         # Built here (not inside the runtime) so a pool-managed
@@ -352,7 +387,11 @@ def make_executor(backend: str, n_workers: int, **kwargs) -> Executor:
     ``obs=`` (an :class:`~repro.obs.Observability` bundle) and
     ``trace_path=`` (write the run's JSONL span/event trace there;
     implies tracing) — both off by default, and passive when on, so
-    traced runs stay bit-identical to untraced runs.
+    traced runs stay bit-identical to untraced runs — plus the
+    acceleration knobs ``accel=`` ("numpy" | "cupy" | "torch"; numpy is
+    the always-available bit-parity tier) and ``fused=`` (run the job's
+    fused map+partial-reduce kernel when it has one).  Both default to
+    ``None`` = respect the job's own :class:`~repro.core.config.PipelineConfig`.
 
     ``executor=`` short-circuits construction with a pre-built
     instance — the job service's warm-pool path: every app's ``run_*``

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
+from ..accel.fused import FusedMapper
 from .combine import Accumulator, Combiner, PartialReducer
 from .config import PipelineConfig
 from .kvset import KeyValueSet
@@ -37,6 +38,10 @@ class MapReduceJob:
     partial_reducer: Optional[PartialReducer] = None
     accumulator: Optional[Accumulator] = None
     sorter: Sorter = field(default_factory=RadixSorter)
+    #: optional fused map+partial-reduce kernel; the staged stages above
+    #: remain attached and stay the bit-parity reference.  Runs only
+    #: when the executor (or config) asks for ``fused=True``.
+    fused: Optional[FusedMapper] = None
     config: PipelineConfig = field(default_factory=PipelineConfig)
     #: key width on the wire (GPMR keys are 4-byte integers by default)
     key_bytes: int = 4
@@ -62,6 +67,15 @@ class MapReduceJob:
             raise ValueError("key_bits must be in [1, 64]")
         if self.config.skip_sort_reduce and self.reducer is not None:
             raise ValueError("skip_sort_reduce jobs must not declare a reducer")
+        if self.fused is not None and self.combiner is not None:
+            raise ValueError(
+                "a fused kernel subsumes Combine (it already reduces before "
+                "partitioning); attach one or the other"
+            )
+        if self.config.fused and self.fused is None:
+            raise ValueError(
+                "config.fused=True but the job has no fused kernel attached"
+            )
 
     @property
     def pair_bytes(self) -> int:

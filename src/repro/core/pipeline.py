@@ -20,6 +20,7 @@ import numpy as np
 
 from .binner import Binner
 from .chunk import Chunk
+from ..accel.namespace import resolve_namespace
 from .job import MapReduceJob
 from .kvset import KeyValueSet
 from .scheduler import Assignment, ChunkService
@@ -60,6 +61,11 @@ class Worker:
         self.node = node
         self.comm = comm
         self.job = job
+        #: the map phase's array namespace (job-config driven, like the
+        #: real backends) and whether the fused kernel replaces the
+        #: staged map substages this run
+        self.ns = resolve_namespace(job.config.accel)
+        self._use_fused = job.config.fused and job.fused is not None
         self.scheduler = scheduler
         self.stats = WorkerStats(rank=rank)
         self.binner = Binner(env, comm, node.cpu, rank)
@@ -109,6 +115,28 @@ class Worker:
         job = self.job
         out_bytes = job.mapper.output_bytes_estimate(chunk) + job.mapper.scratch_bytes
         out_alloc = self.gpu.alloc(out_bytes, tag="map-out") if out_bytes else None
+
+        if self._use_fused:
+            # One fused call covers map + partial reduce; the cost model
+            # still charges the mapper's kernels (a dedicated fused cost
+            # model is a ROADMAP follow-up — today's sim prices fused
+            # runs as map-cost only, which is the fusion's upper bound).
+            if accum_state is None:
+                accum_state = job.fused.initial_state(self.ns)
+            accum_state, emission = job.fused.map_reduce_chunk(
+                chunk, accum_state, self.ns
+            )
+            for launch in job.mapper.map_cost(chunk):
+                yield from self.gpu.run_kernel(launch)
+            self.stats.chunks_mapped += 1
+            if emission is not None and len(emission):
+                emission = emission.to_host(self.ns)
+                self.stats.pairs_emitted_logical += emission.logical_pairs
+            else:
+                emission = None
+            if out_alloc:
+                self.gpu.free(out_alloc)
+            return emission, accum_state
 
         kv = job.mapper.map_chunk(chunk)
         for launch in job.mapper.map_cost(chunk):
@@ -301,7 +329,20 @@ class Worker:
             accum_state, combine_buffer = yield from self._map_loop()
 
         # -- post-map paths ------------------------------------------------
-        if job.accumulator is not None:
+        if self._use_fused:
+            # Flush the fused per-rank state; zero-chunk ranks flush the
+            # initial state, mirroring the accumulator contract.
+            t0 = self.env.now
+            state = accum_state
+            if state is None:
+                state = job.fused.initial_state(self.ns)
+            emission = job.fused.finish_state(state, self.ns)
+            if emission is not None and len(emission):
+                emission = emission.to_host(self.ns)
+                self.stats.pairs_emitted_logical += emission.logical_pairs
+                yield from self._transfer_and_bin(emission, defer_bin=False)
+            self.stats.add("map", self.env.now - t0)
+        elif job.accumulator is not None:
             t0 = self.env.now
             state = accum_state if accum_state is not None else (
                 job.accumulator.initial_state(1.0)

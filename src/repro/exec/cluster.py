@@ -112,8 +112,12 @@ class ClusterExecutor(Executor):
         trace_path: Optional[str] = None,
         auth_key: Optional[bytes] = None,
         prefetch_window: int = DEFAULT_PREFETCH_WINDOW,
+        accel: Optional[str] = None,
+        fused: Optional[bool] = None,
     ) -> None:
-        super().__init__(n_workers, obs=obs, trace_path=trace_path)
+        super().__init__(
+            n_workers, obs=obs, trace_path=trace_path, accel=accel, fused=fused
+        )
         #: grant pipelining depth shipped to ranks via ASSIGN: each
         #: rank keeps up to ``1 + prefetch_window`` CHUNK_REQ frames in
         #: flight so the next grant's wire time hides under the current
@@ -155,6 +159,10 @@ class ClusterExecutor(Executor):
         schedule: Optional[ScheduleTrace] = None,
     ) -> JobResult:
         self._check_open()
+        # Stamp accel/fused into the job config before the coordinator
+        # pickles the job into its ASSIGN payload — remote endpoints'
+        # MapRunners read it straight off the config, no wire changes.
+        job = self._configure_job(job)
         all_chunks = resolve_chunks(dataset, chunks)
         fault = self.fault_plan
         if fault is not None and schedule is not None:
@@ -166,12 +174,16 @@ class ClusterExecutor(Executor):
         if (
             fault is not None
             and fault.speculate_after is not None
-            and (job.accumulator is not None or job.combiner is not None)
+            and (
+                job.accumulator is not None
+                or job.combiner is not None
+                or (job.config.fused and job.fused is not None)
+            )
         ):
             raise ValueError(
                 "speculate_after requires per-chunk map emissions; job "
-                f"{job.name!r} uses an accumulator/combiner whose "
-                "finish-time output cannot be deduplicated per chunk"
+                f"{job.name!r} uses an accumulator/combiner/fused kernel "
+                "whose finish-time output cannot be deduplicated per chunk"
             )
         run_obs = self._begin_obs()
         # The driver hosts the pull authority; ranks reach it through

@@ -22,6 +22,15 @@ Canonical semantics (the parity contract):
 * each reducer rank concatenates its incoming parts in **source-major,
   emission-order** order, then sorts with the job's sorter and reduces
   per key segment.
+
+The map phase runs on a pluggable :class:`~repro.accel.ArrayNamespace`
+(``accel="numpy" | "cupy" | "torch"``; numpy is the bit-parity
+reference) and, when the job carries a
+:class:`~repro.accel.FusedMapper` and ``fused=True`` is requested,
+collapses map + partial reduce (+ partition) into one namespace-level
+call per chunk.  Device-resident shuffle parts cross to host exactly
+once, when :meth:`MapRunner.finish` posts them; the crossing is counted
+in :attr:`MapPhaseOutput.bytes_device_to_host`.
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from ..accel.namespace import resolve_namespace
 from ..core.chunk import Chunk
 from ..core.job import MapReduceJob
 from ..core.kvset import KeyValueSet
@@ -64,6 +74,9 @@ class MapPhaseOutput:
     #: emissions — the provenance tag speculative-duplicate dedup keys
     #: on at the receivers
     part_chunk_ids: List[List[int]] = field(default_factory=list)
+    #: physical bytes exported device→host at post time (0 on the
+    #: numpy tier, where parts are born on host)
+    bytes_device_to_host: int = 0
 
     def batch_for(self, dest: int) -> List[KeyValueSet]:
         return self.parts[dest]
@@ -96,6 +109,17 @@ def _emit(
     """
     if len(kv) == 0:
         return
+    if n_workers == 1 or job.partitioner is None:
+        # Fast path: every pair routes to rank 0 (either it is the only
+        # rank, or partitioner-less jobs send everything to a single
+        # reducer) — append the emission whole instead of paying the
+        # partition scan and per-dest loop.  Bit-identical to the slow
+        # path: it appends the same pairs in the same order.
+        out.parts[0].append(kv)
+        out.part_chunk_ids[0].append(chunk_id)
+        out.bytes_binned += kv.nbytes_logical
+        out.bytes_binned_by_dest[0] += kv.nbytes_logical
+        return
     for dest, part in enumerate(job.partition_parts(kv, n_workers)):
         if len(part):
             out.parts[dest].append(part)
@@ -118,9 +142,22 @@ class MapRunner:
     backend.
     """
 
-    def __init__(self, job: MapReduceJob, n_workers: int) -> None:
+    def __init__(
+        self,
+        job: MapReduceJob,
+        n_workers: int,
+        accel: Optional[str] = None,
+        fused: Optional[bool] = None,
+    ) -> None:
         self.job = job
         self.n_workers = n_workers
+        #: resolved array namespace; defaults come from the job config
+        #: (which travels in the job pickle to remote ranks)
+        self.ns = resolve_namespace(
+            job.config.accel if accel is None else accel
+        )
+        fused_flag = job.config.fused if fused is None else bool(fused)
+        self._use_fused = fused_flag and job.fused is not None
         self.out = MapPhaseOutput(
             parts=[[] for _ in range(n_workers)],
             bytes_binned_by_dest=[0] * n_workers,
@@ -128,6 +165,9 @@ class MapRunner:
         )
         self._accum_state: Optional[KeyValueSet] = None
         self._combine_buffer: List[KeyValueSet] = []
+        self._fused_state = (
+            job.fused.initial_state(self.ns) if self._use_fused else None
+        )
         self._finished = False
 
     def feed(self, chunk: Chunk) -> None:
@@ -135,6 +175,20 @@ class MapRunner:
         if self._finished:
             raise RuntimeError("feed() after finish()")
         job = self.job
+        if self._use_fused:
+            # One namespace-level call covers map + partial reduce;
+            # the synchronize fences queued device kernels so callers'
+            # span timing covers the work, not just its launch.
+            self._fused_state, emission = job.fused.map_reduce_chunk(
+                chunk, self._fused_state, self.ns
+            )
+            self.out.chunks_mapped += 1
+            if emission is not None and len(emission):
+                self.out.pairs_emitted_logical += emission.logical_pairs
+                _emit(job, emission, self.out, self.n_workers,
+                      chunk_id=chunk.index)
+            self.ns.synchronize()
+            return
         kv = job.mapper.map_chunk(chunk)
         self.out.chunks_mapped += 1
         self.out.pairs_emitted_logical += kv.logical_pairs
@@ -165,7 +219,14 @@ class MapRunner:
             return self.out
         self._finished = True
         job = self.job
-        if job.accumulator is not None:
+        if self._use_fused:
+            # Flush runs for every rank — zero-chunk ranks included —
+            # mirroring the accumulator's initial-state contract.
+            emission = job.fused.finish_state(self._fused_state, self.ns)
+            if emission is not None and len(emission):
+                self.out.pairs_emitted_logical += emission.logical_pairs
+                _emit(job, emission, self.out, self.n_workers)
+        elif job.accumulator is not None:
             state = (
                 self._accum_state
                 if self._accum_state is not None
@@ -176,7 +237,23 @@ class MapRunner:
             merged = KeyValueSet.concat(self._combine_buffer)
             _emit(job, job.combiner.combine(merged), self.out, self.n_workers)
             self._combine_buffer = []
+        self._export_parts_to_host()
+        self.ns.synchronize()
         return self.out
+
+    def _export_parts_to_host(self) -> None:
+        """The single device→host crossing: convert every posted part.
+
+        On the numpy tier this is a no-op scan (parts are born host);
+        on device tiers each part is copied out exactly once and the
+        physical bytes are tallied in ``bytes_device_to_host``.
+        """
+        for dest_parts in self.out.parts:
+            for i, part in enumerate(dest_parts):
+                if not part.is_host:
+                    host = part.to_host(self.ns)
+                    self.out.bytes_device_to_host += host.nbytes_actual
+                    dest_parts[i] = host
 
 
 def map_worker(
@@ -244,19 +321,21 @@ def reduce_worker(
     if job.config.skip_sort_reduce:
         return KeyValueSet.concat(nonempty)
 
-    w0 = time.time()
+    # One monotonic clock for the whole run, rebased to the tracer's
+    # wall-clock timebase exactly once: every span edge is
+    # ``rebase + perf_counter()``, so the sort span's end and the reduce
+    # span's start are the *same* reading instead of a wall-clock anchor
+    # mixed with monotonic durations.
+    rebase = time.time() - time.perf_counter()
     t0 = time.perf_counter()
     kv_all = KeyValueSet.concat(nonempty)
     sorted_kv = job.sorter.sort(kv_all)
     runs = unique_segments(sorted_kv.keys)
     t1 = time.perf_counter()
-    # Spans are anchored at wall-clock (the tracer's timebase) but
-    # sized by the monotonic durations the stats buckets use.
-    w1 = w0 + (t1 - t0)
     if stats is not None:
         stats.add("sort", t1 - t0)
     if tracer is not None:
-        tracer.add_span("sort", w0, w1, rank=rank)
+        tracer.add_span("sort", rebase + t0, rebase + t1, rank=rank)
     if runs.n_keys == 0 or job.reducer is None:
         return sorted_kv
     output = job.reducer.reduce_segments(
@@ -270,5 +349,5 @@ def reduce_worker(
     if stats is not None:
         stats.add("reduce", t2 - t1)
     if tracer is not None:
-        tracer.add_span("reduce", w1, w1 + (t2 - t1), rank=rank)
+        tracer.add_span("reduce", rebase + t1, rebase + t2, rank=rank)
     return output

@@ -449,8 +449,12 @@ class LocalExecutor(Executor):
         obs: Optional[Observability] = None,
         trace_path: Optional[str] = None,
         prefetch_window: int = DEFAULT_PREFETCH_WINDOW,
+        accel: Optional[str] = None,
+        fused: Optional[bool] = None,
     ) -> None:
-        super().__init__(n_workers, obs=obs, trace_path=trace_path)
+        super().__init__(
+            n_workers, obs=obs, trace_path=trace_path, accel=accel, fused=fused
+        )
         self.initial_distribution = initial_distribution
         self.start_method = start_method or _default_start_method()
         self.timeout_seconds = float(timeout_seconds)
@@ -477,6 +481,10 @@ class LocalExecutor(Executor):
         schedule: Optional[ScheduleTrace] = None,
     ) -> JobResult:
         self._check_open()
+        # Stamp accel/fused into the job config before the job is
+        # pickled to the worker processes — the children's MapRunners
+        # read it straight off the config.
+        job = self._configure_job(job)
         all_chunks = resolve_chunks(dataset, chunks)
         fault = self.fault_plan
         if fault is not None and schedule is not None:

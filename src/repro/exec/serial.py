@@ -47,8 +47,12 @@ class SerialExecutor(Executor):
         fault_plan: Optional[FaultPlan] = None,
         obs: Optional[Observability] = None,
         trace_path: Optional[str] = None,
+        accel: Optional[str] = None,
+        fused: Optional[bool] = None,
     ) -> None:
-        super().__init__(n_workers, obs=obs, trace_path=trace_path)
+        super().__init__(
+            n_workers, obs=obs, trace_path=trace_path, accel=accel, fused=fused
+        )
         self.initial_distribution = initial_distribution
         #: kill injection mirrors the process backends in-process: at
         #: its scripted grant ordinal a rank's un-posted map state is
@@ -75,6 +79,7 @@ class SerialExecutor(Executor):
         schedule: Optional[ScheduleTrace] = None,
     ) -> JobResult:
         self._check_open()
+        job = self._configure_job(job)
         all_chunks = resolve_chunks(dataset, chunks)
         fault = self.fault_plan
         if fault is not None and schedule is not None:

@@ -59,6 +59,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--size", type=int, default=None,
         help="problem size (elements/chars/points; app-specific default)",
     )
+    parser.add_argument(
+        "--accel", choices=("numpy", "cupy", "torch"), default=None,
+        help="array namespace for map/partial-reduce (default: numpy)",
+    )
+    parser.add_argument(
+        "--fused", action="store_true",
+        help="run the fused map+partial-reduce kernel where the app has one",
+    )
     parser.add_argument("--out", required=True, help="JSONL trace path")
     parser.add_argument(
         "--chrome", metavar="OUT",
@@ -70,9 +78,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     size = ns.size or _DEFAULT_SIZES[ns.app]
     dataset = _make_dataset(ns.app, size)
+    extra = {}
+    if ns.accel is not None:
+        extra["accel"] = ns.accel
+    if ns.fused:
+        extra["fused"] = True
     run = run_app(
         ns.app, dataset, ns.n_workers, backend=ns.backend,
-        trace_path=ns.out,
+        trace_path=ns.out, **extra,
     )
     obs = run.result.obs
     print(run.stats.describe())

@@ -6,7 +6,13 @@ import numpy as np
 
 from ..hw.kernel import KernelLaunch
 
-__all__ = ["DEFAULT_BLOCK", "grid_for", "launch_1d", "as_1d_array"]
+__all__ = [
+    "DEFAULT_BLOCK",
+    "grid_for",
+    "launch_1d",
+    "as_1d_array",
+    "accel_namespace_for",
+]
 
 #: Default CUDA block size used by the primitive cost models.
 DEFAULT_BLOCK = 256
@@ -58,3 +64,22 @@ def as_1d_array(a, dtype=None) -> np.ndarray:
     if arr.ndim != 1:
         raise ValueError(f"expected a 1-D array, got shape {arr.shape}")
     return arr
+
+
+def accel_namespace_for(arr):
+    """The *device* namespace owning ``arr``, or None for host inputs.
+
+    The functional primitives call this first so a CuPy/Torch array
+    flows to its library's implementation while ndarrays (and anything
+    coercible — lists, scalars) keep taking the exact NumPy path the
+    seed shipped with.  The import is lazy: accel sits above primitives
+    in the layer order.
+    """
+    if isinstance(arr, np.ndarray) or not hasattr(arr, "dtype"):
+        return None
+    from ..accel.namespace import namespace_of  # noqa: PLC0415 - layer order
+
+    ns = namespace_of(arr)
+    if ns is None or ns.is_host:
+        return None
+    return ns

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .common import as_1d_array, launch_1d
+from .common import accel_namespace_for, as_1d_array, launch_1d
 from ..hw.kernel import KernelLaunch
 
 __all__ = ["reduce_array", "segmented_reduce", "reduce_cost", "segmented_reduce_cost"]
@@ -47,6 +47,9 @@ def segmented_reduce(
     ``values[offsets[i]:offsets[i+1]]`` (last runs to the end).
     Zero-length segments reduce to the operator's identity (0 for sum).
     """
+    ns = accel_namespace_for(values)
+    if ns is not None:
+        return ns.segmented_reduce(values, segment_offsets, op=op)
     v = as_1d_array(values)
     offsets = as_1d_array(segment_offsets, dtype=np.int64)
     if op not in _UFUNCS:

@@ -17,7 +17,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from .common import as_1d_array, launch_1d
+from .common import accel_namespace_for, as_1d_array, launch_1d
 from ..hw.kernel import KernelLaunch
 
 __all__ = [
@@ -71,6 +71,9 @@ def radix_sort_pairs(
     key_bits: Optional[int] = None,
 ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
     """Stable-sort ``keys`` carrying ``values``; returns sorted copies."""
+    ns = accel_namespace_for(keys)
+    if ns is not None:
+        return ns.sort_pairs(keys, values, key_bits=key_bits)
     k = as_1d_array(keys)
     if k.dtype.kind not in "iu":
         raise TypeError(f"radix sort requires integer keys, got {k.dtype}")

@@ -1,0 +1,386 @@
+"""The device-array acceleration layer: namespaces, fused kernels, parity.
+
+Three claims are enforced here:
+
+* the **numpy tier** of every namespace-dispatched primitive is the
+  bit-parity reference — property-style checks against the direct
+  primitives on the edge shapes (empty, single key, all-equal keys,
+  non-default dtypes);
+* a **fused** run (``fused=True``) of every app is bit-identical to the
+  staged map → partial-reduce → partition pipeline on every backend —
+  the fused kernels share their arithmetic with the unfused path, so
+  fusion is a data-movement optimisation, not a numerics change;
+* the optional device tiers (CuPy / Torch) resolve or raise
+  :class:`~repro.accel.AccelUnavailable` cleanly — never an ImportError
+  at module scope.
+"""
+
+import time
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.accel import (
+    ACCEL_TIERS,
+    AccelUnavailable,
+    NumpyNamespace,
+    available_tiers,
+    namespace_of,
+    resolve_namespace,
+)
+from repro.apps.kmeans import kmc_dataset, kmc_job
+from repro.apps.linear_regression import lr_dataset, lr_job
+from repro.apps.matmul import (
+    _phase2_chunks,
+    mm_dataset,
+    mm_phase1_job,
+    mm_phase2_job,
+)
+from repro.apps.sparse_int_occurrence import sio_dataset, sio_job
+from repro.apps.word_occurrence import wo_dataset, wo_job
+from repro.core import (
+    KeyValueSet,
+    Mapper,
+    MapReduceJob,
+    PipelineConfig,
+    RoundRobinPartitioner,
+    make_executor,
+)
+from repro.core.chunk import Chunk
+from repro.core.combine import SumCombiner
+from repro.core.stats import WorkerStats
+from repro.exec.dataflow import MapRunner, reduce_worker
+from repro.obs import Observability
+from repro.primitives import (
+    exclusive_scan,
+    inclusive_scan,
+    radix_sort_pairs,
+    segmented_reduce,
+    unique_segments,
+)
+
+NS = resolve_namespace("numpy")
+
+
+# -- namespace resolution ----------------------------------------------------
+
+def test_numpy_tier_always_resolves_and_is_cached():
+    assert isinstance(NS, NumpyNamespace)
+    assert NS.is_host and NS.name == "numpy"
+    assert resolve_namespace("numpy") is NS
+    assert "numpy" in available_tiers()
+
+
+def test_unknown_tier_is_a_value_error():
+    with pytest.raises(ValueError, match="unknown accel"):
+        resolve_namespace("tpu")
+
+
+@pytest.mark.parametrize("tier", [t for t in ACCEL_TIERS if t != "numpy"])
+def test_device_tiers_resolve_or_raise_cleanly(tier):
+    """Missing CuPy/Torch must surface as AccelUnavailable, not an
+    ImportError — callers (and CI) skip, they do not crash."""
+    try:
+        ns = resolve_namespace(tier)
+    except AccelUnavailable as exc:
+        assert tier in str(exc)
+    else:
+        assert ns.name == tier and not ns.is_host
+
+
+def test_namespace_of_judges_by_module():
+    assert namespace_of(np.arange(3)) is NS
+    assert namespace_of([1, 2, 3]) is None
+    assert namespace_of("strings belong to no tier") is None
+
+
+def test_config_validates_accel_tier():
+    with pytest.raises(ValueError, match="accel"):
+        PipelineConfig(accel="tpu")
+
+
+def test_executor_validates_accel_tier():
+    with pytest.raises(ValueError, match="unknown accel"):
+        make_executor("serial", 2, accel="tpu")
+
+
+# -- numpy-tier primitive properties ----------------------------------------
+
+def _rng():
+    return np.random.default_rng(42)
+
+
+def test_sort_pairs_matches_primitive_and_stable_reference():
+    rng = _rng()
+    keys = rng.integers(0, 50, size=400).astype(np.uint32)
+    values = rng.standard_normal(400)
+    ks, vs = NS.sort_pairs(keys, values, key_bits=6)
+    rk, rv = radix_sort_pairs(keys, values, key_bits=6)
+    assert np.array_equal(ks, rk) and np.array_equal(vs, rv)
+    order = np.argsort(keys, kind="stable")
+    assert np.array_equal(ks, keys[order])
+    assert np.array_equal(vs, values[order])
+
+
+@pytest.mark.parametrize(
+    "keys",
+    [
+        np.array([], dtype=np.uint32),                 # empty
+        np.array([7], dtype=np.uint32),                # single key
+        np.full(64, 9, dtype=np.uint32),               # all-equal keys
+        np.array([3, 1, 3, 1, 2], dtype=np.uint64),    # non-default dtype
+    ],
+    ids=["empty", "single", "all-equal", "uint64"],
+)
+def test_sort_and_segments_edge_shapes(keys):
+    values = np.arange(len(keys), dtype=np.int64)
+    ks, vs = NS.sort_pairs(keys, values)
+    assert ks.dtype == keys.dtype and len(ks) == len(keys)
+    runs = NS.unique_segments(ks)
+    ref = unique_segments(np.sort(keys, kind="stable"))
+    assert np.array_equal(runs.unique_keys, ref.unique_keys)
+    assert np.array_equal(runs.counts, ref.counts)
+    assert runs.counts.sum() == len(keys)
+    # stability: equal keys keep emission order of their values
+    order = np.argsort(keys, kind="stable")
+    assert np.array_equal(vs, values[order])
+
+
+@pytest.mark.parametrize(
+    "values,offsets",
+    [
+        (np.array([], dtype=np.float64), np.array([], dtype=np.int64)),
+        (np.array([5.0]), np.array([0])),
+        (np.arange(12, dtype=np.int64), np.array([0, 5, 5, 9])),
+        (np.arange(8, dtype=np.float32), np.array([0, 8])),
+    ],
+    ids=["empty", "single", "with-empty-segment", "float32"],
+)
+def test_segmented_reduce_matches_primitive(values, offsets):
+    got = NS.segmented_reduce(values, offsets, op="sum")
+    ref = segmented_reduce(values, offsets, op="sum")
+    assert got.dtype == ref.dtype
+    assert np.array_equal(got, ref)
+
+
+@pytest.mark.parametrize(
+    "values",
+    [
+        np.array([], dtype=np.int64),
+        np.array([3], dtype=np.int64),
+        np.arange(100, dtype=np.int64),
+        _rng().integers(0, 9, size=33).astype(np.uint32),
+    ],
+    ids=["empty", "single", "arange", "uint32"],
+)
+def test_scans_match_primitives(values):
+    assert np.array_equal(NS.exclusive_scan(values), exclusive_scan(values))
+    assert np.array_equal(NS.inclusive_scan(values), inclusive_scan(values))
+
+
+def test_add_at_and_bincount_match_numpy():
+    rng = _rng()
+    idx = rng.integers(0, 16, size=200)
+    vals = rng.standard_normal(200)
+    table = NS.zeros(16, dtype=np.float64)
+    NS.add_at(table, idx, vals)
+    ref = np.zeros(16)
+    np.add.at(ref, idx, vals)
+    assert table.tobytes() == ref.tobytes()
+    counts = NS.bincount(idx, minlength=32)
+    assert np.array_equal(counts, np.bincount(idx, minlength=32))
+
+
+# -- fused / unfused job validation -----------------------------------------
+
+def test_fused_kernel_rejects_combiner():
+    job = sio_job(key_space=1 << 10)
+    with pytest.raises(ValueError, match="fused kernel subsumes"):
+        replace(job, combiner=SumCombiner())
+
+
+def test_fused_config_requires_fused_kernel():
+    job = lr_job(use_accumulation=False)  # the naive port has none
+    assert job.fused is None
+    with pytest.raises(ValueError, match="fused"):
+        job.with_config(fused=True)
+
+
+def test_fused_flag_on_fusedless_job_fails_at_run_time():
+    ds = lr_dataset(2_000, chunk_points=600, seed=5)
+    ex = make_executor("serial", 2, fused=True)
+    with pytest.raises(ValueError, match="fused"):
+        ex.run(lr_job(use_accumulation=False).with_config(enable_stealing=False), ds)
+
+
+# -- fused == unfused, bit for bit ------------------------------------------
+
+def _assert_outputs_identical(ref, other, tag):
+    assert len(ref.outputs) == len(other.outputs), tag
+    for rank, (a, b) in enumerate(zip(ref.outputs, other.outputs)):
+        where = f"{tag} rank {rank}"
+        assert (a is None) == (b is None), where
+        if a is None:
+            continue
+        assert a.keys.dtype == b.keys.dtype, where
+        assert a.values.dtype == b.values.dtype, where
+        assert np.array_equal(a.keys, b.keys), where
+        assert a.values.tobytes() == b.values.tobytes(), where
+        assert a.scale == b.scale, where
+
+
+def _app_cases():
+    sio_ds = sio_dataset(60_000, chunk_elements=9_000, key_space=1 << 14, seed=3)
+    wo_ds = wo_dataset(1 << 16, chunk_chars=10_000, n_words=1_500, seed=7)
+    kmc_ds = kmc_dataset(8_000, n_centers=8, dims=3, chunk_points=1_500, seed=11)
+    lr_ds = lr_dataset(12_000, chunk_points=2_500, seed=5)
+    return [
+        pytest.param("SIO", sio_job(key_space=1 << 14), sio_ds, id="sio"),
+        pytest.param("WO", wo_job(3, n_words=1_500), wo_ds, id="wo"),
+        pytest.param("KMC", kmc_job(kmc_ds), kmc_ds, id="kmc"),
+        pytest.param("LR", lr_job(), lr_ds, id="lr"),
+    ]
+
+
+BACKENDS = ("sim", "serial", "local", "cluster")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("app,job,ds", _app_cases())
+def test_fused_matches_unfused_every_backend(app, job, ds, backend):
+    """accel="numpy" fused output == the staged pipeline, bitwise, on
+    all four backends (the accel-parity CI gate)."""
+    job = job.with_config(enable_stealing=False)
+    ref = make_executor("serial", 3).run(job, ds)
+    got = make_executor(backend, 3, fused=True).run(job, ds)
+    _assert_outputs_identical(ref, got, f"{app}/{backend}/fused")
+
+
+@pytest.mark.parametrize("backend", ("sim", "serial"))
+def test_mm_fused_matches_unfused_both_phases(backend):
+    ds = mm_dataset(256, tile=64, kspan=2, seed=13)
+    job1 = mm_phase1_job(ds).with_config(enable_stealing=False)
+    job2 = mm_phase2_job(ds).with_config(enable_stealing=False)
+    p1_ref = make_executor("serial", 3).run(job1, ds)
+    p1_fused = make_executor(backend, 3, fused=True).run(job1, ds)
+    _assert_outputs_identical(p1_ref, p1_fused, f"mm-p1/{backend}")
+    chunks = _phase2_chunks(ds, p1_ref)
+    p2_ref = make_executor("serial", 3).run(job2, chunks=chunks)
+    p2_fused = make_executor(backend, 3, fused=True).run(job2, chunks=chunks)
+    _assert_outputs_identical(p2_ref, p2_fused, f"mm-p2/{backend}")
+
+
+def test_fused_runner_counts_no_device_bytes_on_numpy():
+    """On the host tier parts are born on host: the one-crossing
+    counter must stay zero."""
+    ds = lr_dataset(4_000, chunk_points=1_000, seed=5)
+    runner = MapRunner(lr_job().with_config(enable_stealing=False), 2, fused=True)
+    for chunk in ds.chunks():
+        runner.feed(chunk)
+    out = runner.finish()
+    assert out.bytes_device_to_host == 0
+    assert all(part.is_host for parts in out.parts for part in parts)
+
+
+# -- the _emit fast path -----------------------------------------------------
+
+class _PassthroughMapper(Mapper):
+    def map_chunk(self, chunk):
+        data = chunk.data
+        return KeyValueSet(
+            keys=data.astype(np.uint32),
+            values=np.ones(len(data), dtype=np.int32),
+            scale=chunk.scale,
+        )
+
+    def map_cost(self, chunk):
+        return []
+
+
+def _raw_job(partitioner):
+    return MapReduceJob(
+        name="raw",
+        mapper=_PassthroughMapper(),
+        reducer=None,
+        partitioner=partitioner,
+        key_bytes=4,
+        value_bytes=4,
+        key_bits=8,
+    )
+
+
+def _one_chunk(n=64):
+    rng = _rng()
+    return Chunk(index=0, data=rng.integers(0, 200, size=n),
+                 logical_items=n, logical_bytes=4 * n)
+
+
+def test_emit_fast_path_no_partitioner_routes_whole_to_rank0():
+    chunk = _one_chunk()
+    runner = MapRunner(_raw_job(None), 3)
+    runner.feed(chunk)
+    out = runner.finish()
+    assert len(out.parts[0]) == 1 and not out.parts[1] and not out.parts[2]
+    assert out.part_chunk_ids[0] == [0]
+    kv = out.parts[0][0]
+    assert np.array_equal(kv.keys, chunk.data.astype(np.uint32))
+    assert out.bytes_binned == kv.nbytes_logical
+    assert out.bytes_binned_by_dest == [kv.nbytes_logical, 0, 0]
+
+
+def test_emit_fast_path_single_worker_matches_partition_parts():
+    chunk = _one_chunk()
+    job = _raw_job(RoundRobinPartitioner())
+    runner = MapRunner(job, 1)
+    runner.feed(chunk)
+    out = runner.finish()
+    kv = _PassthroughMapper().map_chunk(chunk)
+    (slow_part,) = job.partition_parts(kv, 1)
+    fast = out.parts[0][0]
+    assert fast.keys.tobytes() == slow_part.keys.tobytes()
+    assert fast.values.tobytes() == slow_part.values.tobytes()
+    assert out.bytes_binned == slow_part.nbytes_logical
+
+
+# -- kvset host/device helpers ----------------------------------------------
+
+def test_kvset_is_host_and_to_host_identity():
+    kv = KeyValueSet(
+        keys=np.arange(5, dtype=np.uint32),
+        values=np.arange(5, dtype=np.int64),
+        scale=1.0,
+    )
+    assert kv.is_host
+    assert kv.to_host() is kv
+    assert kv.to_host(NS) is kv
+
+
+# -- reduce_worker span anchoring (one clock, rebased once) ------------------
+
+def test_reduce_spans_share_one_monotonic_timebase():
+    job = sio_job(key_space=1 << 10).with_config(enable_stealing=False)
+    rng = _rng()
+    incoming = [
+        KeyValueSet(
+            keys=rng.integers(0, 1 << 10, size=500).astype(np.uint32),
+            values=np.ones(500, dtype=np.int32),
+            scale=1.0,
+        )
+    ]
+    obs = Observability()
+    stats = WorkerStats(rank=0)
+    t_before = time.time()
+    out = reduce_worker(job, incoming, stats=stats, obs=obs)
+    t_after = time.time()
+    assert out is not None
+    spans = {r["name"]: r for r in obs.tracer.records}
+    sort, reduce_ = spans["sort"], spans["reduce"]
+    # Both edges derive from one perf_counter rebased once: the sort
+    # span's end IS the reduce span's start, not two wall-clock reads.
+    assert sort["ts"] + sort["dur"] == pytest.approx(reduce_["ts"], abs=1e-9)
+    for span in (sort, reduce_):
+        assert t_before <= span["ts"] <= span["ts"] + span["dur"] <= t_after
+    # The span edges carry the wall-clock rebase, so their difference
+    # rounds a few ulps away from the raw perf_counter delta.
+    assert stats.stage_seconds["sort"] == pytest.approx(sort["dur"], abs=1e-5)
